@@ -1,0 +1,95 @@
+//! Appendix A ablation — header-payload split for jumbo frames.
+//!
+//! Paper: "header-only delivery can significantly save PCIe bandwidth
+//! between the FPGA and CPU, especially when handling large payload
+//! packets (e.g., Jumbo frames that have up to 8,500 bytes Ethernet
+//! payload)". This harness pushes a jumbo-frame workload through the full
+//! pod in both delivery modes and compares PCIe bytes moved, per-packet
+//! DMA latency, and delivery — plus the failure path: when processing
+//! outlasts the reorder timeout, the reaped payload forces the late
+//! header to be dropped rather than emitting a corrupt frame.
+
+use albatross_bench::{eval_pod_config, ExperimentReport};
+use albatross_container::simrun::PodSimulation;
+use albatross_fpga::pkt::DeliveryMode;
+use albatross_gateway::services::ServiceKind;
+use albatross_sim::SimTime;
+use albatross_workload::{ConstantRateSource, FlowSet};
+
+fn run(delivery: DeliveryMode) -> albatross_container::simrun::SimReport {
+    let mut cfg = eval_pod_config(ServiceKind::VpcVpc);
+    cfg.data_cores = 8;
+    cfg.delivery = delivery;
+    cfg.warmup = SimTime::ZERO; // PCIe counters cover the whole run
+    let duration = SimTime::from_millis(50);
+    let mut src = ConstantRateSource::new(
+        FlowSet::generate(50_000, Some(3), 7),
+        2_000_000,
+        8_542, // jumbo: 8,500 B payload + headers
+        SimTime::ZERO,
+        duration,
+    )
+    .with_random_flows(8);
+    PodSimulation::new(cfg).run(&mut src, duration)
+}
+
+fn main() {
+    let full = run(DeliveryMode::FullPacket);
+    let split = run(DeliveryMode::HeaderOnly);
+    let mut rep = ExperimentReport::new(
+        "App. A ablation",
+        "Header-payload split on jumbo frames (2 Mpps of 8,542 B)",
+    );
+    rep.row(
+        "PCIe RX bytes moved",
+        "header-only ≪ full packet",
+        format!(
+            "{:.2} GB full vs {:.3} GB split ({:.0}x less)",
+            full.pcie_rx_bytes as f64 / 1e9,
+            split.pcie_rx_bytes as f64 / 1e9,
+            full.pcie_rx_bytes as f64 / split.pcie_rx_bytes.max(1) as f64
+        ),
+        "8,500 B payload stays in the NIC buffer",
+    );
+    let full_gbps = (full.pcie_rx_bytes + full.pcie_tx_bytes) as f64 * 8.0 / 0.05 / 1e9;
+    let split_gbps = (split.pcie_rx_bytes + split.pcie_tx_bytes) as f64 * 8.0 / 0.05 / 1e9;
+    rep.row(
+        "PCIe bandwidth demand",
+        "split mode fits PCIe Gen4; full mode may not",
+        format!("{full_gbps:.0} Gbps vs {split_gbps:.1} Gbps"),
+        "",
+    );
+    rep.row(
+        "delivery equivalence",
+        "no loss either way at this rate",
+        format!(
+            "full {}/{} delivered, split {}/{}",
+            full.transmitted, full.offered, split.transmitted, split.offered
+        ),
+        if full.transmitted.abs_diff(split.transmitted) <= 32 {
+            "equivalent (± in-flight tail at the horizon)"
+        } else {
+            "MISMATCH"
+        },
+    );
+    rep.row(
+        "mean latency (full vs split)",
+        "split saves per-byte DMA time on jumbo frames",
+        format!(
+            "{:.1} us vs {:.1} us",
+            full.latency.mean() / 1e3,
+            split.latency.mean() / 1e3
+        ),
+        if split.latency.mean() < full.latency.mean() { "shape match" } else { "SHAPE MISMATCH" },
+    );
+    rep.row(
+        "reaper path exercised",
+        "timed-out headers dropped when payload released",
+        format!(
+            "{} payloads reaped, {} headers dropped at this load",
+            split.payloads_reaped, split.headers_dropped
+        ),
+        "see simrun unit tests for the forced-timeout case",
+    );
+    rep.print();
+}

@@ -1,0 +1,125 @@
+//! §4.3 ablation — two-stage rate limiter SRAM budget and hash-collision
+//! rescue.
+//!
+//! Two claims beyond Fig. 13/14: (a) the two-stage scheme meters one
+//! million tenants in ~2 MB of SRAM where naive per-tenant meters need
+//! >200 MB (100× reduction) and simply do not fit the FPGA; (b) an
+//! innocent tenant that shares both the color entry and the meter entry
+//! with a dominant tenant is rescued "within a few seconds" once sampling
+//! promotes the dominant tenant to the pre_meter.
+
+use albatross_bench::ExperimentReport;
+use albatross_core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter};
+use albatross_fpga::resource::{FpgaDevice, ResourceLedger};
+use albatross_sim::{SimRng, SimTime};
+
+fn main() {
+    let mut rep = ExperimentReport::new(
+        "§4.3 ablation",
+        "Two-stage rate limiter: SRAM budget and collision rescue",
+    );
+
+    // (a) SRAM accounting against the real device inventory.
+    let rl = TwoStageRateLimiter::new(RateLimiterConfig::production());
+    let two_stage = rl.sram_bytes();
+    let naive = rl.naive_sram_bytes(1_000_000);
+    rep.row(
+        "two-stage SRAM (4K color + 4K meter + 2x128 pre)",
+        "2 MB",
+        format!("{:.2} MB", two_stage as f64 / 1e6),
+        "",
+    );
+    rep.row(
+        "naive per-tenant meters, 1M tenants",
+        ">200 MB",
+        format!("{:.0} MB", naive as f64 / 1e6),
+        "",
+    );
+    rep.row(
+        "reduction",
+        "100x",
+        format!("{}x", naive / two_stage),
+        "",
+    );
+    let device = FpgaDevice::albatross_production();
+    let mut ledger = ResourceLedger::new(device);
+    let naive_fits = ledger.register("naive_meters", 0, naive * 8).is_ok();
+    let mut ledger = albatross_fpga::resource::production_pipeline_ledger();
+    let two_stage_fits = ledger.register("two_stage", 0, two_stage * 8).is_ok();
+    rep.row(
+        "fits the FPGA (265 Mbit BRAM)?",
+        "naive: no; two-stage: yes",
+        format!("naive: {naive_fits}; two-stage (alongside full pipeline): {two_stage_fits}"),
+        if !naive_fits && two_stage_fits { "shape match" } else { "SHAPE MISMATCH" },
+    );
+
+    // (b) Collision rescue timeline. Find an innocent tenant colliding
+    // with a dominant one in BOTH stages, flood, and measure the innocent
+    // tenant's delivered fraction per 500 ms window.
+    let cfg = RateLimiterConfig {
+        stage1_pps: 80_000.0,
+        stage2_pps: 20_000.0,
+        tenant_limit_pps: 100_000.0,
+        ..RateLimiterConfig::production()
+    };
+    let mut rl = TwoStageRateLimiter::new(cfg.clone());
+    let dominant = 17u32;
+    let m = rl.meter_idx(dominant);
+    let innocent = (1..200_000u32)
+        .map(|k| dominant + k * cfg.color_entries as u32)
+        .find(|&v| rl.meter_idx(v) == m)
+        .expect("colliding tenant exists");
+    let mut rng = SimRng::seed_from(0xC0111);
+    let mut series = Vec::new();
+    let mut promoted_at = None;
+    let windows = 8;
+    let window_ns: u64 = 500_000_000;
+    for w in 0..windows {
+        let mut innocent_pass = 0u64;
+        let mut innocent_total = 0u64;
+        // dominant at 400 kpps, innocent at 10 kpps, interleaved.
+        let dom_per_window = 200_000u64;
+        for i in 0..dom_per_window {
+            let now = SimTime::from_nanos(w * window_ns + i * window_ns / dom_per_window);
+            rl.process(dominant, now, &mut rng);
+            if i % 40 == 0 {
+                innocent_total += 1;
+                if rl.process(innocent, now, &mut rng).passed() {
+                    innocent_pass += 1;
+                }
+            }
+        }
+        if promoted_at.is_none() && rl.is_promoted(dominant) {
+            promoted_at = Some(w);
+        }
+        series.push((
+            w as f64 * 0.5,
+            innocent_pass as f64 / innocent_total as f64,
+        ));
+    }
+    let first = series.first().expect("windows").1;
+    let last = series.last().expect("windows").1;
+    rep.row(
+        "innocent tenant delivered fraction (first window)",
+        "< 100% (collateral of shared entries)",
+        format!("{:.0}%", first * 100.0),
+        format!("collides with dominant in color AND meter (vni {innocent})"),
+    );
+    rep.row(
+        "dominant tenant promoted to pre_meter",
+        "within ~1 second",
+        match promoted_at {
+            Some(w) => format!("by t={:.1} s", (w + 1) as f64 * 0.5),
+            None => "NEVER (mismatch)".to_string(),
+        },
+        "sampling-based heavy-hitter detection",
+    );
+    rep.row(
+        "innocent tenant delivered fraction (final window)",
+        "100% (rescued)",
+        format!("{:.0}%", last * 100.0),
+        if last > 0.99 { "shape match" } else { "SHAPE MISMATCH" },
+    );
+    rep.series("innocent_delivered_fraction_vs_time_s", series);
+    rep.print();
+}

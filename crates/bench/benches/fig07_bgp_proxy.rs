@@ -1,0 +1,87 @@
+//! Fig. 7 / §5 — BGP proxy vs direct peering on the uplink switch.
+//!
+//! Paper: the switch safely holds 64 BGP peers; 32 connected servers ×
+//! 4 pods = 128 direct peers blows past it and pushes restart convergence
+//! to tens of minutes. The proxy collapses each server's pods onto (dual)
+//! proxy sessions: 64 peers, fast convergence, full pod density.
+
+use albatross_bench::ExperimentReport;
+use albatross_bgp::proxy::{switch_peers_direct, switch_peers_with_proxy, BgpProxy};
+use albatross_bgp::msg::NlriPrefix;
+use albatross_bgp::switchcp::{SwitchControlPlane, MAX_SERVERS_PER_SWITCH, SAFE_PEER_LIMIT};
+
+fn convergence(peers: usize, routes_per_peer: usize) -> f64 {
+    let mut cp = SwitchControlPlane::new();
+    for _ in 0..peers {
+        cp.add_peer(routes_per_peer);
+    }
+    cp.convergence_after_restart().as_secs_f64()
+}
+
+fn main() {
+    let mut rep = ExperimentReport::new(
+        "Fig. 7",
+        "BGP proxy: uplink-switch peers and restart convergence (32 servers)",
+    );
+    let routes = 4;
+    let mut direct_series = Vec::new();
+    let mut proxy_series = Vec::new();
+    for pods_per_server in [1usize, 2, 4, 8] {
+        let direct = switch_peers_direct(MAX_SERVERS_PER_SWITCH, pods_per_server);
+        let proxied = switch_peers_with_proxy(MAX_SERVERS_PER_SWITCH, 2);
+        let t_direct = convergence(direct, routes);
+        let t_proxy = convergence(proxied, routes * pods_per_server / 2);
+        direct_series.push((pods_per_server as f64, t_direct));
+        proxy_series.push((pods_per_server as f64, t_proxy));
+        rep.row(
+            format!("{pods_per_server} pods/server: peers (direct vs proxy)"),
+            if direct > SAFE_PEER_LIMIT {
+                "direct exceeds 64-peer limit"
+            } else {
+                "within limit"
+            },
+            format!("{direct} vs {proxied}"),
+            format!(
+                "restart convergence {t_direct:.0} s vs {t_proxy:.0} s"
+            ),
+        );
+    }
+    rep.row(
+        "max pods/server without proxy",
+        "2 (64 peers / 32 servers)",
+        format!("{}", SAFE_PEER_LIMIT / MAX_SERVERS_PER_SWITCH),
+        "",
+    );
+    let t128 = convergence(128, routes);
+    rep.row(
+        "convergence at 128 direct peers",
+        "up to tens of minutes",
+        format!("{:.1} min", t128 / 60.0),
+        if t128 > 600.0 { "shape match" } else { "SHAPE MISMATCH" },
+    );
+
+    // Functional check: a proxy carrying 4 pods forwards all their VIPs
+    // over its single eBGP session.
+    let mut proxy = BgpProxy::new();
+    for pod in 0..4u32 {
+        proxy.pod_advertise(
+            pod,
+            NlriPrefix::new(std::net::Ipv4Addr::new(203, 0, 113, pod as u8), 32),
+            std::net::Ipv4Addr::new(10, 0, 0, pod as u8 + 1),
+        );
+    }
+    let updates = proxy.take_upstream_updates();
+    rep.row(
+        "proxy route propagation",
+        "all pod VIPs reach the switch via 1 eBGP session",
+        format!(
+            "{} UPDATEs for {} iBGP sessions",
+            updates.len(),
+            proxy.ibgp_sessions()
+        ),
+        "",
+    );
+    rep.series("direct_convergence_s_vs_pods_per_server", direct_series);
+    rep.series("proxy_convergence_s_vs_pods_per_server", proxy_series);
+    rep.print();
+}

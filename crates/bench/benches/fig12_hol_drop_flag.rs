@@ -1,0 +1,78 @@
+//! Fig. 12 — HoL optimization with the active drop flag.
+//!
+//! Paper: CPU-side packet drops (e.g. ACL blocking) strand reorder-FIFO
+//! heads; the active drop flag releases those slots immediately, cutting
+//! HoL occurrences "by several dozen to hundreds of times per second".
+//! We inject ACL denials at a few hundred packets/second and count HOL
+//! timeouts per second with the flag off and on.
+
+use albatross_bench::{eval_pod_config, ExperimentReport};
+use albatross_container::simrun::PodSimulation;
+use albatross_gateway::services::ServiceKind;
+use albatross_sim::SimTime;
+use albatross_workload::{ConstantRateSource, FlowSet};
+
+fn run(use_drop_flag: bool) -> (f64, f64, u64) {
+    let mut cfg = eval_pod_config(ServiceKind::VpcVpc);
+    cfg.data_cores = 8;
+    cfg.ordqs = 2;
+    cfg.warmup = SimTime::from_millis(10);
+    // 1 Mpps offered, ~1/4096 of flows ACL-denied → ~250 drops/s.
+    cfg.acl_drop_modulus = Some(4096);
+    cfg.use_drop_flag = use_drop_flag;
+    let duration = SimTime::from_millis(1_010);
+    let mut src = ConstantRateSource::new(
+        FlowSet::generate(100_000, Some(3), 71),
+        1_000_000,
+        256,
+        SimTime::ZERO,
+        duration,
+    )
+    .with_random_flows(72);
+    let r = PodSimulation::new(cfg).run(&mut src, duration);
+    let secs = r.measured_secs;
+    (
+        r.hol_timeouts as f64 / secs,
+        r.drop_flag_releases as f64 / secs,
+        r.dropped_acl,
+    )
+}
+
+fn main() {
+    let (hol_off, _, drops_off) = run(false);
+    let (hol_on, releases_on, drops_on) = run(true);
+    let mut rep = ExperimentReport::new(
+        "Fig. 12",
+        "HoL events/second with and without the active drop flag (~250 ACL drops/s)",
+    );
+    rep.row(
+        "ACL drops injected",
+        "packet loss on CPU (rate-limit/ACL rules)",
+        format!("{drops_off} (flag off) / {drops_on} (flag on)"),
+        "",
+    );
+    rep.row(
+        "HoL timeouts per second, flag OFF",
+        "dozens to hundreds",
+        format!("{hol_off:.0}/s"),
+        "every silent drop strands a FIFO head for 100 us",
+    );
+    rep.row(
+        "HoL timeouts per second, flag ON",
+        "~0 (resources released early)",
+        format!("{hol_on:.0}/s"),
+        format!("{releases_on:.0} drop-flag releases/s instead"),
+    );
+    let reduction = if hol_on > 0.0 { hol_off / hol_on } else { f64::INFINITY };
+    rep.row(
+        "HoL reduction",
+        "several dozen to hundreds of times per second",
+        if reduction.is_finite() {
+            format!("{reduction:.0}x fewer")
+        } else {
+            format!("{hol_off:.0}/s -> 0/s (eliminated)")
+        },
+        if hol_off > 50.0 && hol_on < hol_off / 10.0 { "shape match" } else { "SHAPE MISMATCH" },
+    );
+    rep.print();
+}

@@ -1,0 +1,62 @@
+//! Fig. 13 — Tenant overload WITHOUT rate limiting.
+//!
+//! Paper: four tenants at 4/3/2/1 Mpps; tenant 1 bursts to 34 Mpps,
+//! pushing the total (40 Mpps) past the pod's ~20 Mpps capacity. The CPU
+//! drops indiscriminately and *every* tenant loses ~50% of its traffic —
+//! the SLA violation the limiter exists to prevent.
+
+use albatross_bench::{mean_rate_after, tenant_overload_scenario, ExperimentReport};
+use albatross_sim::SimTime;
+
+fn main() {
+    let (report, vnis, step_at) = tenant_overload_scenario(None);
+    let mut rep = ExperimentReport::new(
+        "Fig. 13",
+        "Without tenant overload rate-limiting (T1 steps 4→34 Mpps at mid-run; pod ≈20 Mpps)",
+    );
+    let labels = ["tenant1 (dominant)", "tenant2", "tenant3", "tenant4"];
+    let offered_after = [34.0, 3.0, 2.0, 1.0];
+    let mut after_rates = Vec::new();
+    for (i, &vni) in vnis.iter().enumerate() {
+        let meter = report
+            .tenant_delivered
+            .get(&vni)
+            .expect("tenant delivered traffic");
+        // Mean delivered rate after the step (full windows only).
+        let series = meter.series();
+        let mean_after = mean_rate_after(
+            meter,
+            step_at + 100_000_000,
+            SimTime::from_millis(50),
+            SimTime::from_secs(1),
+        ) / 1e6;
+        after_rates.push(mean_after);
+        let loss = 1.0 - mean_after / offered_after[i];
+        rep.row(
+            format!("{} delivered after burst", labels[i]),
+            format!("~{:.1} Mpps (≈50% loss)", offered_after[i] / 2.0),
+            format!("{mean_after:.2} Mpps ({:.0}% loss)", loss * 100.0),
+            "indiscriminate CPU drops",
+        );
+        rep.series(
+            format!("tenant{}_delivered_mpps", i + 1),
+            series
+                .iter()
+                .map(|&(t, r)| (t as f64 / 1e9, r / 1e6))
+                .collect(),
+        );
+    }
+    let total_after: f64 = after_rates.iter().sum();
+    // Shape: every innocent tenant suffers heavy loss; total ≈ capacity.
+    let innocents_hurt = (1..4).all(|i| after_rates[i] < offered_after[i] * 0.75);
+    rep.row(
+        "innocent tenants harmed",
+        "all tenants lose ~50%",
+        format!(
+            "t2..t4 delivered {:.2}/{:.2}/{:.2} of 3/2/1 Mpps; total {total_after:.1} Mpps",
+            after_rates[1], after_rates[2], after_rates[3]
+        ),
+        if innocents_hurt { "shape match" } else { "SHAPE MISMATCH" },
+    );
+    rep.print();
+}

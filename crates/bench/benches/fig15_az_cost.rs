@@ -1,0 +1,77 @@
+//! Fig. 15 — Gateway construction cost for a new availability zone.
+//!
+//! Paper: 8 gateway cluster types × 4 gateways = 32 physical boxes in the
+//! legacy form vs 8 Albatross servers (4 GW pods each): 75% fewer servers,
+//! 50% lower cost (Albatross boxes cost 2×), and 40% lower power (12,000 W
+//! legacy mix → 7,200 W).
+//!
+//! Beyond the arithmetic, the harness *places* the 32 pods onto real
+//! server models through the orchestrator to prove the density is
+//! achievable within core/VF budgets.
+
+use albatross_bench::ExperimentReport;
+use albatross_container::cost::AzCostModel;
+use albatross_container::orchestrator::Orchestrator;
+use albatross_container::pod::{GwPodSpec, GwRole};
+use albatross_sim::SimTime;
+
+fn main() {
+    let model = AzCostModel::paper();
+    let mut rep = ExperimentReport::new("Fig. 15", "AZ buildout cost comparison");
+
+    // Prove placement feasibility: 8 roles × 4 pods of 23 cores each.
+    let mut orch = Orchestrator::with_servers(model.albatross_servers());
+    let mut placed = 0;
+    for role in GwRole::ALL {
+        for _ in 0..model.gateways_per_cluster {
+            let spec = GwPodSpec {
+                role,
+                data_cores: 21,
+                ctrl_cores: 2,
+            };
+            if orch.schedule(&spec, SimTime::ZERO).is_ok() {
+                placed += 1;
+            }
+        }
+    }
+    rep.row(
+        "pods placed on 8 servers",
+        "32 (4 per server)",
+        format!("{placed} placed, {} cores left", orch.free_cores()),
+        if placed == 32 { "placement feasible" } else { "PLACEMENT FAILED" },
+    );
+    rep.row(
+        "physical boxes",
+        "32 legacy -> 8 Albatross (75% fewer)",
+        format!(
+            "{} -> {} ({:.0}% fewer)",
+            model.legacy_boxes(),
+            model.albatross_servers(),
+            model.server_reduction() * 100.0
+        ),
+        "",
+    );
+    rep.row(
+        "relative cost",
+        "halved (Albatross box costs 2x)",
+        format!(
+            "{:.0} -> {:.0} ({:.0}% cheaper)",
+            model.legacy_cost(),
+            model.albatross_cost(),
+            model.cost_reduction() * 100.0
+        ),
+        "",
+    );
+    rep.row(
+        "power draw",
+        "12,000 W -> 7,200 W (40% lower)",
+        format!(
+            "{} W -> {} W ({:.0}% lower)",
+            model.legacy_power_w(),
+            model.albatross_power_w(),
+            model.power_reduction() * 100.0
+        ),
+        "3x gen1 clusters + 5x gen2 clusters vs 8 gen3 servers",
+    );
+    rep.print();
+}

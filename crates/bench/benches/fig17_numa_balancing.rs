@@ -1,0 +1,73 @@
+//! Fig. 17 — Impact of Automatic NUMA Balancing.
+//!
+//! Paper: with pods pinned to a NUMA node and the kernel's
+//! `numa_balancing` left enabled, heavy traffic (90% load) shows latency
+//! bursts — the balancer's scan/migration attempts stall pinned data
+//! cores. Disabling it removes the bursts and the jitter.
+
+use albatross_bench::{eval_pod_config, ExperimentReport};
+use albatross_container::simrun::PodSimulation;
+use albatross_gateway::services::ServiceKind;
+use albatross_sim::SimTime;
+use albatross_workload::{ConstantRateSource, FlowSet};
+
+fn run(balancing: bool, core_cap: f64) -> (f64, f64, f64) {
+    let cores = 12;
+    let mut cfg = eval_pod_config(ServiceKind::VpcVpc);
+    cfg.data_cores = cores;
+    cfg.ordqs = 2;
+    cfg.numa_balancing = balancing;
+    cfg.nominal_load = 0.9;
+    cfg.warmup = SimTime::from_millis(10);
+    let duration = SimTime::from_millis(610);
+    let pps = (core_cap * cores as f64 * 0.9) as u64;
+    let mut src = ConstantRateSource::new(
+        FlowSet::generate(200_000, Some(5), 91),
+        pps,
+        256,
+        SimTime::ZERO,
+        duration,
+    )
+    .with_random_flows(92);
+    let r = PodSimulation::new(cfg).run(&mut src, duration);
+    (
+        r.latency.percentile(0.999) as f64 / 1e3,
+        r.latency.max() as f64 / 1e3,
+        r.latency.mean() / 1e3,
+    )
+}
+
+fn main() {
+    let mut cal = eval_pod_config(ServiceKind::VpcVpc);
+    cal.data_cores = 1;
+    cal.ordqs = 1;
+    cal.warmup = SimTime::from_millis(10);
+    let core_cap =
+        albatross_bench::run_saturated(cal, 7, 4_000_000, SimTime::from_millis(40)).throughput_pps();
+
+    let (p999_on, max_on, mean_on) = run(true, core_cap);
+    let (p999_off, max_off, mean_off) = run(false, core_cap);
+    let mut rep = ExperimentReport::new(
+        "Fig. 17",
+        "Automatic NUMA balancing at 90% load (pinned pod)",
+    );
+    rep.row(
+        "balancing ON: mean / P99.9 / max latency",
+        "latency bursts (ms-scale max)",
+        format!("{mean_on:.1} / {p999_on:.1} / {max_on:.1} us"),
+        "scan stalls hit pinned data cores",
+    );
+    rep.row(
+        "balancing OFF: mean / P99.9 / max latency",
+        "bursts eliminated",
+        format!("{mean_off:.1} / {p999_off:.1} / {max_off:.1} us"),
+        "",
+    );
+    rep.row(
+        "max-latency reduction from disabling",
+        "significant (bursts gone)",
+        format!("{:.0}x lower max", max_on / max_off.max(1e-9)),
+        if max_on > 4.0 * max_off { "shape match" } else { "SHAPE MISMATCH" },
+    );
+    rep.print();
+}

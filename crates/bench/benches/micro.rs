@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks of the hot-path primitives.
+//!
+//! These complement the table/figure harnesses: they measure the *real*
+//! (wall-clock) cost of the data structures the simulation exercises in
+//! virtual time — LPM lookup, Toeplitz hashing, the reorder
+//! admit/return/poll cycle, the two-stage meter decision, and full-frame
+//! parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use albatross_core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter};
+use albatross_core::reorder::{ReorderConfig, ReorderQueue};
+use albatross_fpga::pkt::NicPacket;
+use albatross_gateway::lpm::{LpmTable, Prefix};
+use albatross_packet::flow::parse_frame;
+use albatross_packet::meta::PlbMeta;
+use albatross_packet::{FiveTuple, PacketBuilder, ToeplitzHasher};
+use albatross_sim::{SimRng, SimTime};
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut table = LpmTable::new();
+    for i in 0..1_000_000u32 {
+        table.insert(Prefix::new(Ipv4Addr::from(i << 8), 24), i);
+    }
+    let probes: Vec<Ipv4Addr> = (0..1024u32)
+        .map(|i| Ipv4Addr::from(((i * 977) << 8) | 0x33))
+        .collect();
+    let mut i = 0;
+    c.bench_function("lpm_lookup_1M_routes", |b| {
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(table.lookup(probes[i]))
+        })
+    });
+}
+
+fn bench_toeplitz(c: &mut Criterion) {
+    let h = ToeplitzHasher::default();
+    let tuple = FiveTuple {
+        src_ip: "66.9.149.187".parse().unwrap(),
+        dst_ip: "161.142.100.80".parse().unwrap(),
+        src_port: 2794,
+        dst_port: 1766,
+        protocol: albatross_packet::flow::IpProtocol::Udp,
+    };
+    c.bench_function("toeplitz_hash_tuple", |b| {
+        b.iter(|| black_box(h.hash_tuple(black_box(&tuple))))
+    });
+}
+
+fn bench_reorder_cycle(c: &mut Criterion) {
+    let tuple = FiveTuple {
+        src_ip: "10.0.0.1".parse().unwrap(),
+        dst_ip: "10.0.0.2".parse().unwrap(),
+        src_port: 1,
+        dst_port: 2,
+        protocol: albatross_packet::flow::IpProtocol::Udp,
+    };
+    c.bench_function("reorder_admit_return_poll", |b| {
+        let mut q = ReorderQueue::new(ReorderConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            let now = SimTime::from_nanos(t);
+            let psn = q.admit(now).expect("never full at depth 4096");
+            let mut pkt = NicPacket::data(t, tuple, Some(1), 256, now);
+            pkt.meta = Some(PlbMeta::new(psn, 0, t));
+            q.cpu_return(pkt, true);
+            black_box(q.poll(now).len())
+        })
+    });
+}
+
+fn bench_rate_limiter(c: &mut Criterion) {
+    let mut rl = TwoStageRateLimiter::new(RateLimiterConfig::production());
+    let mut rng = SimRng::seed_from(1);
+    let mut t = 0u64;
+    c.bench_function("two_stage_meter_decision", |b| {
+        b.iter(|| {
+            t += 50;
+            black_box(rl.process(black_box((t % 4096) as u32), SimTime::from_nanos(t), &mut rng))
+        })
+    });
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let frame = PacketBuilder::udp(
+        "10.1.0.1".parse().unwrap(),
+        "10.2.0.2".parse().unwrap(),
+        4000,
+        albatross_packet::vxlan::UDP_PORT,
+    )
+    .vlan(7)
+    .vxlan(0x1234, 128)
+    .build();
+    c.bench_function("parse_frame_vlan_vxlan", |b| {
+        b.iter(|| black_box(parse_frame(black_box(&frame)).unwrap()))
+    });
+}
+
+fn bench_meta(c: &mut Criterion) {
+    let meta = PlbMeta::new(77, 3, 12345);
+    let frame = vec![0u8; 256];
+    c.bench_function("meta_attach_detach_tail", |b| {
+        let mut buf = frame.clone();
+        buf.reserve(32);
+        b.iter(|| {
+            meta.attach_in_place(&mut buf, albatross_packet::MetaPlacement::Tail);
+            black_box(
+                PlbMeta::detach_in_place(&mut buf, albatross_packet::MetaPlacement::Tail)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_lpm, bench_toeplitz, bench_reorder_cycle, bench_rate_limiter, bench_parse, bench_meta
+}
+criterion_main!(benches);

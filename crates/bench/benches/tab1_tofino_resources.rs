@@ -1,0 +1,75 @@
+//! Tab. 1 — Tofino resource consumption by Sailfish (the 2nd-gen baseline
+//! whose exhaustion motivates Albatross).
+//!
+//! Deploys the production Sailfish feature set on the Tofino resource
+//! model and reads back per-pipeline-pair utilization; then demonstrates
+//! the three §2.1 evolution blockers (new header / large table / long
+//! chain all fail to compile).
+
+use albatross_bench::ExperimentReport;
+use albatross_fpga::tofino::{CompileError, Feature, SailfishProgram};
+
+fn main() {
+    let program = SailfishProgram::production();
+    let (sram02, tcam02, phv02) = program.pair02.utilization();
+    let (sram13, tcam13, phv13) = program.pair13.utilization();
+
+    let mut rep = ExperimentReport::new(
+        "Tab. 1",
+        "Tofino resource consumption by Sailfish (folded pipeline pairs)",
+    );
+    let pc = |x: f64| format!("{:.1}%", x * 100.0);
+    rep.row("Pipeline0,2 SRAM", "69.2%", pc(sram02), "");
+    rep.row("Pipeline0,2 TCAM", "40.3%", pc(tcam02), "");
+    rep.row("Pipeline0,2 PHV", "97.0%", pc(phv02), "entry pair: parsing-heavy");
+    rep.row("Pipeline1,3 SRAM", "96.4%", pc(sram13), "VM-NC mapping tables");
+    rep.row("Pipeline1,3 TCAM", "66.7%", pc(tcam13), "");
+    rep.row("Pipeline1,3 PHV", "82.3%", pc(phv13), "");
+
+    // §2.1 blockers on the same model.
+    let mut p = SailfishProgram::production();
+    let nsh = p.pair02.try_add(Feature::new("nsh_parse", 256, 10, 0, 1));
+    rep.row(
+        "add NSH header",
+        "compilation error (PHV)",
+        describe(&nsh),
+        "blocker 1: new packet headers",
+    );
+    let mut p = SailfishProgram::production();
+    let table = p
+        .pair13
+        .try_add(Feature::new("new_big_table", 16, 120, 0, 1));
+    rep.row(
+        "add large table",
+        "compilation error (SRAM)",
+        describe(&table),
+        "blocker 2: large table capacity",
+    );
+    let mut p = SailfishProgram::production();
+    let chain = p
+        .pair13
+        .try_add(Feature::new("long_chain_fn", 8, 4, 0, 6));
+    rep.row(
+        "add long-chained function",
+        "compilation error (stages)",
+        describe(&chain),
+        "blocker 3: long-chained functions",
+    );
+    rep.print();
+}
+
+fn describe(r: &Result<(), CompileError>) -> String {
+    match r {
+        Ok(()) => "compiled (UNEXPECTED)".to_string(),
+        Err(CompileError::PhvExhausted { needed, available }) => {
+            format!("PHV exhausted (need {needed}b, {available}b left)")
+        }
+        Err(CompileError::SramExhausted { needed, available }) => {
+            format!("SRAM exhausted (need {needed}, {available} blocks left)")
+        }
+        Err(CompileError::TcamExhausted { .. }) => "TCAM exhausted".to_string(),
+        Err(CompileError::StagesExhausted { needed, available }) => {
+            format!("stages exhausted (need {needed}, {available} left)")
+        }
+    }
+}

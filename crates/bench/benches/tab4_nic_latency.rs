@@ -1,0 +1,65 @@
+//! Tab. 4 — NIC pipeline latency measurement, by module and direction.
+//!
+//! Transits packets through the staged pipeline model and *measures* the
+//! per-stage latency back from the transit recorder (rather than echoing
+//! the configuration), so a regression in the stage plumbing shows up as a
+//! mismatch here.
+
+use albatross_bench::ExperimentReport;
+use albatross_fpga::pipeline::{transit, Direction, NicPipelineLatency, Stage, StageBreakdown};
+use albatross_sim::SimTime;
+
+fn main() {
+    let lat = NicPipelineLatency::production();
+    let mut bd = StageBreakdown::new();
+    // Measure over many transits (they are deterministic; the averaging
+    // guards against future stochastic stage models).
+    for i in 0..10_000u64 {
+        transit(&lat, Direction::Rx, SimTime::from_nanos(i * 10_000), &mut bd);
+        transit(&lat, Direction::Tx, SimTime::from_nanos(i * 10_000), &mut bd);
+    }
+
+    let paper: [(Stage, f64, f64); 4] = [
+        (Stage::BasicPipeline, 0.58, 0.84),
+        (Stage::OverloadDetection, 0.10, 0.00),
+        (Stage::Plb, 0.05, 0.35),
+        (Stage::Dma, 3.17, 2.98),
+    ];
+    let mut rep = ExperimentReport::new("Tab. 4", "NIC pipeline latency measurement (us)");
+    for (stage, rx, tx) in paper {
+        rep.row(
+            format!("{} RX/TX", stage.name()),
+            format!("{rx:.2} / {tx:.2} us"),
+            format!(
+                "{:.2} / {:.2} us",
+                bd.mean_ns(stage, Direction::Rx) / 1e3,
+                bd.mean_ns(stage, Direction::Tx) / 1e3
+            ),
+            "",
+        );
+    }
+    rep.row(
+        "Sum RX/TX",
+        "3.90 / 4.17 us",
+        format!(
+            "{:.2} / {:.2} us",
+            bd.total_mean_ns(Direction::Rx) / 1e3,
+            bd.total_mean_ns(Direction::Tx) / 1e3
+        ),
+        "DMA dominates both directions",
+    );
+    rep.row(
+        "PLB + overload det. overhead",
+        "0.5 us",
+        format!(
+            "{:.2} us",
+            (bd.mean_ns(Stage::Plb, Direction::Rx)
+                + bd.mean_ns(Stage::Plb, Direction::Tx)
+                + bd.mean_ns(Stage::OverloadDetection, Direction::Rx)
+                + bd.mean_ns(Stage::OverloadDetection, Direction::Tx))
+                / 1e3
+        ),
+        "small fraction of NIC latency",
+    );
+    rep.print();
+}

@@ -1,0 +1,153 @@
+//! Bidirectional Forwarding Detection (RFC 5880, async mode).
+//!
+//! §4.3: "losing three consecutive BFD probe packets is enough to trigger a
+//! link failure detection and disable the entire link. … even a few lost
+//! BFD packets can result in a link failure being detected" — which is why
+//! BFD packets ride the priority queues. This module implements the
+//! receive-side detection timer: a session goes Down when no packet arrives
+//! for `detect_mult × rx_interval`.
+
+use albatross_sim::SimTime;
+
+/// BFD session state (the subset async mode visits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BfdState {
+    /// Starting up; no packets yet.
+    Init,
+    /// Link alive.
+    Up,
+    /// Detection time expired.
+    Down,
+}
+
+/// One BFD receive session.
+#[derive(Debug)]
+pub struct BfdSession {
+    state: BfdState,
+    /// Negotiated receive interval.
+    rx_interval: SimTime,
+    /// Detection multiplier (production: 3).
+    detect_mult: u32,
+    last_rx: SimTime,
+    downs: u32,
+}
+
+impl BfdSession {
+    /// Creates a session expecting a packet every `rx_interval`, declaring
+    /// Down after `detect_mult` missed intervals.
+    ///
+    /// # Panics
+    /// Panics when `detect_mult` is zero.
+    pub fn new(rx_interval: SimTime, detect_mult: u32) -> Self {
+        assert!(detect_mult > 0, "detect multiplier must be positive");
+        Self {
+            state: BfdState::Init,
+            rx_interval,
+            detect_mult,
+            last_rx: SimTime::ZERO,
+            downs: 0,
+        }
+    }
+
+    /// The production profile: 50 ms interval, 3 misses → 150 ms detection.
+    pub fn production() -> Self {
+        Self::new(SimTime::from_millis(50), 3)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BfdState {
+        self.state
+    }
+
+    /// Times this session has gone Down.
+    pub fn downs(&self) -> u32 {
+        self.downs
+    }
+
+    /// Detection window in nanoseconds.
+    pub fn detection_time_ns(&self) -> u64 {
+        self.rx_interval.as_nanos() * u64::from(self.detect_mult)
+    }
+
+    /// A BFD control packet arrived.
+    pub fn on_packet(&mut self, now: SimTime) {
+        self.last_rx = now;
+        if self.state != BfdState::Up {
+            self.state = BfdState::Up;
+        }
+    }
+
+    /// Checks the detection timer. Returns true when the session
+    /// transitioned to Down at this check.
+    pub fn check(&mut self, now: SimTime) -> bool {
+        if self.state != BfdState::Up {
+            return false;
+        }
+        if now.saturating_since(self.last_rx) > self.detection_time_ns() {
+            self.state = BfdState::Down;
+            self.downs += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comes_up_on_first_packet() {
+        let mut s = BfdSession::production();
+        assert_eq!(s.state(), BfdState::Init);
+        s.on_packet(SimTime::ZERO);
+        assert_eq!(s.state(), BfdState::Up);
+    }
+
+    #[test]
+    fn three_missed_intervals_declare_down() {
+        let mut s = BfdSession::production();
+        s.on_packet(SimTime::ZERO);
+        // 2 intervals of silence: still up.
+        assert!(!s.check(SimTime::from_millis(100)));
+        // Just past 3 intervals: down.
+        assert!(s.check(SimTime::from_millis(151)));
+        assert_eq!(s.state(), BfdState::Down);
+        assert_eq!(s.downs(), 1);
+        // Subsequent checks don't re-count.
+        assert!(!s.check(SimTime::from_millis(500)));
+    }
+
+    #[test]
+    fn steady_packets_keep_it_up() {
+        let mut s = BfdSession::production();
+        for i in 0..100u64 {
+            s.on_packet(SimTime::from_millis(i * 50));
+            assert!(!s.check(SimTime::from_millis(i * 50 + 49)));
+        }
+        assert_eq!(s.state(), BfdState::Up);
+        assert_eq!(s.downs(), 0);
+    }
+
+    #[test]
+    fn recovers_after_down() {
+        let mut s = BfdSession::production();
+        s.on_packet(SimTime::ZERO);
+        s.check(SimTime::from_secs(1));
+        assert_eq!(s.state(), BfdState::Down);
+        s.on_packet(SimTime::from_secs(2));
+        assert_eq!(s.state(), BfdState::Up);
+    }
+
+    #[test]
+    fn two_lost_packets_do_not_flap() {
+        // The priority-queue rationale: a couple of drops under overload
+        // must not take the link down; three do.
+        let mut s = BfdSession::production();
+        s.on_packet(SimTime::ZERO);
+        // Packets at 50/100 ms lost; next arrives at 149 ms — survive.
+        assert!(!s.check(SimTime::from_millis(149)));
+        s.on_packet(SimTime::from_millis(149));
+        assert_eq!(s.state(), BfdState::Up);
+    }
+}

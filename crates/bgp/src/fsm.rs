@@ -1,0 +1,251 @@
+//! BGP session state machine (RFC 4271 §8, simplified to the transport-
+//! abstracted transitions the simulation exercises).
+//!
+//! The session rides virtual time: hold timers expire against `SimTime`,
+//! keepalives refresh them, and a BFD down event (§4.3: "losing three
+//! consecutive BFD probe packets … causing BGP to register a neighbor link
+//! failure") tears the session down immediately.
+
+use std::net::Ipv4Addr;
+
+use albatross_sim::SimTime;
+
+use crate::msg::BgpMessage;
+
+/// RFC 4271 session states (Connect/Active folded together — the
+/// simulation abstracts TCP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Not started.
+    Idle,
+    /// Transport connecting; OPEN sent.
+    OpenSent,
+    /// OPEN received; waiting for KEEPALIVE.
+    OpenConfirm,
+    /// Routes may be exchanged.
+    Established,
+}
+
+/// Whether the session is iBGP or eBGP (proxy uses both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerKind {
+    /// Same-AS peering (GW pod ↔ proxy).
+    Internal,
+    /// Cross-AS peering (proxy/pod ↔ uplink switch).
+    External,
+}
+
+/// One BGP session endpoint.
+#[derive(Debug)]
+pub struct BgpSession {
+    state: SessionState,
+    /// Local AS.
+    pub asn: u16,
+    /// Local BGP identifier.
+    pub bgp_id: Ipv4Addr,
+    /// iBGP or eBGP.
+    pub kind: PeerKind,
+    hold_time: SimTime,
+    last_heard: SimTime,
+    flaps: u32,
+}
+
+impl BgpSession {
+    /// Creates an idle session.
+    pub fn new(asn: u16, bgp_id: Ipv4Addr, kind: PeerKind, hold_time: SimTime) -> Self {
+        Self {
+            state: SessionState::Idle,
+            asn,
+            bgp_id,
+            kind,
+            hold_time,
+            last_heard: SimTime::ZERO,
+            flaps: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Times the session has dropped out of Established.
+    pub fn flaps(&self) -> u32 {
+        self.flaps
+    }
+
+    /// Operator/start event: emits our OPEN.
+    pub fn start(&mut self, now: SimTime) -> BgpMessage {
+        self.state = SessionState::OpenSent;
+        self.last_heard = now;
+        BgpMessage::Open {
+            asn: self.asn,
+            hold_time: (self.hold_time.as_nanos() / 1_000_000_000) as u16,
+            bgp_id: self.bgp_id,
+        }
+    }
+
+    /// Feeds a received message; returns any reply to send.
+    pub fn on_message(&mut self, msg: &BgpMessage, now: SimTime) -> Option<BgpMessage> {
+        self.last_heard = now;
+        match (self.state, msg) {
+            (SessionState::OpenSent, BgpMessage::Open { .. }) => {
+                self.state = SessionState::OpenConfirm;
+                Some(BgpMessage::Keepalive)
+            }
+            (SessionState::OpenConfirm, BgpMessage::Keepalive) => {
+                self.state = SessionState::Established;
+                None
+            }
+            (SessionState::Established, BgpMessage::Keepalive) => None,
+            (SessionState::Established, BgpMessage::Update { .. }) => None,
+            (_, BgpMessage::Notification { .. }) => {
+                self.drop_session();
+                None
+            }
+            // Out-of-order message: reset per RFC error handling.
+            _ => {
+                self.drop_session();
+                Some(BgpMessage::Notification {
+                    code: 5, // FSM error
+                    subcode: 0,
+                })
+            }
+        }
+    }
+
+    /// Checks the hold timer; drops the session when expired. Returns true
+    /// when the session died at this check.
+    pub fn check_hold_timer(&mut self, now: SimTime) -> bool {
+        if self.state == SessionState::Idle {
+            return false;
+        }
+        if now.saturating_since(self.last_heard) > self.hold_time.as_nanos() {
+            self.drop_session();
+            return true;
+        }
+        false
+    }
+
+    /// BFD declared the link dead: tear down immediately (fast failover —
+    /// BFD detects in ~ms what the hold timer would need tens of seconds
+    /// for).
+    pub fn on_bfd_down(&mut self) {
+        if self.state == SessionState::Established {
+            self.drop_session();
+        }
+    }
+
+    fn drop_session(&mut self) {
+        if self.state == SessionState::Established {
+            self.flaps += 1;
+        }
+        self.state = SessionState::Idle;
+    }
+}
+
+/// Drives two sessions through the full handshake (test/helper utility —
+/// also used by the proxy tests).
+pub fn establish(a: &mut BgpSession, b: &mut BgpSession, now: SimTime) {
+    let open_a = a.start(now);
+    let open_b = b.start(now);
+    let ka_b = b.on_message(&open_a, now).expect("b replies keepalive");
+    let ka_a = a.on_message(&open_b, now).expect("a replies keepalive");
+    assert!(a.on_message(&ka_b, now).is_none());
+    assert!(b.on_message(&ka_a, now).is_none());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (BgpSession, BgpSession) {
+        (
+            BgpSession::new(
+                64512,
+                "10.0.0.1".parse().unwrap(),
+                PeerKind::External,
+                SimTime::from_secs(90),
+            ),
+            BgpSession::new(
+                64513,
+                "10.0.0.2".parse().unwrap(),
+                PeerKind::External,
+                SimTime::from_secs(90),
+            ),
+        )
+    }
+
+    #[test]
+    fn full_handshake_reaches_established() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        assert_eq!(a.state(), SessionState::Established);
+        assert_eq!(b.state(), SessionState::Established);
+    }
+
+    #[test]
+    fn hold_timer_expiry_drops_session() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        // Keepalive at t=60s keeps it alive past one hold interval.
+        a.on_message(&BgpMessage::Keepalive, SimTime::from_secs(60));
+        assert!(!a.check_hold_timer(SimTime::from_secs(100)));
+        // Silence until t=151s (> 60+90): dead.
+        assert!(a.check_hold_timer(SimTime::from_secs(151)));
+        assert_eq!(a.state(), SessionState::Idle);
+        assert_eq!(a.flaps(), 1);
+    }
+
+    #[test]
+    fn notification_resets_session() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        a.on_message(
+            &BgpMessage::Notification {
+                code: 6,
+                subcode: 0,
+            },
+            SimTime::from_secs(1),
+        );
+        assert_eq!(a.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn bfd_down_is_immediate() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        a.on_bfd_down();
+        assert_eq!(a.state(), SessionState::Idle);
+        assert_eq!(a.flaps(), 1);
+        // Idle session ignores further BFD downs.
+        a.on_bfd_down();
+        assert_eq!(a.flaps(), 1);
+    }
+
+    #[test]
+    fn out_of_order_message_triggers_fsm_error() {
+        let (mut a, _) = pair();
+        a.start(SimTime::ZERO);
+        // UPDATE before the handshake completes → FSM error notification.
+        let reply = a.on_message(
+            &BgpMessage::Update {
+                withdrawn: vec![],
+                next_hop: None,
+                nlri: vec![],
+            },
+            SimTime::ZERO,
+        );
+        assert!(matches!(
+            reply,
+            Some(BgpMessage::Notification { code: 5, .. })
+        ));
+        assert_eq!(a.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn idle_session_has_no_hold_timer() {
+        let (mut a, _) = pair();
+        assert!(!a.check_hold_timer(SimTime::from_secs(10_000)));
+    }
+}

@@ -1,0 +1,34 @@
+//! BGP-4 and BFD substrate.
+//!
+//! Albatross gateways advertise VIP routes to their uplink switches over
+//! eBGP and detect link failure with BFD (§4.3, §5). Containerization
+//! multiplies BGP peers per server until the switch control plane chokes —
+//! beyond ~64 peers, convergence after a restart degrades to tens of
+//! minutes — so Albatross inserts a BGP *proxy* pod: pods speak iBGP to the
+//! proxy, the proxy speaks one eBGP session to the switch (Fig. 7).
+//!
+//! * [`msg`] — RFC 4271 wire codec (OPEN / UPDATE / KEEPALIVE /
+//!   NOTIFICATION) used by the session layer.
+//! * [`fsm`] — the session state machine with hold timers in virtual time.
+//! * [`rib`] — routes in/out, best-path selection, VIP advertisement.
+//! * [`bfd`] — async-mode BFD with the 3-miss detection rule.
+//! * [`switchcp`] — the uplink switch control-plane model whose convergence
+//!   cliff at 64 peers motivates the proxy.
+//! * [`proxy`] — the BGP proxy pod reducing switch peers by 1/m.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfd;
+pub mod fsm;
+pub mod msg;
+pub mod proxy;
+pub mod rib;
+pub mod switchcp;
+
+pub use bfd::{BfdSession, BfdState};
+pub use fsm::{BgpSession, SessionState};
+pub use msg::BgpMessage;
+pub use proxy::BgpProxy;
+pub use rib::{Rib, Route};
+pub use switchcp::SwitchControlPlane;

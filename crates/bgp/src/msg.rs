@@ -1,0 +1,415 @@
+//! BGP-4 message wire codec (RFC 4271, the subset the gateway uses).
+//!
+//! Real byte-level encoding: 16-byte all-ones marker, big-endian length,
+//! type octet, then the per-type body. UPDATE carries withdrawn prefixes,
+//! a minimal path-attribute block (ORIGIN, AS_PATH, NEXT_HOP), and NLRI.
+//! Prefixes use the standard packed form (length octet + just enough
+//! address octets).
+
+use std::net::Ipv4Addr;
+
+use bytes::{BufMut, BytesMut};
+
+/// Error decoding a BGP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpError {
+    /// Buffer shorter than the declared/minimum length.
+    Truncated,
+    /// Marker was not all ones.
+    BadMarker,
+    /// Unknown message type.
+    BadType(u8),
+    /// Malformed body.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for BgpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BgpError::Truncated => write!(f, "message truncated"),
+            BgpError::BadMarker => write!(f, "marker not all-ones"),
+            BgpError::BadType(t) => write!(f, "unknown message type {t}"),
+            BgpError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}
+
+/// A `(prefix, length)` NLRI entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NlriPrefix {
+    /// Network address (host bits zero).
+    pub addr: Ipv4Addr,
+    /// Prefix length.
+    pub len: u8,
+}
+
+impl NlriPrefix {
+    /// Creates an entry, masking host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32);
+        let raw = u32::from(addr);
+        let masked = if len == 0 {
+            0
+        } else {
+            raw & (u32::MAX << (32 - len))
+        };
+        Self {
+            addr: Ipv4Addr::from(masked),
+            len,
+        }
+    }
+
+    /// Packed wire size of this prefix (length octet + significant
+    /// address octets).
+    pub fn encoded_len(&self) -> usize {
+        1 + self.len.div_ceil(8) as usize
+    }
+
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u8(self.len);
+        let octets = self.addr.octets();
+        out.put_slice(&octets[..self.len.div_ceil(8) as usize]);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Self, usize), BgpError> {
+        if buf.is_empty() {
+            return Err(BgpError::Truncated);
+        }
+        let len = buf[0];
+        if len > 32 {
+            return Err(BgpError::Malformed("prefix length"));
+        }
+        let n = len.div_ceil(8) as usize;
+        if buf.len() < 1 + n {
+            return Err(BgpError::Truncated);
+        }
+        let mut octets = [0u8; 4];
+        octets[..n].copy_from_slice(&buf[1..1 + n]);
+        Ok((Self::new(Ipv4Addr::from(octets), len), 1 + n))
+    }
+}
+
+/// The BGP messages the gateway control plane exchanges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// Session establishment.
+    Open {
+        /// Speaker's autonomous system number (2-octet form).
+        asn: u16,
+        /// Negotiated hold time in seconds.
+        hold_time: u16,
+        /// Speaker's BGP identifier.
+        bgp_id: Ipv4Addr,
+    },
+    /// Route advertisement/withdrawal.
+    Update {
+        /// Prefixes withdrawn.
+        withdrawn: Vec<NlriPrefix>,
+        /// NEXT_HOP for the advertised prefixes (None when only
+        /// withdrawing).
+        next_hop: Option<Ipv4Addr>,
+        /// Prefixes advertised.
+        nlri: Vec<NlriPrefix>,
+    },
+    /// Hold-timer refresh.
+    Keepalive,
+    /// Error notification; closes the session.
+    Notification {
+        /// Error code.
+        code: u8,
+        /// Error subcode.
+        subcode: u8,
+    },
+}
+
+const MARKER: [u8; 16] = [0xFF; 16];
+const HEADER_LEN: usize = 19;
+
+impl BgpMessage {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = BytesMut::new();
+        let msg_type = match self {
+            BgpMessage::Open {
+                asn,
+                hold_time,
+                bgp_id,
+            } => {
+                body.put_u8(4); // version
+                body.put_u16(*asn);
+                body.put_u16(*hold_time);
+                body.put_slice(&bgp_id.octets());
+                body.put_u8(0); // no optional params
+                1
+            }
+            BgpMessage::Update {
+                withdrawn,
+                next_hop,
+                nlri,
+            } => {
+                let mut w = BytesMut::new();
+                for p in withdrawn {
+                    p.encode(&mut w);
+                }
+                body.put_u16(w.len() as u16);
+                body.put_slice(&w);
+                let mut attrs = BytesMut::new();
+                if let Some(nh) = next_hop {
+                    // ORIGIN (well-known mandatory): IGP.
+                    attrs.put_slice(&[0x40, 1, 1, 0]);
+                    // AS_PATH: empty.
+                    attrs.put_slice(&[0x40, 2, 0]);
+                    // NEXT_HOP.
+                    attrs.put_slice(&[0x40, 3, 4]);
+                    attrs.put_slice(&nh.octets());
+                }
+                body.put_u16(attrs.len() as u16);
+                body.put_slice(&attrs);
+                for p in nlri {
+                    p.encode(&mut body);
+                }
+                2
+            }
+            BgpMessage::Notification { code, subcode } => {
+                body.put_u8(*code);
+                body.put_u8(*subcode);
+                3
+            }
+            BgpMessage::Keepalive => 4,
+        };
+        let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+        out.put_slice(&MARKER);
+        out.put_u16((HEADER_LEN + body.len()) as u16);
+        out.put_u8(msg_type);
+        out.put_slice(&body);
+        out.to_vec()
+    }
+
+    /// Decodes one message from `buf`, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), BgpError> {
+        if buf.len() < HEADER_LEN {
+            return Err(BgpError::Truncated);
+        }
+        if buf[..16] != MARKER {
+            return Err(BgpError::BadMarker);
+        }
+        let total = u16::from_be_bytes([buf[16], buf[17]]) as usize;
+        if total < HEADER_LEN || buf.len() < total {
+            return Err(BgpError::Truncated);
+        }
+        let body = &buf[HEADER_LEN..total];
+        let msg = match buf[18] {
+            1 => {
+                if body.len() < 10 {
+                    return Err(BgpError::Truncated);
+                }
+                if body[0] != 4 {
+                    return Err(BgpError::Malformed("BGP version"));
+                }
+                BgpMessage::Open {
+                    asn: u16::from_be_bytes([body[1], body[2]]),
+                    hold_time: u16::from_be_bytes([body[3], body[4]]),
+                    bgp_id: Ipv4Addr::new(body[5], body[6], body[7], body[8]),
+                }
+            }
+            2 => {
+                if body.len() < 4 {
+                    return Err(BgpError::Truncated);
+                }
+                let wlen = u16::from_be_bytes([body[0], body[1]]) as usize;
+                if body.len() < 2 + wlen + 2 {
+                    return Err(BgpError::Truncated);
+                }
+                let mut withdrawn = Vec::new();
+                let mut off = 2;
+                let wend = 2 + wlen;
+                while off < wend {
+                    let (p, used) = NlriPrefix::decode(&body[off..wend])?;
+                    withdrawn.push(p);
+                    off += used;
+                }
+                let alen =
+                    u16::from_be_bytes([body[wend], body[wend + 1]]) as usize;
+                let attrs_start = wend + 2;
+                if body.len() < attrs_start + alen {
+                    return Err(BgpError::Truncated);
+                }
+                let next_hop = Self::find_next_hop(&body[attrs_start..attrs_start + alen])?;
+                let mut nlri = Vec::new();
+                let mut off = attrs_start + alen;
+                while off < body.len() {
+                    let (p, used) = NlriPrefix::decode(&body[off..])?;
+                    nlri.push(p);
+                    off += used;
+                }
+                BgpMessage::Update {
+                    withdrawn,
+                    next_hop,
+                    nlri,
+                }
+            }
+            3 => {
+                if body.len() < 2 {
+                    return Err(BgpError::Truncated);
+                }
+                BgpMessage::Notification {
+                    code: body[0],
+                    subcode: body[1],
+                }
+            }
+            4 => BgpMessage::Keepalive,
+            t => return Err(BgpError::BadType(t)),
+        };
+        Ok((msg, total))
+    }
+
+    fn find_next_hop(mut attrs: &[u8]) -> Result<Option<Ipv4Addr>, BgpError> {
+        while attrs.len() >= 3 {
+            let flags = attrs[0];
+            let type_code = attrs[1];
+            let (len, hdr) = if flags & 0x10 != 0 {
+                if attrs.len() < 4 {
+                    return Err(BgpError::Truncated);
+                }
+                (u16::from_be_bytes([attrs[2], attrs[3]]) as usize, 4)
+            } else {
+                (attrs[2] as usize, 3)
+            };
+            if attrs.len() < hdr + len {
+                return Err(BgpError::Truncated);
+            }
+            if type_code == 3 {
+                if len != 4 {
+                    return Err(BgpError::Malformed("NEXT_HOP length"));
+                }
+                let v = &attrs[hdr..hdr + 4];
+                return Ok(Some(Ipv4Addr::new(v[0], v[1], v[2], v[3])));
+            }
+            attrs = &attrs[hdr + len..];
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str, len: u8) -> NlriPrefix {
+        NlriPrefix::new(s.parse().unwrap(), len)
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let m = BgpMessage::Open {
+            asn: 64512,
+            hold_time: 90,
+            bgp_id: "10.0.0.1".parse().unwrap(),
+        };
+        let bytes = m.encode();
+        let (d, used) = BgpMessage::decode(&bytes).unwrap();
+        assert_eq!(d, m);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn keepalive_is_19_bytes() {
+        let bytes = BgpMessage::Keepalive.encode();
+        assert_eq!(bytes.len(), 19);
+        assert_eq!(BgpMessage::decode(&bytes).unwrap().0, BgpMessage::Keepalive);
+    }
+
+    #[test]
+    fn update_roundtrip_with_everything() {
+        let m = BgpMessage::Update {
+            withdrawn: vec![p("192.0.2.0", 24)],
+            next_hop: Some("203.0.113.1".parse().unwrap()),
+            nlri: vec![p("198.51.100.0", 24), p("10.0.0.0", 8), p("0.0.0.0", 0)],
+        };
+        let bytes = m.encode();
+        let (d, _) = BgpMessage::decode(&bytes).unwrap();
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn withdrawal_only_update() {
+        let m = BgpMessage::Update {
+            withdrawn: vec![p("10.1.0.0", 16)],
+            next_hop: None,
+            nlri: vec![],
+        };
+        let (d, _) = BgpMessage::decode(&m.encode()).unwrap();
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let m = BgpMessage::Notification {
+            code: 6,
+            subcode: 2,
+        };
+        assert_eq!(BgpMessage::decode(&m.encode()).unwrap().0, m);
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut bytes = BgpMessage::Keepalive.encode();
+        bytes[0] = 0;
+        assert_eq!(BgpMessage::decode(&bytes).unwrap_err(), BgpError::BadMarker);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = BgpMessage::Open {
+            asn: 1,
+            hold_time: 9,
+            bgp_id: "1.1.1.1".parse().unwrap(),
+        }
+        .encode();
+        assert_eq!(
+            BgpMessage::decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            BgpError::Truncated
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = BgpMessage::Keepalive.encode();
+        bytes[18] = 9;
+        assert_eq!(BgpMessage::decode(&bytes).unwrap_err(), BgpError::BadType(9));
+    }
+
+    #[test]
+    fn prefix_packing_is_minimal() {
+        // /8 packs into 1+1 bytes, /24 into 1+3, /0 into 1+0.
+        assert_eq!(p("10.0.0.0", 8).encoded_len(), 2);
+        assert_eq!(p("198.51.100.0", 24).encoded_len(), 4);
+        assert_eq!(p("0.0.0.0", 0).encoded_len(), 1);
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        assert_eq!(p("10.1.2.3", 16), p("10.1.0.0", 16));
+    }
+
+    #[test]
+    fn two_messages_in_one_buffer() {
+        let mut buf = BgpMessage::Keepalive.encode();
+        buf.extend(
+            BgpMessage::Notification {
+                code: 4,
+                subcode: 0,
+            }
+            .encode(),
+        );
+        let (m1, used) = BgpMessage::decode(&buf).unwrap();
+        assert_eq!(m1, BgpMessage::Keepalive);
+        let (m2, _) = BgpMessage::decode(&buf[used..]).unwrap();
+        assert!(matches!(m2, BgpMessage::Notification { code: 4, .. }));
+    }
+}

@@ -1,0 +1,196 @@
+//! The BGP proxy pod (Fig. 7).
+//!
+//! Direct scheme: every GW pod holds an eBGP session with the uplink
+//! switch → `servers × pods_per_server` switch peers. Proxy scheme: pods
+//! speak iBGP to a proxy pod on their server; only the proxy peers with the
+//! switch → peers drop by 1/m (m = pods per server). Production runs *two*
+//! proxies per server for robustness.
+//!
+//! The proxy re-advertises pod VIP routes upstream unchanged (next-hop
+//! preserved — the proxy is control-plane only; traffic still flows to the
+//! pods directly).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::msg::{BgpMessage, NlriPrefix};
+use crate::rib::{Rib, Route};
+
+/// A BGP proxy pod aggregating one server's GW pods.
+#[derive(Debug)]
+pub struct BgpProxy {
+    /// iBGP peers (pod id → advertised VIPs).
+    pods: HashMap<u32, Vec<NlriPrefix>>,
+    /// Routes learned from pods.
+    rib: Rib,
+    /// Updates queued for the switch.
+    pending_upstream: Vec<BgpMessage>,
+}
+
+impl BgpProxy {
+    /// Creates an empty proxy.
+    pub fn new() -> Self {
+        Self {
+            pods: HashMap::new(),
+            rib: Rib::new(),
+            pending_upstream: Vec::new(),
+        }
+    }
+
+    /// Number of iBGP sessions (one per pod).
+    pub fn ibgp_sessions(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// A pod advertises its VIP prefix with itself as next hop.
+    pub fn pod_advertise(&mut self, pod: u32, prefix: NlriPrefix, next_hop: Ipv4Addr) {
+        self.pods.entry(pod).or_default().push(prefix);
+        self.rib.learn(Route {
+            prefix,
+            peer: pod,
+            next_hop,
+        });
+        self.pending_upstream.push(BgpMessage::Update {
+            withdrawn: vec![],
+            next_hop: Some(next_hop),
+            nlri: vec![prefix],
+        });
+    }
+
+    /// A pod withdraws a VIP (e.g. during migration after the replacement
+    /// pod has advertised — §7's advertise-before-withdraw rule).
+    pub fn pod_withdraw(&mut self, pod: u32, prefix: NlriPrefix) {
+        if let Some(list) = self.pods.get_mut(&pod) {
+            list.retain(|p| *p != prefix);
+        }
+        if self.rib.withdraw(prefix, pod) && self.rib.best(prefix).is_none() {
+            // Only tell the switch when no pod serves the VIP any more.
+            self.pending_upstream.push(BgpMessage::Update {
+                withdrawn: vec![prefix],
+                next_hop: None,
+                nlri: vec![],
+            });
+        }
+    }
+
+    /// A pod died without withdrawing (crash): flush it.
+    pub fn pod_down(&mut self, pod: u32) {
+        let prefixes = self.pods.remove(&pod).unwrap_or_default();
+        for prefix in prefixes {
+            if self.rib.withdraw(prefix, pod) && self.rib.best(prefix).is_none() {
+                self.pending_upstream.push(BgpMessage::Update {
+                    withdrawn: vec![prefix],
+                    next_hop: None,
+                    nlri: vec![],
+                });
+            }
+        }
+    }
+
+    /// Drains the UPDATEs to send over the single eBGP session.
+    pub fn take_upstream_updates(&mut self) -> Vec<BgpMessage> {
+        std::mem::take(&mut self.pending_upstream)
+    }
+
+    /// Routes currently known (for tests/inspection).
+    pub fn rib(&self) -> &Rib {
+        &self.rib
+    }
+}
+
+impl Default for BgpProxy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Switch peers needed WITHOUT the proxy: one eBGP session per pod.
+pub fn switch_peers_direct(servers: usize, pods_per_server: usize) -> usize {
+    servers * pods_per_server
+}
+
+/// Switch peers needed WITH the proxy: one per proxy pod (production: 2
+/// proxies per server for redundancy).
+pub fn switch_peers_with_proxy(servers: usize, proxies_per_server: usize) -> usize {
+    servers * proxies_per_server
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switchcp::{SAFE_PEER_LIMIT, MAX_SERVERS_PER_SWITCH};
+
+    fn vip(n: u8) -> NlriPrefix {
+        NlriPrefix::new(Ipv4Addr::new(203, 0, 113, n), 32)
+    }
+
+    fn nh(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, n)
+    }
+
+    #[test]
+    fn advertise_propagates_upstream_once() {
+        let mut proxy = BgpProxy::new();
+        proxy.pod_advertise(1, vip(1), nh(1));
+        let ups = proxy.take_upstream_updates();
+        assert_eq!(ups.len(), 1);
+        assert!(matches!(
+            &ups[0],
+            BgpMessage::Update { nlri, next_hop: Some(h), .. }
+                if nlri[0] == vip(1) && *h == nh(1)
+        ));
+        assert!(proxy.take_upstream_updates().is_empty(), "drained");
+    }
+
+    #[test]
+    fn withdraw_only_when_last_pod_leaves() {
+        // Two pods back the same VIP (primary/backup). Withdrawing one must
+        // NOT withdraw upstream; withdrawing both must.
+        let mut proxy = BgpProxy::new();
+        proxy.pod_advertise(1, vip(9), nh(1));
+        proxy.pod_advertise(2, vip(9), nh(2));
+        proxy.take_upstream_updates();
+        proxy.pod_withdraw(1, vip(9));
+        assert!(
+            proxy.take_upstream_updates().is_empty(),
+            "VIP still served by pod 2"
+        );
+        proxy.pod_withdraw(2, vip(9));
+        let ups = proxy.take_upstream_updates();
+        assert_eq!(ups.len(), 1);
+        assert!(matches!(&ups[0], BgpMessage::Update { withdrawn, .. } if withdrawn[0] == vip(9)));
+    }
+
+    #[test]
+    fn pod_crash_flushes_its_vips() {
+        let mut proxy = BgpProxy::new();
+        proxy.pod_advertise(1, vip(1), nh(1));
+        proxy.pod_advertise(1, vip(2), nh(1));
+        proxy.take_upstream_updates();
+        proxy.pod_down(1);
+        let ups = proxy.take_upstream_updates();
+        assert_eq!(ups.len(), 2);
+        assert!(proxy.rib().is_empty());
+    }
+
+    #[test]
+    fn proxy_restores_full_density() {
+        // The Fig. 7 arithmetic: 32 servers × 4 pods = 128 direct peers
+        // (over the 64 limit) vs 32 × 2 proxies = 64 (at the limit).
+        let direct = switch_peers_direct(MAX_SERVERS_PER_SWITCH, 4);
+        let proxied = switch_peers_with_proxy(MAX_SERVERS_PER_SWITCH, 2);
+        assert!(direct > SAFE_PEER_LIMIT);
+        assert!(proxied <= SAFE_PEER_LIMIT);
+        // Without the proxy, the limit caps each server at 2 pods (§5).
+        assert_eq!(SAFE_PEER_LIMIT / MAX_SERVERS_PER_SWITCH, 2);
+    }
+
+    #[test]
+    fn ibgp_session_count_tracks_pods() {
+        let mut proxy = BgpProxy::new();
+        for pod in 0..4 {
+            proxy.pod_advertise(pod, vip(pod as u8), nh(pod as u8));
+        }
+        assert_eq!(proxy.ibgp_sessions(), 4);
+    }
+}

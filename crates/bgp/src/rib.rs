@@ -1,0 +1,181 @@
+//! Routing information base.
+//!
+//! Gateways advertise VIP routes (the service addresses tenants reach them
+//! by); the switch's RIB collects routes from all peers and selects best
+//! paths. Selection is deliberately simple — prefer the longest prefix at
+//! lookup, and among identical prefixes the lowest peer id (a stable
+//! stand-in for full BGP path ranking, which the evaluation never
+//! exercises).
+
+use std::collections::HashMap;
+
+use crate::msg::NlriPrefix;
+
+/// A route as learned from a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// The advertised prefix.
+    pub prefix: NlriPrefix,
+    /// Peer the route was learned from.
+    pub peer: u32,
+    /// Advertised next hop.
+    pub next_hop: std::net::Ipv4Addr,
+}
+
+/// The RIB: all learned routes plus best-path selection.
+#[derive(Debug, Default)]
+pub struct Rib {
+    /// prefix → (peer → route).
+    routes: HashMap<NlriPrefix, HashMap<u32, Route>>,
+    route_count: usize,
+}
+
+impl Rib {
+    /// Creates an empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Learns (or refreshes) a route.
+    pub fn learn(&mut self, route: Route) {
+        let by_peer = self.routes.entry(route.prefix).or_default();
+        if by_peer.insert(route.peer, route).is_none() {
+            self.route_count += 1;
+        }
+    }
+
+    /// Withdraws one peer's route for a prefix.
+    pub fn withdraw(&mut self, prefix: NlriPrefix, peer: u32) -> bool {
+        let Some(by_peer) = self.routes.get_mut(&prefix) else {
+            return false;
+        };
+        let removed = by_peer.remove(&peer).is_some();
+        if removed {
+            self.route_count -= 1;
+            if by_peer.is_empty() {
+                self.routes.remove(&prefix);
+            }
+        }
+        removed
+    }
+
+    /// Withdraws everything learned from `peer` (session death). Returns
+    /// the number of routes flushed.
+    pub fn flush_peer(&mut self, peer: u32) -> usize {
+        let mut flushed = 0;
+        self.routes.retain(|_, by_peer| {
+            if by_peer.remove(&peer).is_some() {
+                flushed += 1;
+            }
+            !by_peer.is_empty()
+        });
+        self.route_count -= flushed;
+        flushed
+    }
+
+    /// Best route for an exact prefix: lowest peer id wins (deterministic
+    /// tiebreak standing in for full path selection).
+    pub fn best(&self, prefix: NlriPrefix) -> Option<Route> {
+        self.routes
+            .get(&prefix)?
+            .values()
+            .min_by_key(|r| r.peer)
+            .copied()
+    }
+
+    /// All best routes (one per prefix), unordered.
+    pub fn best_routes(&self) -> Vec<Route> {
+        self.routes
+            .keys()
+            .filter_map(|&p| self.best(p))
+            .collect()
+    }
+
+    /// Total routes (all peers).
+    pub fn len(&self) -> usize {
+        self.route_count
+    }
+
+    /// True when no routes are held.
+    pub fn is_empty(&self) -> bool {
+        self.route_count == 0
+    }
+
+    /// Number of distinct prefixes.
+    pub fn prefixes(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str, len: u8) -> NlriPrefix {
+        NlriPrefix::new(s.parse().unwrap(), len)
+    }
+
+    fn route(p: NlriPrefix, peer: u32) -> Route {
+        Route {
+            prefix: p,
+            peer,
+            next_hop: std::net::Ipv4Addr::new(192, 0, 2, peer as u8),
+        }
+    }
+
+    #[test]
+    fn learn_and_best_path() {
+        let mut rib = Rib::new();
+        let p = pfx("203.0.113.0", 24);
+        rib.learn(route(p, 5));
+        rib.learn(route(p, 2));
+        rib.learn(route(p, 9));
+        assert_eq!(rib.len(), 3);
+        assert_eq!(rib.prefixes(), 1);
+        assert_eq!(rib.best(p).unwrap().peer, 2);
+    }
+
+    #[test]
+    fn withdraw_promotes_next_best() {
+        let mut rib = Rib::new();
+        let p = pfx("203.0.113.0", 24);
+        rib.learn(route(p, 2));
+        rib.learn(route(p, 5));
+        assert!(rib.withdraw(p, 2));
+        assert_eq!(rib.best(p).unwrap().peer, 5);
+        assert!(rib.withdraw(p, 5));
+        assert_eq!(rib.best(p), None);
+        assert!(!rib.withdraw(p, 5), "double withdraw is a no-op");
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn relearn_same_peer_does_not_double_count() {
+        let mut rib = Rib::new();
+        let p = pfx("10.0.0.0", 8);
+        rib.learn(route(p, 1));
+        rib.learn(route(p, 1));
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn flush_peer_removes_everything_it_advertised() {
+        let mut rib = Rib::new();
+        for i in 0..10u8 {
+            rib.learn(route(pfx(&format!("10.{i}.0.0"), 16), 1));
+        }
+        rib.learn(route(pfx("10.0.0.0", 16), 2));
+        assert_eq!(rib.flush_peer(1), 10);
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.best(pfx("10.0.0.0", 16)).unwrap().peer, 2);
+    }
+
+    #[test]
+    fn best_routes_covers_all_prefixes() {
+        let mut rib = Rib::new();
+        rib.learn(route(pfx("10.0.0.0", 8), 1));
+        rib.learn(route(pfx("20.0.0.0", 8), 2));
+        let best = rib.best_routes();
+        assert_eq!(best.len(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Uplink-switch control-plane model.
+//!
+//! §5: "the safe threshold for the maximum number of BGP peers supported by
+//! the switch is 64. Exceeding this threshold can lead to slow route
+//! convergence in abnormal situations (e.g., switch restarts …), requiring
+//! up to tens of minutes" — and a switch fans out to at most 32 Albatross
+//! servers, so without a proxy each server may host at most two gateway
+//! pods.
+//!
+//! The model: re-convergence after a restart serializes per-peer session
+//! re-establishment plus per-route processing on the switch's (weak)
+//! control CPU. Beyond the safe peer limit the retry/timeout storms
+//! compound — modelled as a quadratic penalty on the excess — reproducing
+//! the "seconds below 64 peers, tens of minutes well above" cliff.
+
+use albatross_sim::SimTime;
+
+/// Peers beyond this count trigger the convergence penalty.
+pub const SAFE_PEER_LIMIT: usize = 64;
+
+/// Ports available for Albatross servers on one switch.
+pub const MAX_SERVERS_PER_SWITCH: usize = 32;
+
+/// The uplink switch's control plane.
+#[derive(Debug)]
+pub struct SwitchControlPlane {
+    /// Routes advertised by each registered peer.
+    peer_routes: Vec<usize>,
+    /// Serialized session re-establishment cost per peer.
+    per_peer_ns: u64,
+    /// Route processing cost per route.
+    per_route_ns: u64,
+    /// Quadratic penalty gain on peers beyond the safe limit.
+    overload_gain: f64,
+}
+
+impl SwitchControlPlane {
+    /// Creates the production-calibrated model: 200 ms per peer, 20 µs per
+    /// route, penalty gain 30.
+    pub fn new() -> Self {
+        Self {
+            peer_routes: Vec::new(),
+            per_peer_ns: 200_000_000,
+            per_route_ns: 20_000,
+            overload_gain: 30.0,
+        }
+    }
+
+    /// Registers a BGP peer advertising `routes` prefixes. Returns its id.
+    pub fn add_peer(&mut self, routes: usize) -> usize {
+        self.peer_routes.push(routes);
+        self.peer_routes.len() - 1
+    }
+
+    /// Number of registered peers.
+    pub fn peer_count(&self) -> usize {
+        self.peer_routes.len()
+    }
+
+    /// True when the deployment respects the safe threshold.
+    pub fn within_safe_limit(&self) -> bool {
+        self.peer_count() <= SAFE_PEER_LIMIT
+    }
+
+    /// Time for the switch to fully re-converge after a restart / power
+    /// event / failover: every session re-establishes and every route is
+    /// re-processed, with the overload penalty past the safe limit.
+    pub fn convergence_after_restart(&self) -> SimTime {
+        let peers = self.peer_count();
+        let total_routes: usize = self.peer_routes.iter().sum();
+        let base_ns =
+            peers as u64 * self.per_peer_ns + total_routes as u64 * self.per_route_ns;
+        let penalty = if peers > SAFE_PEER_LIMIT {
+            let excess = (peers - SAFE_PEER_LIMIT) as f64 / SAFE_PEER_LIMIT as f64;
+            1.0 + excess * excess * self.overload_gain
+        } else {
+            1.0
+        };
+        SimTime::from_nanos((base_ns as f64 * penalty) as u64)
+    }
+
+    /// Steady-state keepalive load on the control CPU as a fraction of one
+    /// core (RFC default 30 s keepalive interval; ~2 ms processing each).
+    pub fn keepalive_cpu_load(&self) -> f64 {
+        let per_peer_per_sec = 2.0e-3 / 30.0;
+        self.peer_count() as f64 * per_peer_per_sec
+    }
+}
+
+impl Default for SwitchControlPlane {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_peers(n: usize, routes: usize) -> SwitchControlPlane {
+        let mut cp = SwitchControlPlane::new();
+        for _ in 0..n {
+            cp.add_peer(routes);
+        }
+        cp
+    }
+
+    #[test]
+    fn at_safe_limit_convergence_is_seconds() {
+        let cp = with_peers(64, 4);
+        assert!(cp.within_safe_limit());
+        let t = cp.convergence_after_restart();
+        assert!(
+            t < SimTime::from_secs(30),
+            "64 peers must converge in seconds, got {t}"
+        );
+    }
+
+    #[test]
+    fn well_past_limit_convergence_is_tens_of_minutes() {
+        // 32 servers × 4 pods, no proxy: 128 direct peers.
+        let cp = with_peers(128, 4);
+        assert!(!cp.within_safe_limit());
+        let t = cp.convergence_after_restart();
+        assert!(
+            t >= SimTime::from_secs(600) && t <= SimTime::from_secs(3600),
+            "128 peers must take tens of minutes, got {t}"
+        );
+    }
+
+    #[test]
+    fn convergence_is_monotone_in_peers() {
+        let mut prev = SimTime::ZERO;
+        for n in [8, 32, 64, 80, 128, 256] {
+            let t = with_peers(n, 4).convergence_after_restart();
+            assert!(t > prev, "convergence must grow with peers ({n})");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn routes_contribute_to_convergence() {
+        let few = with_peers(32, 4).convergence_after_restart();
+        let many = with_peers(32, 10_000).convergence_after_restart();
+        assert!(many > few);
+    }
+
+    #[test]
+    fn keepalive_load_scales_linearly() {
+        let l64 = with_peers(64, 1).keepalive_cpu_load();
+        let l128 = with_peers(128, 1).keepalive_cpu_load();
+        assert!((l128 / l64 - 2.0).abs() < 1e-9);
+        assert!(l64 < 0.01, "keepalives alone are cheap");
+    }
+}

@@ -1,0 +1,166 @@
+//! Gateway construction cost and power model (Fig. 15, Tab. 6).
+//!
+//! §6: a new availability zone needs eight gateway-cluster types with four
+//! gateways each — 32 physical boxes in the 1st/2nd-gen world. Albatross
+//! packs those 32 gateways as 4 GW pods per server onto 8 servers. A server
+//! costs 2× a previous-gen box, so the AZ cost halves; per-box power is
+//! 500 W (1st gen), 300 W (2nd gen), 900 W (3rd gen), and the paper's AZ
+//! mix (three 1st-gen clusters, five 2nd-gen clusters) draws 12,000 W vs
+//! 7,200 W for Albatross — a 40% reduction.
+
+use serde::{Deserialize, Serialize};
+
+/// The three gateway generations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GatewayGeneration {
+    /// x86 clusters.
+    Gen1X86,
+    /// Tofino (Sailfish).
+    Gen2Tofino,
+    /// Albatross (x86 + FPGA, containerized).
+    Gen3Albatross,
+}
+
+impl GatewayGeneration {
+    /// Power draw of one physical unit in watts (§6).
+    pub fn unit_power_w(self) -> u32 {
+        match self {
+            GatewayGeneration::Gen1X86 => 500,
+            GatewayGeneration::Gen2Tofino => 300,
+            GatewayGeneration::Gen3Albatross => 900,
+        }
+    }
+
+    /// Relative per-device price (Tab. 6: Sailfish 1×, Albatross 2×).
+    pub fn unit_price(self) -> f64 {
+        match self {
+            GatewayGeneration::Gen1X86 => 1.0,
+            GatewayGeneration::Gen2Tofino => 1.0,
+            GatewayGeneration::Gen3Albatross => 2.0,
+        }
+    }
+}
+
+/// The AZ buildout model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AzCostModel {
+    /// Gateway cluster types per AZ (XGW, IGW, …: 8).
+    pub cluster_types: usize,
+    /// Gateways per cluster (4).
+    pub gateways_per_cluster: usize,
+    /// GW pods per Albatross server (4).
+    pub pods_per_server: usize,
+}
+
+impl AzCostModel {
+    /// The paper's AZ: 8 cluster types × 4 gateways, 4 pods per server.
+    pub fn paper() -> Self {
+        Self {
+            cluster_types: 8,
+            gateways_per_cluster: 4,
+            pods_per_server: 4,
+        }
+    }
+
+    /// Gateways an AZ needs.
+    pub fn gateways_needed(&self) -> usize {
+        self.cluster_types * self.gateways_per_cluster
+    }
+
+    /// Physical boxes in the legacy (one gateway = one box) form.
+    pub fn legacy_boxes(&self) -> usize {
+        self.gateways_needed()
+    }
+
+    /// Albatross servers needed (pods packed per server).
+    pub fn albatross_servers(&self) -> usize {
+        self.gateways_needed().div_ceil(self.pods_per_server)
+    }
+
+    /// Server-count reduction fraction (paper: 75%).
+    pub fn server_reduction(&self) -> f64 {
+        1.0 - self.albatross_servers() as f64 / self.legacy_boxes() as f64
+    }
+
+    /// Relative AZ cost of the legacy buildout (normalized to unit price 1).
+    pub fn legacy_cost(&self) -> f64 {
+        self.legacy_boxes() as f64 * GatewayGeneration::Gen1X86.unit_price()
+    }
+
+    /// Relative AZ cost of the Albatross buildout.
+    pub fn albatross_cost(&self) -> f64 {
+        self.albatross_servers() as f64 * GatewayGeneration::Gen3Albatross.unit_price()
+    }
+
+    /// Cost-reduction fraction (paper: 50%).
+    pub fn cost_reduction(&self) -> f64 {
+        1.0 - self.albatross_cost() / self.legacy_cost()
+    }
+
+    /// Legacy AZ power: the paper's mix of three 1st-gen and five 2nd-gen
+    /// clusters (W).
+    pub fn legacy_power_w(&self) -> u32 {
+        let gen1_clusters = 3;
+        let gen2_clusters = self.cluster_types - gen1_clusters;
+        (gen1_clusters * self.gateways_per_cluster) as u32
+            * GatewayGeneration::Gen1X86.unit_power_w()
+            + (gen2_clusters * self.gateways_per_cluster) as u32
+                * GatewayGeneration::Gen2Tofino.unit_power_w()
+    }
+
+    /// Albatross AZ power (W).
+    pub fn albatross_power_w(&self) -> u32 {
+        self.albatross_servers() as u32 * GatewayGeneration::Gen3Albatross.unit_power_w()
+    }
+
+    /// Power-reduction fraction (paper: 40%).
+    pub fn power_reduction(&self) -> f64 {
+        1.0 - f64::from(self.albatross_power_w()) / f64::from(self.legacy_power_w())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduce() {
+        let m = AzCostModel::paper();
+        assert_eq!(m.gateways_needed(), 32);
+        assert_eq!(m.legacy_boxes(), 32);
+        assert_eq!(m.albatross_servers(), 8);
+        assert!((m.server_reduction() - 0.75).abs() < 1e-9);
+        assert!((m.cost_reduction() - 0.50).abs() < 1e-9);
+        assert_eq!(m.legacy_power_w(), 12_000);
+        assert_eq!(m.albatross_power_w(), 7_200);
+        assert!((m.power_reduction() - 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_servers_round_up() {
+        let m = AzCostModel {
+            cluster_types: 3,
+            gateways_per_cluster: 3,
+            pods_per_server: 4,
+        };
+        assert_eq!(m.gateways_needed(), 9);
+        assert_eq!(m.albatross_servers(), 3);
+    }
+
+    #[test]
+    fn density_one_removes_savings() {
+        let m = AzCostModel {
+            pods_per_server: 1,
+            ..AzCostModel::paper()
+        };
+        assert_eq!(m.albatross_servers(), 32);
+        // 2× device price with no consolidation → costs double.
+        assert!(m.cost_reduction() < 0.0);
+    }
+
+    #[test]
+    fn generation_constants() {
+        assert_eq!(GatewayGeneration::Gen3Albatross.unit_power_w(), 900);
+        assert_eq!(GatewayGeneration::Gen3Albatross.unit_price(), 2.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Advertise-before-withdraw traffic migration (§7).
+//!
+//! "Before the original GW pod withdraws the BGP route, the new GW pod has
+//! to advertise the BGP route first and validate packets are processed
+//! normally for a while (e.g., 30 seconds)" — the make-before-break rule
+//! that keeps a VIP continuously served during pod replacement. The state
+//! machine here enforces the ordering; a test proves the VIP is served by
+//! at least one pod at every instant of the timeline.
+
+use albatross_bgp::msg::NlriPrefix;
+use albatross_bgp::proxy::BgpProxy;
+use albatross_sim::SimTime;
+
+/// Validation period before the old pod may withdraw.
+pub const VALIDATION_PERIOD: SimTime = SimTime::from_secs(30);
+
+/// Migration phases, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// New pod scheduled, not yet advertising.
+    Preparing,
+    /// New pod advertising; both pods serve; validation running.
+    Validating,
+    /// Old pod withdrawn; migration complete.
+    Complete,
+}
+
+/// One VIP migration from `old_pod` to `new_pod`.
+#[derive(Debug)]
+pub struct Migration {
+    vip: NlriPrefix,
+    old_pod: u32,
+    new_pod: u32,
+    phase: MigrationPhase,
+    validation_started: Option<SimTime>,
+}
+
+/// Errors from out-of-order migration steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationError {
+    /// Tried to withdraw before the new pod advertised.
+    WithdrawBeforeAdvertise,
+    /// Tried to withdraw before validation completed.
+    ValidationIncomplete {
+        /// How much validation time remains.
+        remaining: SimTime,
+    },
+    /// Step called in the wrong phase.
+    WrongPhase,
+}
+
+impl Migration {
+    /// Starts a migration plan.
+    pub fn new(vip: NlriPrefix, old_pod: u32, new_pod: u32) -> Self {
+        Self {
+            vip,
+            old_pod,
+            new_pod,
+            phase: MigrationPhase::Preparing,
+            validation_started: None,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> MigrationPhase {
+        self.phase
+    }
+
+    /// Step 1: the new pod advertises the VIP (through the proxy) and
+    /// validation begins.
+    pub fn advertise_new(
+        &mut self,
+        proxy: &mut BgpProxy,
+        next_hop: std::net::Ipv4Addr,
+        now: SimTime,
+    ) -> Result<(), MigrationError> {
+        if self.phase != MigrationPhase::Preparing {
+            return Err(MigrationError::WrongPhase);
+        }
+        proxy.pod_advertise(self.new_pod, self.vip, next_hop);
+        self.validation_started = Some(now);
+        self.phase = MigrationPhase::Validating;
+        Ok(())
+    }
+
+    /// Step 2: after the validation period, the old pod withdraws.
+    pub fn withdraw_old(
+        &mut self,
+        proxy: &mut BgpProxy,
+        now: SimTime,
+    ) -> Result<(), MigrationError> {
+        match self.phase {
+            MigrationPhase::Preparing => Err(MigrationError::WithdrawBeforeAdvertise),
+            MigrationPhase::Complete => Err(MigrationError::WrongPhase),
+            MigrationPhase::Validating => {
+                let started = self.validation_started.expect("set when validating");
+                let elapsed = now.saturating_since(started);
+                if elapsed < VALIDATION_PERIOD.as_nanos() {
+                    return Err(MigrationError::ValidationIncomplete {
+                        remaining: SimTime::from_nanos(
+                            VALIDATION_PERIOD.as_nanos() - elapsed,
+                        ),
+                    });
+                }
+                proxy.pod_withdraw(self.old_pod, self.vip);
+                self.phase = MigrationPhase::Complete;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn vip() -> NlriPrefix {
+        NlriPrefix::new(Ipv4Addr::new(203, 0, 113, 10), 32)
+    }
+
+    fn setup() -> (BgpProxy, Migration) {
+        let mut proxy = BgpProxy::new();
+        // Old pod (1) currently serves the VIP.
+        proxy.pod_advertise(1, vip(), Ipv4Addr::new(10, 0, 0, 1));
+        proxy.take_upstream_updates();
+        (proxy, Migration::new(vip(), 1, 2))
+    }
+
+    #[test]
+    fn happy_path_never_leaves_vip_unserved() {
+        let (mut proxy, mut m) = setup();
+        assert_eq!(m.phase(), MigrationPhase::Preparing);
+        // t=0: new pod advertises.
+        m.advertise_new(&mut proxy, Ipv4Addr::new(10, 0, 0, 2), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(m.phase(), MigrationPhase::Validating);
+        // During validation both pods serve — proxy still has the route.
+        assert!(proxy.rib().best(vip()).is_some());
+        // t=30s: withdraw allowed; the VIP stays served by the new pod.
+        m.withdraw_old(&mut proxy, SimTime::from_secs(30)).unwrap();
+        assert_eq!(m.phase(), MigrationPhase::Complete);
+        let best = proxy.rib().best(vip()).expect("VIP must remain served");
+        assert_eq!(best.peer, 2);
+        // No upstream withdrawal was ever sent — the switch never saw a gap.
+        let ups = proxy.take_upstream_updates();
+        assert!(ups.iter().all(|u| !matches!(
+            u,
+            albatross_bgp::msg::BgpMessage::Update { withdrawn, .. } if !withdrawn.is_empty()
+        )));
+    }
+
+    #[test]
+    fn withdraw_before_advertise_rejected() {
+        let (mut proxy, mut m) = setup();
+        assert_eq!(
+            m.withdraw_old(&mut proxy, SimTime::from_secs(100)),
+            Err(MigrationError::WithdrawBeforeAdvertise)
+        );
+    }
+
+    #[test]
+    fn early_withdraw_rejected_with_remaining_time() {
+        let (mut proxy, mut m) = setup();
+        m.advertise_new(&mut proxy, Ipv4Addr::new(10, 0, 0, 2), SimTime::ZERO)
+            .unwrap();
+        match m.withdraw_old(&mut proxy, SimTime::from_secs(10)) {
+            Err(MigrationError::ValidationIncomplete { remaining }) => {
+                assert_eq!(remaining, SimTime::from_secs(20));
+            }
+            other => panic!("expected incomplete validation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_advertise_rejected() {
+        let (mut proxy, mut m) = setup();
+        m.advertise_new(&mut proxy, Ipv4Addr::new(10, 0, 0, 2), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            m.advertise_new(&mut proxy, Ipv4Addr::new(10, 0, 0, 2), SimTime::ZERO),
+            Err(MigrationError::WrongPhase)
+        );
+    }
+
+    #[test]
+    fn complete_migration_is_terminal() {
+        let (mut proxy, mut m) = setup();
+        m.advertise_new(&mut proxy, Ipv4Addr::new(10, 0, 0, 2), SimTime::ZERO)
+            .unwrap();
+        m.withdraw_old(&mut proxy, SimTime::from_secs(31)).unwrap();
+        assert_eq!(
+            m.withdraw_old(&mut proxy, SimTime::from_secs(32)),
+            Err(MigrationError::WrongPhase)
+        );
+    }
+}

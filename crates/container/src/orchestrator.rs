@@ -1,0 +1,147 @@
+//! ACK-lite pod orchestration.
+//!
+//! A minimal scheduler over a fleet of Albatross servers: place pods (first
+//! fit across servers, NUMA-aware within a server), and model the 10-second
+//! pod bring-up that gives Albatross its elasticity headline (Tab. 6:
+//! "10 seconds" vs Sailfish's "days").
+
+use albatross_sim::SimTime;
+
+use crate::pod::GwPodSpec;
+use crate::server::{AlbatrossServer, PlacementError};
+
+/// Time to pull, start and configure a GW pod (§3.2/§7).
+pub const POD_BRINGUP: SimTime = SimTime::from_secs(10);
+
+/// A scheduled pod.
+#[derive(Debug)]
+pub struct ScheduledPod {
+    /// Fleet-wide pod id.
+    pub id: u32,
+    /// Server index hosting the pod.
+    pub server: usize,
+    /// When scheduling was requested.
+    pub requested_at: SimTime,
+    /// When the pod is ready to advertise routes and take traffic.
+    pub ready_at: SimTime,
+}
+
+/// The fleet orchestrator.
+pub struct Orchestrator {
+    servers: Vec<AlbatrossServer>,
+    pods: Vec<ScheduledPod>,
+    next_id: u32,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator over `n` production servers.
+    pub fn with_servers(n: usize) -> Self {
+        Self {
+            servers: (0..n).map(|_| AlbatrossServer::production()).collect(),
+            pods: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedules a pod at `now`: first server that fits. Returns the
+    /// scheduled record (ready 10 s later).
+    pub fn schedule(
+        &mut self,
+        spec: &GwPodSpec,
+        now: SimTime,
+    ) -> Result<&ScheduledPod, PlacementError> {
+        let mut last_err = PlacementError::NoCores {
+            requested: spec.total_cores(),
+        };
+        for (idx, server) in self.servers.iter_mut().enumerate() {
+            match server.place(spec) {
+                Ok(_) => {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.pods.push(ScheduledPod {
+                        id,
+                        server: idx,
+                        requested_at: now,
+                        ready_at: now + POD_BRINGUP.as_nanos(),
+                    });
+                    return Ok(self.pods.last().expect("just pushed"));
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Pods scheduled so far.
+    pub fn pods(&self) -> &[ScheduledPod] {
+        &self.pods
+    }
+
+    /// Pods ready to serve at `now`.
+    pub fn ready_pods(&self, now: SimTime) -> usize {
+        self.pods.iter().filter(|p| p.ready_at <= now).count()
+    }
+
+    /// Free cores across the fleet.
+    pub fn free_cores(&self) -> usize {
+        self.servers.iter().map(AlbatrossServer::free_cores).sum()
+    }
+
+    /// The servers (for inspection).
+    pub fn servers(&self) -> &[AlbatrossServer] {
+        &self.servers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pod::GwRole;
+
+    fn spec() -> GwPodSpec {
+        // 24 cores: two pods per 48-core NUMA node, four per server.
+        GwPodSpec {
+            role: GwRole::Igw,
+            data_cores: 22,
+            ctrl_cores: 2,
+        }
+    }
+
+    #[test]
+    fn pod_is_ready_after_ten_seconds() {
+        let mut orch = Orchestrator::with_servers(2);
+        let t = SimTime::from_secs(100);
+        let pod = orch.schedule(&spec(), t).unwrap();
+        assert_eq!(pod.ready_at, SimTime::from_secs(110));
+        assert_eq!(orch.ready_pods(SimTime::from_secs(109)), 0);
+        assert_eq!(orch.ready_pods(SimTime::from_secs(110)), 1);
+    }
+
+    #[test]
+    fn pods_spill_to_next_server() {
+        let mut orch = Orchestrator::with_servers(2);
+        // 4 × 24-core pods fill server 0 (96 cores), the 5th spills.
+        for _ in 0..4 {
+            let p = orch.schedule(&spec(), SimTime::ZERO).unwrap();
+            assert_eq!(p.server, 0);
+        }
+        let fifth = orch.schedule(&spec(), SimTime::ZERO).unwrap();
+        assert_eq!(fifth.server, 1);
+    }
+
+    #[test]
+    fn fleet_exhaustion_errors() {
+        let mut orch = Orchestrator::with_servers(1);
+        for _ in 0..4 {
+            orch.schedule(&spec(), SimTime::ZERO).unwrap();
+        }
+        assert!(orch.schedule(&spec(), SimTime::ZERO).is_err());
+        assert_eq!(orch.free_cores(), 0);
+    }
+
+    #[test]
+    fn elasticity_beats_physical_clusters_by_orders_of_magnitude() {
+        // Tab. 6: 10 s vs days. One day = 86,400 s.
+        assert!(POD_BRINGUP.as_nanos() * 1000 < SimTime::from_secs(86_400).as_nanos());
+    }
+}

@@ -1,0 +1,141 @@
+//! GW pod specification and state.
+//!
+//! "A single-role gateway can be deployed within a single GW pod" (§3.2).
+//! A pod requests data cores, ctrl cores, and a service role; the platform
+//! derives its NIC resource share (reorder queues proportional to cores,
+//! 4 VFs, one queue pair per data core).
+
+use albatross_gateway::services::ServiceKind;
+use serde::{Deserialize, Serialize};
+
+/// The eight gateway cluster roles an AZ deploys (§6: "XGW, IGW, VGW,
+/// etc."), mapped onto the service kinds the data plane implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GwRole {
+    /// Cross-VPC gateway.
+    Xgw,
+    /// Internet gateway.
+    Igw,
+    /// VPN/IDC gateway.
+    Vgw,
+    /// Cloud-service gateway.
+    Cgw,
+    /// Load-balancer gateway.
+    Slb,
+    /// NAT gateway.
+    Nat,
+    /// Transit router.
+    Tr,
+    /// Private-link gateway.
+    Pvl,
+}
+
+impl GwRole {
+    /// All eight roles (one cluster each per AZ, Fig. 15).
+    pub const ALL: [GwRole; 8] = [
+        GwRole::Xgw,
+        GwRole::Igw,
+        GwRole::Vgw,
+        GwRole::Cgw,
+        GwRole::Slb,
+        GwRole::Nat,
+        GwRole::Tr,
+        GwRole::Pvl,
+    ];
+
+    /// The dominant data-plane service this role runs.
+    pub fn service(self) -> ServiceKind {
+        match self {
+            GwRole::Xgw | GwRole::Tr => ServiceKind::VpcVpc,
+            GwRole::Igw | GwRole::Slb | GwRole::Nat => ServiceKind::VpcInternet,
+            GwRole::Vgw => ServiceKind::VpcIdc,
+            GwRole::Cgw | GwRole::Pvl => ServiceKind::VpcCloudService,
+        }
+    }
+}
+
+/// A pod's resource request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GwPodSpec {
+    /// Role (determines the service pipeline).
+    pub role: GwRole,
+    /// Data (packet-processing) cores.
+    pub data_cores: usize,
+    /// Control-plane cores.
+    pub ctrl_cores: usize,
+}
+
+impl GwPodSpec {
+    /// The evaluation's standard pod: 46 cores = 44 data + 2 ctrl (§6).
+    pub fn evaluation_standard(role: GwRole) -> Self {
+        Self {
+            role,
+            data_cores: 44,
+            ctrl_cores: 2,
+        }
+    }
+
+    /// Total cores requested.
+    pub fn total_cores(&self) -> usize {
+        self.data_cores + self.ctrl_cores
+    }
+
+    /// Reorder queues this pod is entitled to: proportional to data cores,
+    /// clamped to 1–8 (§4.1 + §5: "a 40-core GW pod is assigned twice as
+    /// many reorder queues as a 20-core GW pod").
+    pub fn reorder_queues(&self) -> usize {
+        (self.data_cores / 6).clamp(1, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_pod_shape() {
+        let p = GwPodSpec::evaluation_standard(GwRole::Igw);
+        assert_eq!(p.total_cores(), 46);
+        assert_eq!(p.data_cores, 44);
+        assert_eq!(p.service(), ServiceKind::VpcInternet);
+    }
+
+    #[test]
+    fn reorder_queue_proportionality() {
+        // The paper's example: 40-core pod gets 2× the queues of a 20-core.
+        let big = GwPodSpec {
+            role: GwRole::Xgw,
+            data_cores: 40,
+            ctrl_cores: 2,
+        };
+        let small = GwPodSpec {
+            role: GwRole::Xgw,
+            data_cores: 20,
+            ctrl_cores: 2,
+        };
+        assert_eq!(big.reorder_queues(), 2 * small.reorder_queues());
+        assert!(big.reorder_queues() <= 8);
+        // A tiny pod still gets one queue.
+        let tiny = GwPodSpec {
+            role: GwRole::Xgw,
+            data_cores: 2,
+            ctrl_cores: 1,
+        };
+        assert_eq!(tiny.reorder_queues(), 1);
+    }
+
+    #[test]
+    fn all_roles_have_services() {
+        for role in GwRole::ALL {
+            let _ = role.service(); // total function, no panics
+        }
+        assert_eq!(GwRole::ALL.len(), 8);
+    }
+}
+
+impl GwPodSpec {
+    /// Shorthand for the role's service kind.
+    pub fn service(&self) -> ServiceKind {
+        self.role.service()
+    }
+}

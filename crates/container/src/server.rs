@@ -1,0 +1,232 @@
+//! The Albatross server model.
+//!
+//! §3.2 / Fig. 2: dual-NUMA, 48 cores + 512 GB DDR5 per node, four
+//! 2×100 Gbps FPGA SmartNICs (two per NUMA, 800 Gbps total I/O), one
+//! 2×25 Gbps management NIC. Pods must fit inside one NUMA node (§7), get
+//! 4 VFs across that node's four ports, one queue pair per data core, and
+//! reorder queues in proportion to cores.
+
+use albatross_fpga::sriov::{SriovAllocator, VfConfig};
+use albatross_mem::NumaTopology;
+
+use crate::pod::GwPodSpec;
+
+/// Why a pod could not be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Neither NUMA node has enough free cores.
+    NoCores {
+        /// Cores requested.
+        requested: usize,
+    },
+    /// The node's NICs are out of VF slots.
+    NoVfs,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoCores { requested } => {
+                write!(f, "no NUMA node has {requested} free cores")
+            }
+            PlacementError::NoVfs => write!(f, "NIC VF slots exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A placed pod's resource grant.
+#[derive(Debug)]
+pub struct PodPlacement {
+    /// Pod id on this server.
+    pub pod_id: u32,
+    /// NUMA node hosting all the pod's cores and memory.
+    pub numa_node: usize,
+    /// Global core ids granted.
+    pub cores: Vec<usize>,
+    /// The pod's 4 VFs.
+    pub vfs: Vec<VfConfig>,
+    /// Reorder queues granted.
+    pub reorder_queues: usize,
+}
+
+/// One physical Albatross server.
+pub struct AlbatrossServer {
+    topo: NumaTopology,
+    /// Free core ids per NUMA node.
+    free_cores: Vec<Vec<usize>>,
+    /// SR-IOV allocator per NUMA node (its two NICs / four ports).
+    sriov: Vec<SriovAllocator>,
+    next_pod_id: u32,
+    placements: Vec<PodPlacement>,
+}
+
+impl AlbatrossServer {
+    /// A production server: 2 × 48 cores, 8 VFs per PF.
+    pub fn production() -> Self {
+        Self::new(NumaTopology::albatross_server(), 8)
+    }
+
+    /// Creates a server over `topo` with `vfs_per_pf` VF slots per port.
+    pub fn new(topo: NumaTopology, vfs_per_pf: u8) -> Self {
+        let free_cores = (0..topo.nodes())
+            .map(|n| {
+                let base = n * topo.cores_per_node();
+                (base..base + topo.cores_per_node()).rev().collect()
+            })
+            .collect();
+        let sriov = (0..topo.nodes())
+            .map(|_| SriovAllocator::new(vfs_per_pf))
+            .collect();
+        Self {
+            topo,
+            free_cores,
+            sriov,
+            next_pod_id: 0,
+            placements: Vec::new(),
+        }
+    }
+
+    /// Places a pod, strictly inside one NUMA node. Fills the emptier node
+    /// first for balance.
+    pub fn place(&mut self, spec: &GwPodSpec) -> Result<&PodPlacement, PlacementError> {
+        let need = spec.total_cores();
+        // Choose the node with the most free cores that still fits.
+        let node = (0..self.topo.nodes())
+            .filter(|&n| self.free_cores[n].len() >= need)
+            .max_by_key(|&n| self.free_cores[n].len())
+            .ok_or(PlacementError::NoCores { requested: need })?;
+        if self.sriov[node].remaining_pod_capacity() == 0 {
+            return Err(PlacementError::NoVfs);
+        }
+        let pod_id = self.next_pod_id;
+        let cores: Vec<usize> = (0..need)
+            .map(|_| self.free_cores[node].pop().expect("checked length"))
+            .collect();
+        let vfs = self.sriov[node]
+            .allocate_pod(pod_id, spec.data_cores as u16)
+            .map_err(|_| PlacementError::NoVfs)?;
+        self.next_pod_id += 1;
+        self.placements.push(PodPlacement {
+            pod_id,
+            numa_node: node,
+            cores,
+            vfs,
+            reorder_queues: spec.reorder_queues(),
+        });
+        Ok(self.placements.last().expect("just pushed"))
+    }
+
+    /// Placed pods.
+    pub fn placements(&self) -> &[PodPlacement] {
+        &self.placements
+    }
+
+    /// Free cores on `node`.
+    pub fn free_cores_on(&self, node: usize) -> usize {
+        self.free_cores[node].len()
+    }
+
+    /// Total free cores.
+    pub fn free_cores(&self) -> usize {
+        self.free_cores.iter().map(Vec::len).sum()
+    }
+
+    /// The NUMA topology.
+    pub fn topology(&self) -> &NumaTopology {
+        &self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pod::GwRole;
+
+    fn spec(cores: usize) -> GwPodSpec {
+        GwPodSpec {
+            role: GwRole::Xgw,
+            data_cores: cores - 2,
+            ctrl_cores: 2,
+        }
+    }
+
+    #[test]
+    fn evaluation_setup_two_46_core_pods() {
+        // §6: "we allocate two 46-core GW pods. Each pod is within a NUMA
+        // node" — one per node; a third cannot fit.
+        let mut s = AlbatrossServer::production();
+        let a = s.place(&GwPodSpec::evaluation_standard(GwRole::Igw)).unwrap().numa_node;
+        let b = s.place(&GwPodSpec::evaluation_standard(GwRole::Igw)).unwrap().numa_node;
+        assert_ne!(a, b);
+        assert!(s.place(&GwPodSpec::evaluation_standard(GwRole::Igw)).is_err());
+    }
+
+    #[test]
+    fn fig15_density_four_pods_per_server() {
+        // Fig. 15: 4 GW pods per Albatross server (two 23-core pods per
+        // NUMA node).
+        let mut s = AlbatrossServer::production();
+        for _ in 0..4 {
+            s.place(&spec(23)).unwrap();
+        }
+        assert_eq!(s.placements().len(), 4);
+        let on_node0 = s
+            .placements()
+            .iter()
+            .filter(|p| p.numa_node == 0)
+            .count();
+        assert_eq!(on_node0, 2, "two pods per NUMA node");
+    }
+
+    #[test]
+    fn pods_never_span_numa_nodes() {
+        let mut s = AlbatrossServer::production();
+        let p = s.place(&spec(46)).unwrap();
+        let node = p.numa_node;
+        let cores = p.cores.clone();
+        for &c in &cores {
+            assert_eq!(s.topology().node_of_core(c), node);
+        }
+    }
+
+    #[test]
+    fn placement_balances_nodes() {
+        let mut s = AlbatrossServer::production();
+        let a = s.place(&spec(46)).unwrap().numa_node;
+        let b = s.placements().last().unwrap().numa_node;
+        assert_eq!(a, b);
+        let second = s.place(&spec(46)).unwrap().numa_node;
+        assert_ne!(a, second, "second pod must go to the other node");
+    }
+
+    #[test]
+    fn oversized_pod_rejected() {
+        let mut s = AlbatrossServer::production();
+        assert_eq!(
+            s.place(&spec(49)).unwrap_err(),
+            PlacementError::NoCores { requested: 49 }
+        );
+    }
+
+    #[test]
+    fn capacity_exhausts() {
+        let mut s = AlbatrossServer::production();
+        // 4 × 24-core pods per node = 96 cores total.
+        for _ in 0..4 {
+            s.place(&spec(24)).unwrap();
+        }
+        assert_eq!(s.free_cores(), 0);
+        assert!(s.place(&spec(24)).is_err());
+    }
+
+    #[test]
+    fn reorder_queue_grant_follows_spec() {
+        let mut s = AlbatrossServer::production();
+        let p = s.place(&GwPodSpec::evaluation_standard(GwRole::Igw)).unwrap();
+        assert_eq!(p.reorder_queues, 7); // 44/6 = 7
+        assert_eq!(p.vfs.len(), 4);
+        assert_eq!(p.vfs[0].queue_pairs, 44);
+    }
+}

@@ -1,0 +1,852 @@
+//! The end-to-end GW pod simulation.
+//!
+//! [`PodSimulation`] wires every subsystem of the reproduction together in
+//! one discrete-event loop, mirroring Fig. 1's data path:
+//!
+//! ```text
+//! workload source ──► [rate limiter] ──► RX pipeline (basic/overload/PLB
+//!   dispatch/DMA) ──► per-core RX queues ──► service pipeline over the
+//!   L3/DRAM model ──► TX DMA ──► plb_reorder (legal + reorder check)
+//!   ──► egress (latency recorded)
+//! ```
+//!
+//! Every bench harness that reports end-to-end behaviour (Tab. 3, Fig. 4,
+//! 5, 8, 9, 10, 11, 12, 13, 14, 16, 17) drives this loop with a different
+//! [`SimConfig`] and traffic source. Runs are deterministic per seed.
+
+use std::collections::HashMap;
+
+use albatross_core::engine::{Egress, IngressDecision, LbMode, PlbEngine, PlbEngineConfig};
+use albatross_core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter};
+use albatross_core::reorder::ReorderConfig;
+use albatross_fpga::basic::PayloadBuffer;
+use albatross_fpga::dma::DmaEngine;
+use albatross_fpga::pipeline::{Direction, NicPipelineLatency};
+use albatross_fpga::pkt::{DeliveryMode, NicPacket};
+use albatross_gateway::services::{PacketAction, ServiceKind, ServicePipeline};
+use albatross_gateway::worker::DataCore;
+use albatross_mem::tables::CloudGatewayTables;
+use albatross_mem::{DramModel, MemorySystem, NumaBalancing, NumaTopology, Placement, SharedCache};
+use albatross_sim::{Engine, LatencyModel, SimRng, SimTime};
+use albatross_telemetry::{CoreUtilization, LatencyHistogram, RateMeter};
+use albatross_workload::{PacketDesc, TrafficSource};
+
+/// Full configuration of one simulated pod.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Data cores.
+    pub data_cores: usize,
+    /// Service pipeline the pod runs.
+    pub service: ServiceKind,
+    /// PLB or RSS.
+    pub mode: LbMode,
+    /// Order-preserving queues (ignored in RSS mode).
+    pub ordqs: usize,
+    /// Reorder FIFO/BUF/BITMAP depth.
+    pub reorder_depth: usize,
+    /// Reorder head timeout in ns.
+    pub reorder_timeout_ns: u64,
+    /// NIC-side tenant rate limiter, if enabled.
+    pub rate_limiter: Option<RateLimiterConfig>,
+    /// Per-core RX descriptor-queue depth.
+    pub rx_queue_depth: usize,
+    /// Shared L3 size in bytes.
+    pub cache_bytes: usize,
+    /// L3 associativity.
+    pub cache_ways: usize,
+    /// DDR5 frequency in MHz.
+    pub mem_freq_mhz: u32,
+    /// Working-set scale (1.0 = production, several GB).
+    pub table_scale: f64,
+    /// CPU/memory placement.
+    pub placement: Placement,
+    /// Kernel automatic NUMA balancing on/off (Fig. 17).
+    pub numa_balancing: bool,
+    /// Nominal load (0–1) fed to the NUMA-balancing stall model.
+    pub nominal_load: f64,
+    /// Drop flows with `hash % m == 0` at the ACL (Fig. 12 loss source).
+    pub acl_drop_modulus: Option<u64>,
+    /// Whether ACL drops set the PLB drop flag (true in production;
+    /// false = Fig. 12 baseline).
+    pub use_drop_flag: bool,
+    /// Extra software-stack latency per packet (driver batching, deferred
+    /// TX, corner-case code paths). Delays the packet's return to the NIC
+    /// without occupying the data core.
+    pub extra_jitter: Option<LatencyModel>,
+    /// Core-utilization sampling window.
+    pub sample_window: SimTime,
+    /// Window of the per-tenant delivered-rate meters (Fig. 13/14 use
+    /// compressed time, so smaller windows than 1 s).
+    pub tenant_rate_window: SimTime,
+    /// Delivery mode for data packets (appendix A: header-only delivery
+    /// keeps payloads in the NIC buffer and saves PCIe bandwidth).
+    pub delivery: DeliveryMode,
+    /// NIC payload-buffer capacity in bytes (used in header-only mode).
+    pub payload_buffer_bytes: u64,
+    /// Statistics reset point (cache warm-up).
+    pub warmup: SimTime,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Sensible defaults for a pod of `data_cores` running `service`:
+    /// production reorder geometry, production L3/DRAM, PLB mode.
+    pub fn new(data_cores: usize, service: ServiceKind) -> Self {
+        Self {
+            data_cores,
+            service,
+            mode: LbMode::Plb,
+            ordqs: (data_cores / 6).clamp(1, 8),
+            reorder_depth: 4096,
+            reorder_timeout_ns: 100_000,
+            rate_limiter: None,
+            rx_queue_depth: 1024,
+            cache_bytes: 192 * 1024 * 1024,
+            cache_ways: 16,
+            mem_freq_mhz: 4800,
+            table_scale: 1.0,
+            placement: Placement::IntraNuma,
+            numa_balancing: false,
+            nominal_load: 0.5,
+            acl_drop_modulus: None,
+            use_drop_flag: true,
+            extra_jitter: None,
+            sample_window: SimTime::from_millis(10),
+            tenant_rate_window: SimTime::from_secs(1),
+            delivery: DeliveryMode::FullPacket,
+            payload_buffer_bytes: 64 * 1024 * 1024,
+            warmup: SimTime::ZERO,
+            seed: 1,
+        }
+    }
+}
+
+/// Everything measured during a run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Measured interval (after warm-up) in seconds.
+    pub measured_secs: f64,
+    /// Packets offered by the source (after warm-up).
+    pub offered: u64,
+    /// Packets fully processed by data cores.
+    pub processed: u64,
+    /// Packets transmitted (in order + best effort).
+    pub transmitted: u64,
+    /// In-order transmissions.
+    pub in_order: u64,
+    /// Out-of-order (best-effort) transmissions.
+    pub out_of_order: u64,
+    /// Dropped by the NIC rate limiter.
+    pub dropped_ratelimit: u64,
+    /// Dropped at ingress (reorder FIFO full).
+    pub dropped_ingress_full: u64,
+    /// Dropped at per-core RX queues.
+    pub dropped_rx_queue: u64,
+    /// Dropped by the ACL on the CPU.
+    pub dropped_acl: u64,
+    /// Reorder head timeouts (HOL events).
+    pub hol_timeouts: u64,
+    /// Reorder slots released via the drop flag.
+    pub drop_flag_releases: u64,
+    /// End-to-end (NIC in → NIC out) latency.
+    pub latency: LatencyHistogram,
+    /// Per-core utilization samples.
+    pub core_util: CoreUtilization,
+    /// Packets processed per core (after warm-up).
+    pub per_core_processed: Vec<u64>,
+    /// L3 hit rate over the measured interval.
+    pub cache_hit_rate: f64,
+    /// Delivered packets per tenant over time (1 s windows).
+    pub tenant_delivered: HashMap<u32, RateMeter>,
+    /// Bytes moved NIC→CPU over PCIe (whole run — the header-only savings
+    /// metric of appendix A).
+    pub pcie_rx_bytes: u64,
+    /// Bytes moved CPU→NIC over PCIe (whole run).
+    pub pcie_tx_bytes: u64,
+    /// Header-only packets whose payload was reaped before their late
+    /// return (headers dropped at the legal check).
+    pub headers_dropped: u64,
+    /// Payloads force-released by the timeout reaper.
+    pub payloads_reaped: u64,
+}
+
+impl SimReport {
+    /// Aggregate forwarding throughput in packets/second.
+    pub fn throughput_pps(&self) -> f64 {
+        self.processed as f64 / self.measured_secs
+    }
+
+    /// Per-core throughput in packets/second.
+    pub fn per_core_pps(&self) -> f64 {
+        self.throughput_pps() / self.per_core_processed.len() as f64
+    }
+
+    /// Fraction of transmitted packets that left out of order (Fig. 11's
+    /// "disordering rate").
+    pub fn disorder_rate(&self) -> f64 {
+        if self.transmitted == 0 {
+            0.0
+        } else {
+            self.out_of_order as f64 / self.transmitted as f64
+        }
+    }
+}
+
+enum Ev {
+    /// Next packet from the source arrives at the NIC port.
+    Arrival(PacketDesc),
+    /// DMA delivered a packet descriptor into a core's RX queue.
+    Deliver { core: usize, pkt: NicPacket },
+    /// A core finished its current packet (core becomes free).
+    CoreDone { core: usize },
+    /// A processed packet reaches the NIC's TX path. Separate from
+    /// `CoreDone` because software-stack jitter (driver batching, deferred
+    /// TX) delays the packet without occupying the data core.
+    CpuReturn { pkt: NicPacket, action: PacketAction },
+    /// Timeout-driven reorder check.
+    ReorderPoll,
+    /// Periodic core-utilization sample.
+    Sample,
+    /// Statistics reset after cache warm-up.
+    WarmupReset,
+}
+
+/// The assembled simulation.
+pub struct PodSimulation {
+    cfg: SimConfig,
+    engine: Engine<Ev>,
+    lb: PlbEngine,
+    limiter: Option<TwoStageRateLimiter>,
+    cores: Vec<DataCore>,
+    in_flight: Vec<Option<(NicPacket, PacketAction, u64)>>,
+    service: ServicePipeline,
+    /// Software-stack delay applied between core completion and the NIC TX
+    /// path (does not occupy the core).
+    stack_jitter: Option<LatencyModel>,
+    tables: CloudGatewayTables,
+    mem: MemorySystem,
+    nb: NumaBalancing,
+    rng: SimRng,
+    nic_latency: NicPipelineLatency,
+    dma: DmaEngine,
+    payload_buffer: PayloadBuffer,
+    /// `(ordq, psn)` → packet id for in-flight header-only packets, so
+    /// reorder timeouts can reap the retained payload.
+    split_index: HashMap<(u8, u32), u64>,
+    next_pkt_id: u64,
+    // measurement
+    offered: u64,
+    dropped_ratelimit: u64,
+    dropped_acl: u64,
+    transmitted: u64,
+    in_order: u64,
+    out_of_order: u64,
+    latency: LatencyHistogram,
+    core_util: CoreUtilization,
+    tenant_delivered: HashMap<u32, RateMeter>,
+    poll_at: Option<SimTime>,
+    // warm-up snapshots
+    warm_processed_base: Vec<u64>,
+    warm_counters: WarmBase,
+}
+
+#[derive(Debug, Default, Clone)]
+struct WarmBase {
+    offered: u64,
+    dropped_ratelimit: u64,
+    dropped_acl: u64,
+    transmitted: u64,
+    in_order: u64,
+    out_of_order: u64,
+    hol: u64,
+    drop_flag: u64,
+    ingress_full: u64,
+    rx_drops: u64,
+}
+
+impl PodSimulation {
+    /// Builds the simulation from `cfg`.
+    pub fn new(cfg: SimConfig) -> Self {
+        let tables = CloudGatewayTables::scaled(cfg.table_scale);
+        let mut service = ServicePipeline::new(cfg.service, &tables);
+        if let Some(m) = cfg.acl_drop_modulus {
+            service = service.with_acl_drop_modulus(m);
+        }
+        let topo = NumaTopology::albatross_server();
+        let mem = MemorySystem::new(
+            SharedCache::new(cfg.cache_bytes, cfg.cache_ways),
+            DramModel::new(cfg.mem_freq_mhz),
+        )
+        .with_placement(&topo, cfg.placement);
+        let lb = PlbEngine::new(PlbEngineConfig {
+            data_cores: cfg.data_cores,
+            ordqs: cfg.ordqs,
+            reorder: ReorderConfig {
+                depth: cfg.reorder_depth,
+                timeout_ns: cfg.reorder_timeout_ns,
+            },
+            mode: cfg.mode,
+            auto_fallback_hol_timeouts: None,
+        });
+        Self {
+            engine: Engine::new(),
+            lb,
+            limiter: cfg.rate_limiter.clone().map(TwoStageRateLimiter::new),
+            cores: (0..cfg.data_cores)
+                .map(|i| DataCore::new(i, cfg.rx_queue_depth))
+                .collect(),
+            in_flight: (0..cfg.data_cores).map(|_| None).collect(),
+            service,
+            stack_jitter: cfg.extra_jitter.clone(),
+            tables,
+            mem,
+            nb: NumaBalancing::new(cfg.data_cores, cfg.numa_balancing),
+            rng: SimRng::seed_from(cfg.seed),
+            nic_latency: NicPipelineLatency::production(),
+            dma: DmaEngine::production(),
+            payload_buffer: PayloadBuffer::new(cfg.payload_buffer_bytes),
+            split_index: HashMap::new(),
+            next_pkt_id: 0,
+            offered: 0,
+            dropped_ratelimit: 0,
+            dropped_acl: 0,
+            transmitted: 0,
+            in_order: 0,
+            out_of_order: 0,
+            latency: LatencyHistogram::new(),
+            core_util: CoreUtilization::new(cfg.data_cores),
+            tenant_delivered: HashMap::new(),
+            poll_at: None,
+            warm_processed_base: vec![0; cfg.data_cores],
+            warm_counters: WarmBase::default(),
+            cfg,
+        }
+    }
+
+    /// Direct access to the rate limiter (to pre-configure bypass tenants).
+    pub fn limiter_mut(&mut self) -> Option<&mut TwoStageRateLimiter> {
+        self.limiter.as_mut()
+    }
+
+    /// Runs `source` until `duration` of virtual time has elapsed, then
+    /// returns the report for the post-warm-up interval.
+    pub fn run(mut self, source: &mut dyn TrafficSource, duration: SimTime) -> SimReport {
+        if let Some(first) = source.next_packet() {
+            self.engine.schedule(first.time, Ev::Arrival(first));
+        }
+        if self.cfg.warmup > SimTime::ZERO {
+            self.engine.schedule(self.cfg.warmup, Ev::WarmupReset);
+        }
+        self.engine
+            .schedule(self.cfg.sample_window, Ev::Sample);
+
+        while let Some((now, ev)) = self.engine.pop_until(duration) {
+            match ev {
+                Ev::Arrival(desc) => {
+                    self.on_arrival(desc, now);
+                    if let Some(next) = source.next_packet() {
+                        if next.time <= duration {
+                            self.engine.schedule(next.time, Ev::Arrival(next));
+                        }
+                    }
+                }
+                Ev::Deliver { core, pkt } => {
+                    self.cores[core].enqueue(pkt);
+                    self.maybe_start_core(core, now);
+                }
+                Ev::CoreDone { core } => {
+                    let (pkt, action, extra_ns) = self.in_flight[core]
+                        .take()
+                        .expect("CoreDone without in-flight packet");
+                    self.engine
+                        .schedule(now + extra_ns, Ev::CpuReturn { pkt, action });
+                    self.maybe_start_core(core, now);
+                }
+                Ev::CpuReturn { pkt, action } => {
+                    self.on_cpu_return(pkt, action, now);
+                }
+                Ev::ReorderPoll => {
+                    self.poll_at = None;
+                    let egresses = self.lb.poll(now);
+                    self.record_egresses(egresses, now);
+                    self.reap_timed_out_payloads();
+                    self.schedule_poll(now);
+                }
+                Ev::Sample => {
+                    let window = self.cfg.sample_window.as_nanos();
+                    let utils: Vec<f64> = self
+                        .cores
+                        .iter_mut()
+                        .map(|c| c.sample_utilization(window))
+                        .collect();
+                    self.core_util.sample(now.as_nanos(), &utils);
+                    if now + window <= duration {
+                        self.engine.schedule(now + window, Ev::Sample);
+                    }
+                }
+                Ev::WarmupReset => self.warm_reset(),
+            }
+        }
+        // Final reorder drain at the horizon.
+        let egresses = self.lb.poll(duration);
+        self.record_egresses(egresses, duration);
+        self.build_report(duration)
+    }
+
+    fn on_arrival(&mut self, desc: PacketDesc, now: SimTime) {
+        self.offered += 1;
+        // Gateway overload protection runs first, inside the NIC.
+        if let (Some(limiter), Some(vni)) = (self.limiter.as_mut(), desc.vni) {
+            if !limiter.process(vni, now, &mut self.rng).passed() {
+                self.dropped_ratelimit += 1;
+                return;
+            }
+        }
+        let id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        let mut pkt = NicPacket::data(id, desc.tuple, desc.vni, desc.len_bytes, now);
+        if self.cfg.delivery == DeliveryMode::HeaderOnly {
+            // Appendix A: split the payload into the NIC buffer; fall back
+            // to full delivery when the buffer is out of space.
+            pkt.delivery = DeliveryMode::HeaderOnly;
+            if !self.payload_buffer.store(id, pkt.retained_payload_bytes()) {
+                pkt.delivery = DeliveryMode::FullPacket;
+            }
+        }
+        // Dispatch decision happens after the pre-DMA RX stages; the DMA
+        // stage's latency depends on how many bytes cross PCIe.
+        let pre_dma_ns = self.nic_latency.total_ns(Direction::Rx) - 3_170;
+        let dispatch_at = now + pre_dma_ns;
+        match self.lb.ingress(&mut pkt, dispatch_at) {
+            IngressDecision::Dropped => {
+                self.payload_buffer.reap(id);
+                self.schedule_poll(now);
+            }
+            IngressDecision::ToCore(core) => {
+                if let Some(meta) = pkt.meta {
+                    if pkt.delivery == DeliveryMode::HeaderOnly {
+                        self.split_index.insert((meta.ordq, meta.psn), id);
+                    }
+                }
+                let dma_ns = self.dma.transfer_rx(&pkt);
+                self.engine
+                    .schedule(now + pre_dma_ns + dma_ns, Ev::Deliver { core, pkt });
+                self.schedule_poll(now);
+            }
+        }
+    }
+
+    fn maybe_start_core(&mut self, core: usize, now: SimTime) {
+        if !self.cores[core].idle_at(now) || self.in_flight[core].is_some() {
+            return;
+        }
+        let Some(pkt) = self.cores[core].take_next() else {
+            return;
+        };
+        let flow_hash = pkt.tuple.compact_hash();
+        let outcome =
+            self.service
+                .process(core, flow_hash, &self.tables, &mut self.mem, &mut self.rng);
+        let stall = self
+            .nb
+            .stall_before(core, now, self.cfg.nominal_load, &mut self.rng);
+        let extra_ns = self
+            .stack_jitter
+            .as_ref()
+            .map_or(0, |m| m.sample(&mut self.rng));
+        let done = self.cores[core].begin(now, outcome.latency_ns + stall);
+        self.in_flight[core] = Some((pkt, outcome.action, extra_ns));
+        self.engine.schedule(done, Ev::CoreDone { core });
+    }
+
+    fn on_cpu_return(&mut self, mut pkt: NicPacket, action: PacketAction, now: SimTime) {
+        match action {
+            PacketAction::Drop => {
+                self.dropped_acl += 1;
+                if pkt.meta.is_some() {
+                    if self.cfg.use_drop_flag {
+                        // Return only the meta with the drop flag: the NIC
+                        // frees the reorder slot immediately.
+                        pkt.meta.as_mut().expect("checked").set_drop();
+                        let egresses = self.lb.cpu_return(pkt, true, now);
+                        self.record_egresses(egresses, now);
+                    }
+                    // Without the flag the slot stays until head timeout.
+                    self.schedule_poll(now);
+                }
+            }
+            PacketAction::Forward => {
+                let pre_ns = self.nic_latency.total_ns(Direction::Tx) - 2_980;
+                let tx_total = pre_ns + self.dma.transfer_tx(&pkt);
+                let payload_available = pkt.delivery == DeliveryMode::FullPacket
+                    || self.payload_buffer.contains(pkt.id);
+                let egresses = self.lb.cpu_return(pkt, payload_available, now + tx_total);
+                self.record_egresses(egresses, now + tx_total);
+                self.schedule_poll(now);
+            }
+        }
+        self.reap_timed_out_payloads();
+    }
+
+    /// Releases NIC-retained payloads whose reorder info timed out — a
+    /// late-returning header will then be dropped (§4.1 legal check).
+    fn reap_timed_out_payloads(&mut self) {
+        for (ordq, psn) in self.lb.take_timeouts() {
+            if let Some(id) = self.split_index.remove(&(ordq as u8, psn)) {
+                self.payload_buffer.reap(id);
+            }
+        }
+    }
+
+    fn record_egresses(&mut self, egresses: Vec<Egress>, at: SimTime) {
+        for eg in egresses {
+            let (pkt, ordered) = match eg {
+                Egress::InOrder(p) => (p, true),
+                Egress::OutOfOrder(p) => (p, false),
+            };
+            self.transmitted += 1;
+            if ordered {
+                self.in_order += 1;
+            } else {
+                self.out_of_order += 1;
+            }
+            if pkt.delivery == DeliveryMode::HeaderOnly {
+                // Rejoin header and payload at the egress deparser.
+                self.payload_buffer.take(pkt.id);
+                if let Some(meta) = pkt.meta {
+                    self.split_index.remove(&(meta.ordq, meta.psn));
+                }
+            }
+            self.latency.record(at.saturating_since(pkt.arrival));
+            if let Some(vni) = pkt.vni {
+                let window = self.cfg.tenant_rate_window.as_nanos();
+                self.tenant_delivered
+                    .entry(vni)
+                    .or_insert_with(|| RateMeter::new(window))
+                    .record(at.as_nanos(), 1);
+            }
+        }
+    }
+
+    fn schedule_poll(&mut self, now: SimTime) {
+        let Some(deadline) = self.lb.next_timeout() else {
+            return;
+        };
+        let at = deadline.max(now);
+        match self.poll_at {
+            Some(t) if t <= at => {}
+            _ => {
+                self.poll_at = Some(at);
+                self.engine.schedule(at, Ev::ReorderPoll);
+            }
+        }
+    }
+
+    fn warm_reset(&mut self) {
+        // Snapshot engine-side counters; reset local instruments.
+        self.warm_counters = WarmBase {
+            offered: self.offered,
+            dropped_ratelimit: self.dropped_ratelimit,
+            dropped_acl: self.dropped_acl,
+            transmitted: self.transmitted,
+            in_order: self.in_order,
+            out_of_order: self.out_of_order,
+            hol: self.lb.total_hol_timeouts(),
+            drop_flag: self
+                .lb
+                .queue_stats()
+                .iter()
+                .map(|s| s.drop_flag_releases)
+                .sum(),
+            ingress_full: self.lb.total_ingress_drops(),
+            rx_drops: self.cores.iter().map(DataCore::rx_drops).sum(),
+        };
+        self.warm_processed_base = self.cores.iter().map(DataCore::processed).collect();
+        self.latency.reset();
+        // Note: the cache is NOT reset — warm contents are the point. Only
+        // statistics restart. (SharedCache::reset_stats preserves tags.)
+        // We cannot borrow the cache mutably through MemorySystem's
+        // accessor, so the hit rate is tracked from warm-up via a snapshot
+        // subtraction below.
+    }
+
+    fn build_report(mut self, duration: SimTime) -> SimReport {
+        let measured_ns = duration.saturating_since(self.cfg.warmup.min(duration));
+        let per_core_processed: Vec<u64> = self
+            .cores
+            .iter()
+            .zip(&self.warm_processed_base)
+            .map(|(c, base)| c.processed() - base)
+            .collect();
+        let w = self.warm_counters.clone();
+        let drop_flag_total: u64 = self
+            .lb
+            .queue_stats()
+            .iter()
+            .map(|s| s.drop_flag_releases)
+            .sum();
+        let rx_drops: u64 = self.cores.iter().map(DataCore::rx_drops).sum();
+        SimReport {
+            measured_secs: measured_ns as f64 / 1e9,
+            offered: self.offered - w.offered,
+            processed: per_core_processed.iter().sum(),
+            transmitted: self.transmitted - w.transmitted,
+            in_order: self.in_order - w.in_order,
+            out_of_order: self.out_of_order - w.out_of_order,
+            dropped_ratelimit: self.dropped_ratelimit - w.dropped_ratelimit,
+            dropped_ingress_full: self.lb.total_ingress_drops() - w.ingress_full,
+            dropped_rx_queue: rx_drops - w.rx_drops,
+            dropped_acl: self.dropped_acl - w.dropped_acl,
+            hol_timeouts: self.lb.total_hol_timeouts() - w.hol,
+            drop_flag_releases: drop_flag_total - w.drop_flag,
+            latency: std::mem::take(&mut self.latency),
+            core_util: self.core_util,
+            per_core_processed,
+            cache_hit_rate: self.mem.cache().hit_rate(),
+            tenant_delivered: self.tenant_delivered,
+            pcie_rx_bytes: self.dma.bytes_rx(),
+            pcie_tx_bytes: self.dma.bytes_tx(),
+            headers_dropped: self
+                .lb
+                .queue_stats()
+                .iter()
+                .map(|s| s.headers_dropped)
+                .sum(),
+            payloads_reaped: self.payload_buffer.released_by_reaper(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albatross_workload::{ConstantRateSource, FlowSet};
+
+    fn small_cfg(mode: LbMode, cores: usize) -> SimConfig {
+        let mut cfg = SimConfig::new(cores, ServiceKind::VpcVpc);
+        cfg.mode = mode;
+        cfg.table_scale = 0.001;
+        cfg.cache_bytes = 4 * 1024 * 1024;
+        cfg.ordqs = 2;
+        cfg.reorder_depth = 1024;
+        cfg
+    }
+
+    fn run_simple(mode: LbMode, pps: u64) -> SimReport {
+        let flows = FlowSet::generate(100, Some(7), 3);
+        let mut src = ConstantRateSource::new(
+            flows,
+            pps,
+            256,
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+        );
+        PodSimulation::new(small_cfg(mode, 4)).run(&mut src, SimTime::from_millis(60))
+    }
+
+    #[test]
+    fn plb_underload_delivers_everything_in_order() {
+        // 100 kpps on 4 cores (capacity ≫ offered): no drops, no HOL, all
+        // in order.
+        let r = run_simple(LbMode::Plb, 100_000);
+        assert_eq!(r.offered, 5_000);
+        assert_eq!(r.processed, 5_000);
+        assert_eq!(r.transmitted, 5_000);
+        assert_eq!(r.in_order, 5_000);
+        assert_eq!(r.out_of_order, 0);
+        assert_eq!(r.hol_timeouts, 0);
+        assert_eq!(r.dropped_rx_queue + r.dropped_ingress_full, 0);
+    }
+
+    #[test]
+    fn rss_underload_also_delivers_everything() {
+        let r = run_simple(LbMode::Rss, 100_000);
+        assert_eq!(r.transmitted, 5_000);
+        assert_eq!(r.disorder_rate(), 0.0);
+    }
+
+    #[test]
+    fn latency_includes_nic_pipeline_floor() {
+        // RX (3.9 µs) + processing + TX (4.17 µs): min latency > 8 µs.
+        let r = run_simple(LbMode::Plb, 10_000);
+        assert!(
+            r.latency.min() >= 8_000,
+            "min latency {} below NIC floor",
+            r.latency.min()
+        );
+        // And the mean stays in the tens of microseconds (paper: ~20 µs).
+        assert!(r.latency.mean() < 100_000.0);
+    }
+
+    #[test]
+    fn overload_saturates_at_core_capacity() {
+        // Offer far beyond capacity: processed ≈ capacity < offered, drops
+        // appear somewhere.
+        let r = run_simple(LbMode::Plb, 20_000_000);
+        assert!(r.processed < r.offered);
+        assert!(
+            r.dropped_rx_queue + r.dropped_ingress_full > 0,
+            "overload must drop"
+        );
+        // Well below the offered 20 Mpps: the cores are the bottleneck.
+        assert!(
+            (r.processed as f64) < 0.95 * r.offered as f64,
+            "processed {} vs offered {}",
+            r.processed,
+            r.offered
+        );
+    }
+
+    #[test]
+    fn acl_drops_with_flag_do_not_hol() {
+        let mut cfg = small_cfg(LbMode::Plb, 2);
+        cfg.acl_drop_modulus = Some(4);
+        cfg.use_drop_flag = true;
+        let flows = FlowSet::generate(64, Some(7), 5);
+        let mut src = ConstantRateSource::new(
+            flows,
+            100_000,
+            256,
+            SimTime::ZERO,
+            SimTime::from_millis(20),
+        );
+        let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(30));
+        assert!(r.dropped_acl > 0);
+        assert!(r.drop_flag_releases > 0);
+        assert_eq!(r.hol_timeouts, 0, "drop flag prevents HOL");
+        assert_eq!(r.out_of_order, 0);
+    }
+
+    #[test]
+    fn acl_drops_without_flag_cause_hol_timeouts() {
+        let mut cfg = small_cfg(LbMode::Plb, 2);
+        cfg.acl_drop_modulus = Some(4);
+        cfg.use_drop_flag = false;
+        let flows = FlowSet::generate(64, Some(7), 5);
+        let mut src = ConstantRateSource::new(
+            flows,
+            100_000,
+            256,
+            SimTime::ZERO,
+            SimTime::from_millis(20),
+        );
+        let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(30));
+        assert!(r.dropped_acl > 0);
+        assert!(r.hol_timeouts > 0, "silent drops must strand FIFO heads");
+    }
+
+    #[test]
+    fn rate_limiter_caps_a_flooding_tenant() {
+        let mut cfg = small_cfg(LbMode::Plb, 4);
+        cfg.rate_limiter = Some(RateLimiterConfig {
+            stage1_pps: 40_000.0,
+            stage2_pps: 10_000.0,
+            tenant_limit_pps: 50_000.0,
+            ..RateLimiterConfig::production()
+        });
+        let flows = FlowSet::generate(10, Some(9), 6);
+        let mut src = ConstantRateSource::new(
+            flows,
+            500_000, // 10× the 50k allowance
+            256,
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+        );
+        let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(110));
+        assert!(r.dropped_ratelimit > 0);
+        let delivered_rate = r.transmitted as f64 / 0.1;
+        assert!(
+            delivered_rate < 80_000.0,
+            "tenant must be capped near 50 kpps, got {delivered_rate}"
+        );
+    }
+
+    #[test]
+    fn warmup_excludes_cold_cache_interval() {
+        let mut cfg = small_cfg(LbMode::Plb, 2);
+        cfg.warmup = SimTime::from_millis(25);
+        let flows = FlowSet::generate(100, Some(7), 3);
+        let mut src = ConstantRateSource::new(
+            flows,
+            100_000,
+            256,
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+        );
+        let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(50));
+        // Only the second half is counted.
+        assert!(r.offered <= 2_600, "offered={}", r.offered);
+        assert!(r.offered >= 2_400);
+    }
+
+    #[test]
+    fn per_tenant_rates_are_tracked() {
+        let r = run_simple(LbMode::Plb, 100_000);
+        let meter = r.tenant_delivered.get(&7).expect("tenant 7 tracked");
+        assert_eq!(meter.total(), 5_000);
+    }
+
+    #[test]
+    fn header_only_mode_saves_pcie_bytes_losslessly() {
+        use albatross_fpga::pkt::DeliveryMode;
+        let jumbo = 8_542u32;
+        let run = |delivery| {
+            let mut cfg = small_cfg(LbMode::Plb, 4);
+            cfg.delivery = delivery;
+            let flows = FlowSet::generate(100, Some(7), 3);
+            let mut src = ConstantRateSource::new(
+                flows,
+                100_000,
+                jumbo,
+                SimTime::ZERO,
+                SimTime::from_millis(40),
+            );
+            PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(50))
+        };
+        let full = run(DeliveryMode::FullPacket);
+        let split = run(DeliveryMode::HeaderOnly);
+        assert_eq!(full.transmitted, split.transmitted, "both lossless");
+        assert_eq!(split.headers_dropped, 0);
+        assert_eq!(split.payloads_reaped, 0);
+        // Header-only moves ~64 B instead of 8,542 B per packet+direction.
+        assert!(
+            split.pcie_rx_bytes * 50 < full.pcie_rx_bytes,
+            "split {} vs full {}",
+            split.pcie_rx_bytes,
+            full.pcie_rx_bytes
+        );
+    }
+
+    #[test]
+    fn header_only_timeout_reaps_payload_and_drops_late_header() {
+        use albatross_fpga::pkt::DeliveryMode;
+        let mut cfg = small_cfg(LbMode::Plb, 2);
+        cfg.delivery = DeliveryMode::HeaderOnly;
+        // Stack latency far past the 100 µs reorder timeout: every packet
+        // times out, its payload is reaped, and its late header dropped.
+        cfg.extra_jitter = Some(albatross_sim::LatencyModel::Fixed(300_000));
+        let flows = FlowSet::generate(16, Some(7), 4);
+        let mut src = ConstantRateSource::new(
+            flows,
+            50_000,
+            4_000,
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(20));
+        assert!(r.hol_timeouts > 0);
+        assert!(r.payloads_reaped > 0, "timeouts must reap payloads");
+        assert!(r.headers_dropped > 0, "late headers must be dropped");
+        assert_eq!(r.transmitted, 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = run_simple(LbMode::Plb, 200_000);
+        let b = run_simple(LbMode::Plb, 200_000);
+        assert_eq!(a.processed, b.processed);
+        assert_eq!(a.latency.max(), b.latency.max());
+        assert_eq!(a.in_order, b.in_order);
+    }
+}

@@ -1,0 +1,40 @@
+//! Albatross's primary contribution: FPGA packet-level load balancing and
+//! gateway overload protection.
+//!
+//! §4 of the paper, reproduced structure by structure:
+//!
+//! * [`dispatch::PlbDispatcher`] — `plb_dispatch`: round-robin packet spray
+//!   across a pod's data cores, order-preserving-queue selection by 5-tuple
+//!   Toeplitz hash (`get_ordq_idx`), PSN assignment and meta tagging.
+//! * [`reorder::ReorderQueue`] — `plb_reorder`: the FIFO / BUF / BITMAP
+//!   triple (4K entries each), the 12-bit legal check, the four-case reorder
+//!   check, the 100 µs head timeout, best-effort transmission of timed-out
+//!   packets, and drop-flag resource release (the HOL countermeasure).
+//! * [`rss::RssSteering`] — the flow-level baseline with an
+//!   indirection table, plus the PLB→RSS dynamic fallback support.
+//! * [`ratelimit::TwoStageRateLimiter`] — gateway overload protection: 4K
+//!   color table (VNI % 4K) → hashed meter table, with the 128-entry
+//!   pre_check/pre_meter fast path fed by sampling-based heavy-hitter
+//!   detection, hash-collision rescue, top-tier bypass, and the SRAM ledger
+//!   showing the 100× reduction vs naive per-tenant meters.
+//! * [`engine::PlbEngine`] — the assembled NIC-side engine: pkt classes in,
+//!   core assignments out, CPU returns back through reordering, with
+//!   per-queue statistics and dynamic mode fallback.
+//!
+//! Everything takes explicit `SimTime` so the same structures run under the
+//! discrete-event simulator and under wall-clock microbenchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod engine;
+pub mod ratelimit;
+pub mod reorder;
+pub mod rss;
+
+pub use dispatch::{DispatchError, DispatchOutcome, PlbDispatcher};
+pub use engine::{LbMode, PlbEngine};
+pub use ratelimit::{RateLimiterConfig, TwoStageRateLimiter, Verdict};
+pub use reorder::{CpuReturnOutcome, ReorderConfig, ReorderQueue, ReorderRelease};
+pub use rss::RssSteering;

@@ -1,0 +1,497 @@
+//! The two-stage tenant overload rate limiter (§4.3, Fig. 6).
+//!
+//! A naive per-tenant meter table for 1 M tenants would need >200 MB of
+//! SRAM; this scheme fits in ~2 MB:
+//!
+//! * **pre_check / pre_meter** (128 entries each): promoted heavy hitters
+//!   are rate-limited *early*, before they can pollute the shared stages;
+//!   top-tier customers can instead be configured to *bypass* all limiting.
+//! * **Stage 1 — color table** (4K entries, indexed `VNI % 4096`): coarse
+//!   shared metering. Conforming traffic passes; the excess is *marked* and
+//!   sent to stage 2. Because entries are shared, an innocent tenant that
+//!   lands on a dominant tenant's color entry sees its packets marked too.
+//! * **Stage 2 — meter table** (4K entries, indexed by a hash of the VNI):
+//!   fine metering of marked traffic. Exceeding packets are dropped and
+//!   *sampled*; a tenant accumulating enough samples within the detection
+//!   window is promoted into pre_check/pre_meter (the collision rescue: once
+//!   the dominant tenant is early-limited, innocents stop overflowing
+//!   stage 1 and never reach the colliding stage-2 entry).
+
+use std::collections::HashMap;
+
+use albatross_sim::{SimRng, SimTime, TokenBucket};
+
+/// Which stage admitted or dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Passed: top-tier bypass configured in pre_check.
+    PassBypass,
+    /// Passed: conformed to the promoted tenant's pre_meter.
+    PassPreMeter,
+    /// Passed: conformed to the stage-1 color meter.
+    PassColor,
+    /// Passed: marked by stage 1 but conformed to the stage-2 meter.
+    PassMeter,
+    /// Dropped by the promoted tenant's pre_meter.
+    DropPreMeter,
+    /// Dropped by the stage-2 meter.
+    DropMeter,
+}
+
+impl Verdict {
+    /// True when the packet may proceed to the CPU.
+    pub fn passed(self) -> bool {
+        matches!(
+            self,
+            Verdict::PassBypass | Verdict::PassPreMeter | Verdict::PassColor | Verdict::PassMeter
+        )
+    }
+}
+
+/// Configuration of the limiter.
+#[derive(Debug, Clone)]
+pub struct RateLimiterConfig {
+    /// Stage-1 color table entries (production: 4096).
+    pub color_entries: usize,
+    /// Stage-2 meter table entries (production: 4096).
+    pub meter_entries: usize,
+    /// pre_check / pre_meter entries (production: 128).
+    pub pre_entries: usize,
+    /// Stage-1 per-entry rate in packets/second.
+    pub stage1_pps: f64,
+    /// Stage-2 per-entry rate in packets/second.
+    pub stage2_pps: f64,
+    /// Rate installed into pre_meter for a promoted heavy hitter — the
+    /// tenant's total allowance (stage 1 + stage 2 in the Fig. 14 setup).
+    pub tenant_limit_pps: f64,
+    /// Meter burst tolerance in seconds of rate.
+    pub burst_secs: f64,
+    /// Probability of sampling a stage-2-exceeding packet.
+    pub sample_prob: f64,
+    /// Samples within one detection window that trigger promotion.
+    pub promote_threshold: u32,
+    /// Detection window (paper: promotion takes effect "in one second").
+    pub window: SimTime,
+    /// SRAM bytes per meter entry (for the Tab.-style resource ledger).
+    pub entry_bytes: u32,
+}
+
+impl RateLimiterConfig {
+    /// The production configuration scaled to the Fig. 13/14 experiment:
+    /// stage 1 at 8 Mpps, stage 2 at 2 Mpps, promoted tenants capped at
+    /// 10 Mpps.
+    pub fn production() -> Self {
+        Self {
+            color_entries: 4096,
+            meter_entries: 4096,
+            pre_entries: 128,
+            stage1_pps: 8_000_000.0,
+            stage2_pps: 2_000_000.0,
+            tenant_limit_pps: 10_000_000.0,
+            burst_secs: 0.002,
+            sample_prob: 1.0 / 64.0,
+            promote_threshold: 64,
+            window: SimTime::from_secs(1),
+            entry_bytes: 200,
+        }
+    }
+}
+
+/// A pre_check entry's action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PreAction {
+    /// Top-tier customer: skip all rate limiting.
+    Bypass,
+    /// Promoted heavy hitter: meter by this pre_meter slot.
+    Meter(usize),
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Candidate {
+    vni: u32,
+    samples: u32,
+}
+
+/// The assembled two-stage limiter.
+#[derive(Debug)]
+pub struct TwoStageRateLimiter {
+    cfg: RateLimiterConfig,
+    color: Vec<TokenBucket>,
+    meter: Vec<TokenBucket>,
+    pre_check: HashMap<u32, PreAction>,
+    pre_meter: Vec<TokenBucket>,
+    pre_meter_free: Vec<usize>,
+    /// Heavy-hitter candidate sketch (hardware: a small CAM).
+    candidates: Vec<Candidate>,
+    window_start: SimTime,
+    /// Per-verdict counters.
+    counts: HashMap<Verdict, u64>,
+    promotions: u64,
+}
+
+impl TwoStageRateLimiter {
+    /// Builds the limiter from `cfg`.
+    ///
+    /// # Panics
+    /// Panics on zero-sized tables.
+    pub fn new(cfg: RateLimiterConfig) -> Self {
+        assert!(
+            cfg.color_entries > 0 && cfg.meter_entries > 0 && cfg.pre_entries > 0,
+            "tables must be non-empty"
+        );
+        let bucket = |pps: f64| TokenBucket::new(pps, (pps * cfg.burst_secs).max(32.0));
+        Self {
+            color: (0..cfg.color_entries).map(|_| bucket(cfg.stage1_pps)).collect(),
+            meter: (0..cfg.meter_entries).map(|_| bucket(cfg.stage2_pps)).collect(),
+            pre_check: HashMap::new(),
+            pre_meter: (0..cfg.pre_entries)
+                .map(|_| bucket(cfg.tenant_limit_pps))
+                .collect(),
+            pre_meter_free: (0..cfg.pre_entries).rev().collect(),
+            candidates: vec![Candidate::default(); cfg.pre_entries],
+            window_start: SimTime::ZERO,
+            counts: HashMap::new(),
+            promotions: 0,
+            cfg,
+        }
+    }
+
+    /// Stage-2 index for a tenant (a short avalanche hash of the VNI — the
+    /// collision source the pre tables exist to mitigate).
+    pub fn meter_idx(&self, vni: u32) -> usize {
+        let mut h = vni.wrapping_mul(0x9E37_79B9);
+        h ^= h >> 16;
+        h = h.wrapping_mul(0x85EB_CA6B);
+        h ^= h >> 13;
+        (h as usize) % self.cfg.meter_entries
+    }
+
+    /// Configures a top-tier tenant to bypass all rate limiting.
+    pub fn add_bypass(&mut self, vni: u32) {
+        self.pre_check.insert(vni, PreAction::Bypass);
+    }
+
+    /// Installs `vni` as a known heavy hitter (the planned CPU-assisted
+    /// path, and what sampling promotion calls internally). Returns `false`
+    /// when no pre_meter slot is free.
+    pub fn install_heavy_hitter(&mut self, vni: u32) -> bool {
+        if self.pre_check.contains_key(&vni) {
+            return true;
+        }
+        let Some(slot) = self.pre_meter_free.pop() else {
+            return false;
+        };
+        self.pre_check.insert(vni, PreAction::Meter(slot));
+        self.promotions += 1;
+        true
+    }
+
+    /// True if `vni` is currently early-limited (promoted).
+    pub fn is_promoted(&self, vni: u32) -> bool {
+        matches!(self.pre_check.get(&vni), Some(PreAction::Meter(_)))
+    }
+
+    fn roll_window(&mut self, now: SimTime) {
+        if now.saturating_since(self.window_start) >= self.cfg.window.as_nanos() {
+            self.window_start = now;
+            self.candidates.iter_mut().for_each(|c| c.samples = 0);
+        }
+    }
+
+    fn sample_candidate(&mut self, vni: u32) -> bool {
+        // Find or claim a candidate slot; evict the smallest count if full.
+        let mut min_idx = 0;
+        let mut min_samples = u32::MAX;
+        for (i, c) in self.candidates.iter_mut().enumerate() {
+            if c.samples > 0 && c.vni == vni {
+                c.samples += 1;
+                return c.samples >= self.cfg.promote_threshold;
+            }
+            if c.samples < min_samples {
+                min_samples = c.samples;
+                min_idx = i;
+            }
+        }
+        let slot = &mut self.candidates[min_idx];
+        slot.vni = vni;
+        slot.samples = 1;
+        false
+    }
+
+    /// Runs one packet of tenant `vni` through the limiter at `now`.
+    pub fn process(&mut self, vni: u32, now: SimTime, rng: &mut SimRng) -> Verdict {
+        self.roll_window(now);
+        let verdict = self.decide(vni, now, rng);
+        *self.counts.entry(verdict).or_insert(0) += 1;
+        verdict
+    }
+
+    fn decide(&mut self, vni: u32, now: SimTime, rng: &mut SimRng) -> Verdict {
+        match self.pre_check.get(&vni) {
+            Some(PreAction::Bypass) => return Verdict::PassBypass,
+            Some(PreAction::Meter(slot)) => {
+                return if self.pre_meter[*slot].allow_packet(now) {
+                    Verdict::PassPreMeter
+                } else {
+                    Verdict::DropPreMeter
+                };
+            }
+            None => {}
+        }
+        // Stage 1: shared color entry.
+        let color_idx = (vni as usize) % self.cfg.color_entries;
+        if self.color[color_idx].allow_packet(now) {
+            return Verdict::PassColor;
+        }
+        // Marked: stage 2.
+        let m_idx = self.meter_idx(vni);
+        if self.meter[m_idx].allow_packet(now) {
+            return Verdict::PassMeter;
+        }
+        // Exceeding: sample towards promotion.
+        if rng.chance(self.cfg.sample_prob) && self.sample_candidate(vni) {
+            self.install_heavy_hitter(vni);
+        }
+        Verdict::DropMeter
+    }
+
+    /// Count of packets with the given verdict.
+    pub fn count(&self, v: Verdict) -> u64 {
+        self.counts.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Packets passed, all stages.
+    pub fn total_passed(&self) -> u64 {
+        [
+            Verdict::PassBypass,
+            Verdict::PassPreMeter,
+            Verdict::PassColor,
+            Verdict::PassMeter,
+        ]
+        .iter()
+        .map(|&v| self.count(v))
+        .sum()
+    }
+
+    /// Packets dropped, all stages.
+    pub fn total_dropped(&self) -> u64 {
+        self.count(Verdict::DropPreMeter) + self.count(Verdict::DropMeter)
+    }
+
+    /// Sampling-based promotions performed.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// SRAM footprint of this configuration in bytes (Tab.-style ledger):
+    /// color + meter + pre_check + pre_meter entries.
+    pub fn sram_bytes(&self) -> u64 {
+        let entries = self.cfg.color_entries + self.cfg.meter_entries + 2 * self.cfg.pre_entries;
+        entries as u64 * u64::from(self.cfg.entry_bytes)
+    }
+
+    /// SRAM a naive per-tenant meter table would need for `tenants`.
+    pub fn naive_sram_bytes(&self, tenants: u64) -> u64 {
+        tenants * u64::from(self.cfg.entry_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> RateLimiterConfig {
+        RateLimiterConfig {
+            color_entries: 64,
+            meter_entries: 64,
+            pre_entries: 8,
+            stage1_pps: 8_000.0,
+            stage2_pps: 2_000.0,
+            tenant_limit_pps: 10_000.0,
+            burst_secs: 0.002,
+            sample_prob: 0.25,
+            promote_threshold: 16,
+            window: SimTime::from_secs(1),
+            entry_bytes: 200,
+        }
+    }
+
+    /// Offers `pps` packets/s of tenant `vni` for `secs`, returning passed
+    /// count.
+    fn offer(
+        rl: &mut TwoStageRateLimiter,
+        rng: &mut SimRng,
+        vni: u32,
+        pps: u64,
+        secs: u64,
+        t0: SimTime,
+    ) -> u64 {
+        let mut passed = 0;
+        let total = pps * secs;
+        for i in 0..total {
+            let now = t0 + i * 1_000_000_000 / pps;
+            if rl.process(vni, now, rng).passed() {
+                passed += 1;
+            }
+        }
+        passed
+    }
+
+    #[test]
+    fn under_limit_tenant_is_untouched() {
+        let mut rl = TwoStageRateLimiter::new(small_cfg());
+        let mut rng = SimRng::seed_from(1);
+        let passed = offer(&mut rl, &mut rng, 7, 4_000, 5, SimTime::ZERO);
+        assert_eq!(passed, 20_000, "all under-limit packets must pass");
+        assert_eq!(rl.total_dropped(), 0);
+    }
+
+    #[test]
+    fn heavy_hitter_is_capped_near_stage1_plus_stage2() {
+        let mut rl = TwoStageRateLimiter::new(small_cfg());
+        let mut rng = SimRng::seed_from(2);
+        // 34 kpps against an 8k+2k limit for 10 s.
+        let passed = offer(&mut rl, &mut rng, 7, 34_000, 10, SimTime::ZERO);
+        let rate = passed as f64 / 10.0;
+        assert!(
+            (9_000.0..11_500.0).contains(&rate),
+            "capped rate {rate} pps, expected ≈10k"
+        );
+        assert!(rl.total_dropped() > 0);
+    }
+
+    #[test]
+    fn bypass_tenant_is_never_limited() {
+        let mut rl = TwoStageRateLimiter::new(small_cfg());
+        rl.add_bypass(42);
+        let mut rng = SimRng::seed_from(3);
+        let passed = offer(&mut rl, &mut rng, 42, 100_000, 2, SimTime::ZERO);
+        assert_eq!(passed, 200_000);
+        assert_eq!(rl.count(Verdict::PassBypass), 200_000);
+    }
+
+    #[test]
+    fn sustained_overload_promotes_to_pre_meter() {
+        let mut rl = TwoStageRateLimiter::new(small_cfg());
+        let mut rng = SimRng::seed_from(4);
+        assert!(!rl.is_promoted(9));
+        offer(&mut rl, &mut rng, 9, 50_000, 2, SimTime::ZERO);
+        assert!(rl.is_promoted(9), "heavy hitter must be promoted");
+        assert!(rl.promotions() >= 1);
+        // Once promoted, metering happens at the pre stage.
+        let before = rl.count(Verdict::DropPreMeter);
+        offer(&mut rl, &mut rng, 9, 50_000, 1, SimTime::from_secs(10));
+        assert!(rl.count(Verdict::DropPreMeter) > before);
+    }
+
+    #[test]
+    fn collision_rescue_restores_innocent_tenant() {
+        // Find two tenants sharing BOTH the color entry and the meter entry
+        // — the §4.3 false-limiting scenario.
+        let cfg = small_cfg();
+        let mut rl = TwoStageRateLimiter::new(cfg.clone());
+        let dominant = 5u32;
+        let m = rl.meter_idx(dominant);
+        let innocent = (1..10_000u32)
+            .map(|k| dominant + k * cfg.color_entries as u32)
+            .find(|&v| rl.meter_idx(v) == m)
+            .expect("some colliding VNI exists");
+        let mut rng = SimRng::seed_from(5);
+
+        // Phase 1: dominant floods; innocent sends 1 kpps. Interleave them.
+        let mut innocent_passed_p1 = 0u64;
+        for i in 0..200_000u64 {
+            let now = SimTime::from_nanos(i * 25_000); // 40 kpps dominant
+            rl.process(dominant, now, &mut rng);
+            if i % 40 == 0 && rl.process(innocent, now, &mut rng).passed() {
+                innocent_passed_p1 += 1;
+            }
+        }
+        let p1_rate = innocent_passed_p1 as f64 / 5.0; // 5 s of traffic
+        // The innocent tenant is collateral damage at first…
+        assert!(
+            rl.is_promoted(dominant),
+            "dominant tenant must get promoted"
+        );
+        // Phase 2: dominant is now early-limited; innocent recovers fully.
+        let t2 = SimTime::from_secs(10);
+        let mut innocent_passed_p2 = 0u64;
+        for i in 0..200_000u64 {
+            let now = t2 + i * 25_000;
+            rl.process(dominant, now, &mut rng);
+            if i % 40 == 0 && rl.process(innocent, now, &mut rng).passed() {
+                innocent_passed_p2 += 1;
+            }
+        }
+        assert!(
+            innocent_passed_p2 >= 4_990, // 5 s × 1 kpps, minus rounding
+            "innocent tenant must fully recover after promotion: {innocent_passed_p2} (phase1 {p1_rate})"
+        );
+    }
+
+    #[test]
+    fn two_dominant_tenants_colliding_is_harmless() {
+        // §4.3: "If two dominant tenants collide, rate-limiting them does
+        // not pose any issues."
+        let cfg = small_cfg();
+        let mut rl = TwoStageRateLimiter::new(cfg.clone());
+        let a = 3u32;
+        let m = rl.meter_idx(a);
+        let b = (1..10_000u32)
+            .map(|k| a + k * cfg.color_entries as u32)
+            .find(|&v| rl.meter_idx(v) == m)
+            .unwrap();
+        let mut rng = SimRng::seed_from(6);
+        let mut passed = [0u64; 2];
+        for i in 0..400_000u64 {
+            let now = SimTime::from_nanos(i * 12_500); // each at 40 kpps
+            if rl.process(a, now, &mut rng).passed() {
+                passed[0] += 1;
+            }
+            if rl.process(b, now, &mut rng).passed() {
+                passed[1] += 1;
+            }
+        }
+        // Both limited to roughly their allowance; neither starves.
+        for (i, &p) in passed.iter().enumerate() {
+            let rate = p as f64 / 5.0;
+            assert!(
+                (4_000.0..13_000.0).contains(&rate),
+                "tenant {i} rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn sram_budget_matches_paper() {
+        let rl = TwoStageRateLimiter::new(RateLimiterConfig::production());
+        let two_stage = rl.sram_bytes();
+        let naive = rl.naive_sram_bytes(1_000_000);
+        assert!(two_stage <= 2_000_000, "two-stage = {two_stage} B > 2 MB");
+        assert!(naive >= 200_000_000, "naive = {naive} B < 200 MB");
+        assert!(
+            naive / two_stage >= 100,
+            "reduction {}× < 100×",
+            naive / two_stage
+        );
+    }
+
+    #[test]
+    fn pre_meter_slots_exhaust_gracefully() {
+        let mut rl = TwoStageRateLimiter::new(small_cfg());
+        for vni in 0..8 {
+            assert!(rl.install_heavy_hitter(vni));
+        }
+        assert!(!rl.install_heavy_hitter(99), "9th slot must be refused");
+        // Re-installing an existing heavy hitter is fine.
+        assert!(rl.install_heavy_hitter(3));
+    }
+
+    #[test]
+    fn verdict_passed_predicate() {
+        assert!(Verdict::PassColor.passed());
+        assert!(Verdict::PassBypass.passed());
+        assert!(!Verdict::DropMeter.passed());
+        assert!(!Verdict::DropPreMeter.passed());
+    }
+}

@@ -1,0 +1,125 @@
+//! Flow-level (RSS) steering — the baseline PLB is compared against, and
+//! the fallback mode a pod can dynamically switch to (§4.1, HOL handling
+//! #5).
+//!
+//! Standard receive-side scaling: the Toeplitz hash of the 5-tuple indexes a
+//! 128-entry indirection table mapping to data cores. All packets of a flow
+//! hit one core — which is exactly why a heavy hitter overloads that core
+//! (Fig. 8).
+
+use albatross_packet::{FiveTuple, ToeplitzHasher};
+
+/// Size of the RSS indirection table (matches common NIC hardware).
+pub const INDIRECTION_ENTRIES: usize = 128;
+
+/// RSS steering for one pod.
+#[derive(Debug)]
+pub struct RssSteering {
+    hasher: ToeplitzHasher,
+    table: Vec<usize>,
+}
+
+impl RssSteering {
+    /// Creates steering over `n_cores` with the default round-robin-filled
+    /// indirection table.
+    ///
+    /// # Panics
+    /// Panics if `n_cores` is zero.
+    pub fn new(n_cores: usize) -> Self {
+        assert!(n_cores > 0, "RSS needs at least one core");
+        Self {
+            hasher: ToeplitzHasher::default(),
+            table: (0..INDIRECTION_ENTRIES).map(|i| i % n_cores).collect(),
+        }
+    }
+
+    /// The core a flow's packets all land on.
+    pub fn core_for(&self, tuple: &FiveTuple) -> usize {
+        let h = self.hasher.hash_tuple(tuple) as usize;
+        self.table[h % INDIRECTION_ENTRIES]
+    }
+
+    /// Rewrites one indirection entry (how operators rebalance RSS without
+    /// breaking most flows).
+    ///
+    /// # Panics
+    /// Panics if `entry` is out of range.
+    pub fn set_entry(&mut self, entry: usize, core: usize) {
+        self.table[entry] = core;
+    }
+
+    /// Number of distinct cores currently reachable via the table.
+    pub fn active_cores(&self) -> usize {
+        let mut cores: Vec<usize> = self.table.clone();
+        cores.sort_unstable();
+        cores.dedup();
+        cores.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albatross_packet::flow::IpProtocol;
+
+    fn tuple(src_port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: "192.168.3.4".parse().unwrap(),
+            dst_ip: "10.9.8.7".parse().unwrap(),
+            src_port,
+            dst_port: 443,
+            protocol: IpProtocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn flow_is_core_affine() {
+        let rss = RssSteering::new(8);
+        let c = rss.core_for(&tuple(1234));
+        for _ in 0..10 {
+            assert_eq!(rss.core_for(&tuple(1234)), c);
+        }
+    }
+
+    #[test]
+    fn many_flows_reach_every_core() {
+        let rss = RssSteering::new(8);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..1024 {
+            seen.insert(rss.core_for(&tuple(p)));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn load_is_roughly_balanced_across_cores() {
+        let rss = RssSteering::new(4);
+        let mut counts = [0u32; 4];
+        for p in 0..4096 {
+            counts[rss.core_for(&tuple(p))] += 1;
+        }
+        for (c, &n) in counts.iter().enumerate() {
+            assert!(
+                (n as i32 - 1024).unsigned_abs() < 300,
+                "core {c}: {n} flows"
+            );
+        }
+    }
+
+    #[test]
+    fn indirection_rewrite_moves_flows() {
+        let mut rss = RssSteering::new(2);
+        for e in 0..INDIRECTION_ENTRIES {
+            rss.set_entry(e, 0);
+        }
+        assert_eq!(rss.active_cores(), 1);
+        assert_eq!(rss.core_for(&tuple(5)), 0);
+    }
+
+    #[test]
+    fn single_core_pod_works() {
+        let rss = RssSteering::new(1);
+        assert_eq!(rss.core_for(&tuple(1)), 0);
+        assert_eq!(rss.active_cores(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests of the two-stage rate limiter's safety envelope.
+
+use albatross_core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter};
+use albatross_sim::{SimRng, SimTime};
+use proptest::prelude::*;
+
+fn cfg(stage1: f64, stage2: f64) -> RateLimiterConfig {
+    RateLimiterConfig {
+        color_entries: 64,
+        meter_entries: 64,
+        pre_entries: 8,
+        stage1_pps: stage1,
+        stage2_pps: stage2,
+        tenant_limit_pps: stage1 + stage2,
+        burst_secs: 0.002,
+        sample_prob: 0.25,
+        promote_threshold: 16,
+        window: SimTime::from_secs(1),
+        entry_bytes: 200,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One tenant can never push more than stage1 + stage2 (plus bursts)
+    /// past the limiter over any horizon, at any offered rate or pattern.
+    #[test]
+    fn single_tenant_never_exceeds_allowance(
+        offered_pps in 1_000u64..200_000,
+        secs in 1u64..5,
+        vni in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let c = cfg(8_000.0, 2_000.0);
+        let mut rl = TwoStageRateLimiter::new(c.clone());
+        let mut rng = SimRng::seed_from(seed);
+        let total = offered_pps * secs;
+        let mut passed = 0u64;
+        for i in 0..total {
+            let now = SimTime::from_nanos(i * 1_000_000_000 / offered_pps);
+            if rl.process(vni, now, &mut rng).passed() {
+                passed += 1;
+            }
+        }
+        // Each bucket's burst is rate×burst_secs floored at 32 tokens
+        // (see TwoStageRateLimiter::new); a promoted tenant can draw the
+        // pre_meter burst on top of the stage-1/2 bursts it already spent.
+        let burst_of = |pps: f64| (pps * c.burst_secs).max(32.0);
+        let burst_allowance =
+            burst_of(c.stage1_pps) + burst_of(c.stage2_pps) + burst_of(c.tenant_limit_pps);
+        let allowance = (c.stage1_pps + c.stage2_pps) * secs as f64 + burst_allowance + 1.0;
+        prop_assert!(
+            (passed as f64) <= allowance,
+            "passed {} > allowance {:.0} at {} pps", passed, allowance, offered_pps
+        );
+    }
+
+    /// A tenant under its color-entry share, alone on its entries, is
+    /// never dropped.
+    #[test]
+    fn under_limit_lone_tenant_is_never_dropped(
+        offered_pps in 100u64..6_000, // well under the 8k stage-1 rate
+        vni in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rl = TwoStageRateLimiter::new(cfg(8_000.0, 2_000.0));
+        let mut rng = SimRng::seed_from(seed);
+        for i in 0..(offered_pps * 2) {
+            let now = SimTime::from_nanos(i * 1_000_000_000 / offered_pps);
+            prop_assert!(
+                rl.process(vni, now, &mut rng).passed(),
+                "packet {} of under-limit tenant dropped", i
+            );
+        }
+    }
+
+    /// Counters always balance: every processed packet is exactly one
+    /// pass or one drop.
+    #[test]
+    fn verdict_accounting_balances(
+        vnis in prop::collection::vec(any::<u32>(), 1..6),
+        packets in 100u64..5_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rl = TwoStageRateLimiter::new(cfg(2_000.0, 500.0));
+        let mut rng = SimRng::seed_from(seed);
+        for i in 0..packets {
+            let vni = vnis[(i % vnis.len() as u64) as usize];
+            let now = SimTime::from_nanos(i * 10_000);
+            let _ = rl.process(vni, now, &mut rng);
+        }
+        prop_assert_eq!(rl.total_passed() + rl.total_dropped(), packets);
+    }
+
+    /// Bypass tenants are never limited regardless of rate.
+    #[test]
+    fn bypass_is_absolute(offered_pps in 10_000u64..500_000, vni in any::<u32>()) {
+        let mut rl = TwoStageRateLimiter::new(cfg(1_000.0, 100.0));
+        rl.add_bypass(vni);
+        let mut rng = SimRng::seed_from(7);
+        for i in 0..offered_pps {
+            let now = SimTime::from_nanos(i * 1_000_000_000 / offered_pps);
+            prop_assert!(rl.process(vni, now, &mut rng).passed());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Session offloading to the FPGA (§7, "Future FPGA offloading plan",
+//! item 1 — implemented here as the forward-looking extension).
+//!
+//! The problem it solves: write-heavy stateful NFs (per-packet session
+//! counters) collapse under PLB because every core writes every flow's
+//! state (see `albatross-gateway::session`). Offloading the session table
+//! into the FPGA removes the CPU coherence traffic entirely: the NIC
+//! updates the counters at line rate as packets pass, and the CPU reads
+//! them out asynchronously.
+//!
+//! The engine is capacity-bounded BRAM: sessions are explicitly installed
+//! (by the ctrl cores, e.g. on SYN), idle sessions age out, and traffic
+//! for non-offloaded flows falls back to the CPU path — the classic
+//! fast/slow split, accounted per packet so experiments can measure the
+//! offload hit rate.
+
+use std::collections::HashMap;
+
+use albatross_packet::FiveTuple;
+use albatross_sim::SimTime;
+
+/// Counters the FPGA maintains per offloaded session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OffloadedCounters {
+    /// Packets metered in hardware.
+    pub packets: u64,
+    /// Bytes metered in hardware.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    counters: OffloadedCounters,
+    last_active: SimTime,
+}
+
+/// Where a packet's session state was updated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPath {
+    /// Updated in FPGA BRAM — zero CPU cost.
+    Offloaded,
+    /// Flow not offloaded — the CPU must handle the state update.
+    CpuFallback,
+}
+
+/// The FPGA-resident session table.
+#[derive(Debug)]
+pub struct SessionOffloadEngine {
+    capacity: usize,
+    /// BRAM bits per session entry (key 104 b + counters 128 b + ts 48 b +
+    /// control ≈ 320 b).
+    entry_bits: u64,
+    sessions: HashMap<FiveTuple, Entry>,
+    idle_timeout: SimTime,
+    offloaded_pkts: u64,
+    fallback_pkts: u64,
+    rejected_installs: u64,
+    expired: u64,
+}
+
+impl SessionOffloadEngine {
+    /// Creates an engine holding at most `capacity` sessions.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize, idle_timeout: SimTime) -> Self {
+        assert!(capacity > 0, "offload table needs capacity");
+        Self {
+            capacity,
+            entry_bits: 320,
+            sessions: HashMap::with_capacity(capacity),
+            idle_timeout,
+            offloaded_pkts: 0,
+            fallback_pkts: 0,
+            rejected_installs: 0,
+            expired: 0,
+        }
+    }
+
+    /// A production-plausible sizing: 256K sessions ≈ 82 Mbit — about 31%
+    /// of the FPGA's BRAM, which is what the paper's "reserved room for
+    /// future evolution" (100% − 44.5% used) can accommodate.
+    pub fn production_sizing() -> Self {
+        Self::new(256 * 1024, SimTime::from_secs(60))
+    }
+
+    /// Installs a session (ctrl-core action, e.g. at connection setup).
+    /// Returns `false` when the table is full.
+    pub fn install(&mut self, flow: FiveTuple, now: SimTime) -> bool {
+        if self.sessions.contains_key(&flow) {
+            return true;
+        }
+        if self.sessions.len() >= self.capacity {
+            self.rejected_installs += 1;
+            return false;
+        }
+        self.sessions.insert(
+            flow,
+            Entry {
+                counters: OffloadedCounters::default(),
+                last_active: now,
+            },
+        );
+        true
+    }
+
+    /// Removes a session (connection teardown), returning its final
+    /// counters for billing.
+    pub fn remove(&mut self, flow: &FiveTuple) -> Option<OffloadedCounters> {
+        self.sessions.remove(flow).map(|e| e.counters)
+    }
+
+    /// The per-packet hot path: meters the packet in hardware when the
+    /// flow is offloaded.
+    pub fn on_packet(&mut self, flow: &FiveTuple, bytes: u32, now: SimTime) -> SessionPath {
+        match self.sessions.get_mut(flow) {
+            Some(e) => {
+                e.counters.packets += 1;
+                e.counters.bytes += u64::from(bytes);
+                e.last_active = now;
+                self.offloaded_pkts += 1;
+                SessionPath::Offloaded
+            }
+            None => {
+                self.fallback_pkts += 1;
+                SessionPath::CpuFallback
+            }
+        }
+    }
+
+    /// Reads a session's counters without disturbing aging (the CPU's
+    /// asynchronous stats pull).
+    pub fn read(&self, flow: &FiveTuple) -> Option<OffloadedCounters> {
+        self.sessions.get(flow).map(|e| e.counters)
+    }
+
+    /// Ages out idle sessions; returns how many were reclaimed.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let timeout = self.idle_timeout.as_nanos();
+        let before = self.sessions.len();
+        self.sessions
+            .retain(|_, e| now.saturating_since(e.last_active) <= timeout);
+        let freed = before - self.sessions.len();
+        self.expired += freed as u64;
+        freed
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are installed.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Fraction of packets metered in hardware.
+    pub fn offload_hit_rate(&self) -> f64 {
+        let total = self.offloaded_pkts + self.fallback_pkts;
+        if total == 0 {
+            0.0
+        } else {
+            self.offloaded_pkts as f64 / total as f64
+        }
+    }
+
+    /// Installs refused because the table was full.
+    pub fn rejected_installs(&self) -> u64 {
+        self.rejected_installs
+    }
+
+    /// Sessions reclaimed by aging.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// BRAM bits this configuration consumes (for the Tab. 5-style
+    /// ledger).
+    pub fn bram_bits(&self) -> u64 {
+        self.capacity as u64 * self.entry_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albatross_packet::flow::IpProtocol;
+
+    fn flow(port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: "10.0.0.1".parse().unwrap(),
+            dst_ip: "10.0.0.2".parse().unwrap(),
+            src_port: port,
+            dst_port: 80,
+            protocol: IpProtocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn offloaded_flow_is_metered_in_hardware() {
+        let mut e = SessionOffloadEngine::new(16, SimTime::from_secs(60));
+        assert!(e.install(flow(1), SimTime::ZERO));
+        for i in 0..10u64 {
+            assert_eq!(
+                e.on_packet(&flow(1), 100, SimTime::from_micros(i)),
+                SessionPath::Offloaded
+            );
+        }
+        let c = e.read(&flow(1)).unwrap();
+        assert_eq!(c.packets, 10);
+        assert_eq!(c.bytes, 1_000);
+        assert_eq!(e.offload_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn unknown_flow_falls_back_to_cpu() {
+        let mut e = SessionOffloadEngine::new(16, SimTime::from_secs(60));
+        assert_eq!(
+            e.on_packet(&flow(9), 100, SimTime::ZERO),
+            SessionPath::CpuFallback
+        );
+        assert_eq!(e.offload_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_bounds_installs() {
+        let mut e = SessionOffloadEngine::new(2, SimTime::from_secs(60));
+        assert!(e.install(flow(1), SimTime::ZERO));
+        assert!(e.install(flow(2), SimTime::ZERO));
+        assert!(!e.install(flow(3), SimTime::ZERO));
+        assert_eq!(e.rejected_installs(), 1);
+        // Re-install of an existing flow is fine.
+        assert!(e.install(flow(1), SimTime::ZERO));
+        // Teardown frees a slot.
+        assert!(e.remove(&flow(1)).is_some());
+        assert!(e.install(flow(3), SimTime::ZERO));
+    }
+
+    #[test]
+    fn idle_sessions_expire_active_ones_survive() {
+        let mut e = SessionOffloadEngine::new(8, SimTime::from_secs(10));
+        e.install(flow(1), SimTime::ZERO);
+        e.install(flow(2), SimTime::ZERO);
+        // Flow 1 stays active; flow 2 idles.
+        e.on_packet(&flow(1), 64, SimTime::from_secs(9));
+        assert_eq!(e.expire(SimTime::from_secs(15)), 1);
+        assert!(e.read(&flow(1)).is_some());
+        assert!(e.read(&flow(2)).is_none());
+        assert_eq!(e.expired(), 1);
+    }
+
+    #[test]
+    fn teardown_returns_final_counters_for_billing() {
+        let mut e = SessionOffloadEngine::new(8, SimTime::from_secs(60));
+        e.install(flow(4), SimTime::ZERO);
+        e.on_packet(&flow(4), 1_500, SimTime::ZERO);
+        e.on_packet(&flow(4), 40, SimTime::ZERO);
+        let bill = e.remove(&flow(4)).unwrap();
+        assert_eq!(bill.packets, 2);
+        assert_eq!(bill.bytes, 1_540);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn production_sizing_fits_reserved_bram() {
+        let e = SessionOffloadEngine::production_sizing();
+        let device = crate::resource::FpgaDevice::albatross_production();
+        // Must fit in the BRAM Tab. 5 leaves free (100% − 44.5%).
+        let free_bits = (device.bram_bits as f64 * (1.0 - 0.445)) as u64;
+        assert!(
+            e.bram_bits() < free_bits,
+            "{} bits needed, {} free",
+            e.bram_bits(),
+            free_bits
+        );
+        // And still be a meaningful table.
+        assert!(e.capacity >= 100_000);
+    }
+}

@@ -1,0 +1,133 @@
+//! The simulated data-plane packet descriptor.
+//!
+//! The simulation moves descriptors, not byte buffers, through the hot path:
+//! a [`NicPacket`] carries the parsed flow identity, tenant VNI, length and
+//! timing. Real wire bytes (built and parsed by `albatross-packet`) are used
+//! at the edges — workload construction and correctness tests — where
+//! fidelity matters; carrying them per-packet through multi-million-packet
+//! experiments would only slow the simulator without changing any result.
+
+use albatross_packet::meta::PlbMeta;
+use albatross_packet::FiveTuple;
+use albatross_sim::SimTime;
+
+/// How the packet is delivered over PCIe to the CPU (appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryMode {
+    /// The complete frame crosses PCIe.
+    FullPacket,
+    /// Only the headers cross; the payload waits in the NIC payload buffer
+    /// and is re-joined at the egress deparser.
+    HeaderOnly,
+}
+
+/// A packet descriptor flowing through the simulated NIC pipeline and CPU.
+#[derive(Debug, Clone)]
+pub struct NicPacket {
+    /// Unique, monotonically assigned packet id.
+    pub id: u64,
+    /// Outer 5-tuple.
+    pub tuple: FiveTuple,
+    /// Tenant identifier (VXLAN VNI), if encapsulated.
+    pub vni: Option<u32>,
+    /// Total frame length in bytes.
+    pub len_bytes: u32,
+    /// Header length in bytes (what crosses PCIe in header-only mode).
+    pub header_bytes: u32,
+    /// NIC ingress timestamp.
+    pub arrival: SimTime,
+    /// True for control-plane protocol packets (BGP/BFD) that take the
+    /// priority path.
+    pub protocol: bool,
+    /// PLB meta attached by `plb_dispatch` (None on the RSS/priority paths).
+    pub meta: Option<PlbMeta>,
+    /// Delivery mode chosen by pkt_dir.
+    pub delivery: DeliveryMode,
+}
+
+impl NicPacket {
+    /// Creates a data packet descriptor with full-packet delivery and a
+    /// 64-byte header estimate.
+    pub fn data(id: u64, tuple: FiveTuple, vni: Option<u32>, len_bytes: u32, arrival: SimTime) -> Self {
+        Self {
+            id,
+            tuple,
+            vni,
+            len_bytes,
+            header_bytes: 64.min(len_bytes),
+            arrival,
+            protocol: false,
+            meta: None,
+            delivery: DeliveryMode::FullPacket,
+        }
+    }
+
+    /// Creates a control-plane protocol packet (BGP/BFD).
+    pub fn protocol(id: u64, tuple: FiveTuple, len_bytes: u32, arrival: SimTime) -> Self {
+        Self {
+            protocol: true,
+            ..Self::data(id, tuple, None, len_bytes, arrival)
+        }
+    }
+
+    /// Bytes that cross PCIe for this packet in its delivery mode
+    /// (one direction).
+    pub fn pcie_bytes(&self) -> u32 {
+        match self.delivery {
+            DeliveryMode::FullPacket => self.len_bytes,
+            DeliveryMode::HeaderOnly => self.header_bytes,
+        }
+    }
+
+    /// Payload bytes retained in the NIC buffer in header-only mode.
+    pub fn retained_payload_bytes(&self) -> u32 {
+        match self.delivery {
+            DeliveryMode::FullPacket => 0,
+            DeliveryMode::HeaderOnly => self.len_bytes - self.header_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albatross_packet::flow::IpProtocol;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            src_ip: "10.0.0.1".parse().unwrap(),
+            dst_ip: "10.0.0.2".parse().unwrap(),
+            src_port: 1,
+            dst_port: 2,
+            protocol: IpProtocol::Udp,
+        }
+    }
+
+    #[test]
+    fn full_packet_moves_all_bytes() {
+        let p = NicPacket::data(1, tuple(), Some(7), 1500, SimTime::ZERO);
+        assert_eq!(p.pcie_bytes(), 1500);
+        assert_eq!(p.retained_payload_bytes(), 0);
+    }
+
+    #[test]
+    fn header_only_moves_header() {
+        let mut p = NicPacket::data(1, tuple(), Some(7), 8500, SimTime::ZERO);
+        p.delivery = DeliveryMode::HeaderOnly;
+        assert_eq!(p.pcie_bytes(), 64);
+        assert_eq!(p.retained_payload_bytes(), 8436);
+    }
+
+    #[test]
+    fn tiny_packet_header_capped_by_len() {
+        let p = NicPacket::data(1, tuple(), None, 40, SimTime::ZERO);
+        assert_eq!(p.header_bytes, 40);
+    }
+
+    #[test]
+    fn protocol_constructor_sets_flag() {
+        let p = NicPacket::protocol(1, tuple(), 80, SimTime::ZERO);
+        assert!(p.protocol);
+        assert!(p.meta.is_none());
+    }
+}

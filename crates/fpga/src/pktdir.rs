@@ -1,0 +1,220 @@
+//! The programmable packet director (`pkt_dir`).
+//!
+//! At ingress, pkt_dir splits traffic three ways (Fig. 1): *priority*
+//! packets (control-plane protocols — BGP/BFD), *RSS* packets (stateful
+//! flows that must stay core-affine: Zoonet probes, health checks, vSwitch
+//! cache-learning), and *PLB* packets (everything else). The classification
+//! is programmable per container: each GW pod installs rules for its own
+//! VNI/port space and chooses full-packet or header-only delivery.
+
+use albatross_packet::flow::IpProtocol;
+
+use crate::pkt::{DeliveryMode, NicPacket};
+
+/// The three forwarding paths out of pkt_dir.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketClass {
+    /// Dedicated priority queue; immune to data-plane saturation.
+    Priority,
+    /// Flow-level (RSS) distribution — stateful/order-sensitive traffic.
+    Rss,
+    /// Packet-level load balancing.
+    Plb,
+}
+
+/// One classification rule. Fields set to `None` match anything;
+/// the first matching rule wins.
+#[derive(Debug, Clone)]
+pub struct DirRule {
+    /// Match on L4 destination port.
+    pub dst_port: Option<u16>,
+    /// Match on transport protocol.
+    pub protocol: Option<IpProtocol>,
+    /// Match on tenant VNI.
+    pub vni: Option<u32>,
+    /// Match on the control-plane flag set by the port logic.
+    pub is_protocol_pkt: Option<bool>,
+    /// Resulting class.
+    pub class: PacketClass,
+    /// Resulting delivery mode.
+    pub delivery: DeliveryMode,
+}
+
+impl DirRule {
+    fn matches(&self, pkt: &NicPacket) -> bool {
+        self.dst_port.map_or(true, |p| pkt.tuple.dst_port == p)
+            && self.protocol.map_or(true, |pr| pkt.tuple.protocol == pr)
+            && self.vni.map_or(true, |v| pkt.vni == Some(v))
+            && self.is_protocol_pkt.map_or(true, |f| pkt.protocol == f)
+    }
+}
+
+/// The programmable director: an ordered rule list with a default class.
+#[derive(Debug, Clone)]
+pub struct PktDir {
+    rules: Vec<DirRule>,
+    default_class: PacketClass,
+    default_delivery: DeliveryMode,
+}
+
+impl PktDir {
+    /// Creates a director whose default (no rule matched) is `class` with
+    /// full-packet delivery.
+    pub fn new(default_class: PacketClass) -> Self {
+        Self {
+            rules: Vec::new(),
+            default_class,
+            default_delivery: DeliveryMode::FullPacket,
+        }
+    }
+
+    /// The production default configuration: protocol packets → priority,
+    /// BFD/BGP ports → priority, everything else → PLB with full delivery.
+    pub fn production_default() -> Self {
+        let mut dir = Self::new(PacketClass::Plb);
+        // Control-plane flag set by the port logic (strongest signal).
+        dir.push_rule(DirRule {
+            dst_port: None,
+            protocol: None,
+            vni: None,
+            is_protocol_pkt: Some(true),
+            class: PacketClass::Priority,
+            delivery: DeliveryMode::FullPacket,
+        });
+        // BGP (TCP/179) and BFD (UDP/3784) by port, belt and braces.
+        for (port, proto) in [(179, IpProtocol::Tcp), (3784, IpProtocol::Udp)] {
+            dir.push_rule(DirRule {
+                dst_port: Some(port),
+                protocol: Some(proto),
+                vni: None,
+                is_protocol_pkt: None,
+                class: PacketClass::Priority,
+                delivery: DeliveryMode::FullPacket,
+            });
+        }
+        dir
+    }
+
+    /// Appends a rule (evaluated after all existing rules).
+    pub fn push_rule(&mut self, rule: DirRule) {
+        self.rules.push(rule);
+    }
+
+    /// Routes all of `vni`'s traffic via RSS (for stateful pods).
+    pub fn pin_vni_to_rss(&mut self, vni: u32) {
+        self.push_rule(DirRule {
+            dst_port: None,
+            protocol: None,
+            vni: Some(vni),
+            is_protocol_pkt: None,
+            class: PacketClass::Rss,
+            delivery: DeliveryMode::FullPacket,
+        });
+    }
+
+    /// Enables header-only delivery for `vni` (jumbo-frame tenants).
+    pub fn set_vni_header_only(&mut self, vni: u32, class: PacketClass) {
+        self.push_rule(DirRule {
+            dst_port: None,
+            protocol: None,
+            vni: Some(vni),
+            is_protocol_pkt: None,
+            class,
+            delivery: DeliveryMode::HeaderOnly,
+        });
+    }
+
+    /// Classifies a packet, returning its class and stamping the delivery
+    /// mode onto the descriptor.
+    pub fn classify(&self, pkt: &mut NicPacket) -> PacketClass {
+        for rule in &self.rules {
+            if rule.matches(pkt) {
+                pkt.delivery = rule.delivery;
+                return rule.class;
+            }
+        }
+        pkt.delivery = self.default_delivery;
+        self.default_class
+    }
+
+    /// Number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albatross_packet::FiveTuple;
+    use albatross_sim::SimTime;
+
+    fn pkt(dst_port: u16, proto: IpProtocol, vni: Option<u32>, is_proto: bool) -> NicPacket {
+        let tuple = FiveTuple {
+            src_ip: "10.0.0.1".parse().unwrap(),
+            dst_ip: "10.0.0.2".parse().unwrap(),
+            src_port: 9000,
+            dst_port,
+            protocol: proto,
+        };
+        let mut p = NicPacket::data(1, tuple, vni, 256, SimTime::ZERO);
+        p.protocol = is_proto;
+        p
+    }
+
+    #[test]
+    fn protocol_flag_wins() {
+        let dir = PktDir::production_default();
+        let mut p = pkt(9999, IpProtocol::Udp, Some(5), true);
+        assert_eq!(dir.classify(&mut p), PacketClass::Priority);
+    }
+
+    #[test]
+    fn bgp_and_bfd_ports_are_priority() {
+        let dir = PktDir::production_default();
+        let mut bgp = pkt(179, IpProtocol::Tcp, None, false);
+        assert_eq!(dir.classify(&mut bgp), PacketClass::Priority);
+        let mut bfd = pkt(3784, IpProtocol::Udp, None, false);
+        assert_eq!(dir.classify(&mut bfd), PacketClass::Priority);
+        // Same port, wrong protocol → falls through to default.
+        let mut not_bgp = pkt(179, IpProtocol::Udp, None, false);
+        assert_eq!(dir.classify(&mut not_bgp), PacketClass::Plb);
+    }
+
+    #[test]
+    fn data_defaults_to_plb_full_delivery() {
+        let dir = PktDir::production_default();
+        let mut p = pkt(80, IpProtocol::Tcp, Some(7), false);
+        assert_eq!(dir.classify(&mut p), PacketClass::Plb);
+        assert_eq!(p.delivery, DeliveryMode::FullPacket);
+    }
+
+    #[test]
+    fn vni_pinned_to_rss() {
+        let mut dir = PktDir::production_default();
+        dir.pin_vni_to_rss(42);
+        let mut pinned = pkt(80, IpProtocol::Udp, Some(42), false);
+        assert_eq!(dir.classify(&mut pinned), PacketClass::Rss);
+        let mut other = pkt(80, IpProtocol::Udp, Some(43), false);
+        assert_eq!(dir.classify(&mut other), PacketClass::Plb);
+    }
+
+    #[test]
+    fn header_only_stamps_delivery() {
+        let mut dir = PktDir::production_default();
+        dir.set_vni_header_only(9, PacketClass::Plb);
+        let mut p = pkt(80, IpProtocol::Udp, Some(9), false);
+        assert_eq!(dir.classify(&mut p), PacketClass::Plb);
+        assert_eq!(p.delivery, DeliveryMode::HeaderOnly);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let mut dir = PktDir::new(PacketClass::Plb);
+        dir.pin_vni_to_rss(1);
+        dir.set_vni_header_only(1, PacketClass::Plb); // shadowed
+        let mut p = pkt(80, IpProtocol::Udp, Some(1), false);
+        assert_eq!(dir.classify(&mut p), PacketClass::Rss);
+        assert_eq!(p.delivery, DeliveryMode::FullPacket);
+    }
+}

@@ -1,0 +1,159 @@
+//! Strict-priority protocol queues (§4.3, second GOP technique).
+//!
+//! Protocol packets (BGP/BFD) travel through dedicated RX/TX priority
+//! queues: whenever the priority queue is non-empty it is served first, so
+//! data-plane saturation cannot starve control-plane keepalives. The §2.1
+//! war story — congested NIC ports dropping BGP messages and taking down
+//! every service on the gateway — is the failure this prevents; a test
+//! below reproduces it with the priority queue disabled.
+
+use albatross_sim::queue::Enqueue;
+use albatross_sim::BoundedQueue;
+
+use crate::pkt::NicPacket;
+
+/// A two-level strict-priority queue pair.
+#[derive(Debug)]
+pub struct PriorityQueues {
+    priority: BoundedQueue<NicPacket>,
+    data: BoundedQueue<NicPacket>,
+}
+
+impl PriorityQueues {
+    /// Creates queues with the given capacities.
+    pub fn new(priority_cap: usize, data_cap: usize) -> Self {
+        Self {
+            priority: BoundedQueue::new(priority_cap),
+            data: BoundedQueue::new(data_cap),
+        }
+    }
+
+    /// Enqueues a packet into its class's queue.
+    pub fn push(&mut self, pkt: NicPacket) -> Enqueue {
+        if pkt.protocol {
+            self.priority.push(pkt)
+        } else {
+            self.data.push(pkt)
+        }
+    }
+
+    /// Dequeues with strict priority: protocol packets always first.
+    pub fn pop(&mut self) -> Option<NicPacket> {
+        self.priority.pop().or_else(|| self.data.pop())
+    }
+
+    /// Protocol packets dropped (should stay 0 in any sane configuration).
+    pub fn priority_drops(&self) -> u64 {
+        self.priority.total_dropped()
+    }
+
+    /// Data packets dropped.
+    pub fn data_drops(&self) -> u64 {
+        self.data.total_dropped()
+    }
+
+    /// Items currently queued (both classes).
+    pub fn len(&self) -> usize {
+        self.priority.len() + self.data.len()
+    }
+
+    /// True when both queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albatross_packet::flow::IpProtocol;
+    use albatross_packet::FiveTuple;
+    use albatross_sim::SimTime;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            src_ip: "10.0.0.1".parse().unwrap(),
+            dst_ip: "10.0.0.2".parse().unwrap(),
+            src_port: 1,
+            dst_port: 179,
+            protocol: IpProtocol::Tcp,
+        }
+    }
+
+    fn data_pkt(id: u64) -> NicPacket {
+        NicPacket::data(id, tuple(), None, 256, SimTime::ZERO)
+    }
+
+    fn proto_pkt(id: u64) -> NicPacket {
+        NicPacket::protocol(id, tuple(), 64, SimTime::ZERO)
+    }
+
+    #[test]
+    fn protocol_packets_jump_the_queue() {
+        let mut q = PriorityQueues::new(16, 16);
+        q.push(data_pkt(1));
+        q.push(data_pkt(2));
+        q.push(proto_pkt(3));
+        assert_eq!(q.pop().unwrap().id, 3, "protocol packet must pop first");
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn saturated_data_plane_cannot_drop_protocol_packets() {
+        // Flood the data queue far past capacity, interleaving a few BFD
+        // keepalives: with dedicated priority queues, zero keepalives drop.
+        let mut q = PriorityQueues::new(16, 64);
+        let mut id = 0;
+        for burst in 0..10 {
+            for _ in 0..100 {
+                id += 1;
+                q.push(data_pkt(id));
+            }
+            id += 1;
+            q.push(proto_pkt(id));
+            // Drain slowly (overloaded CPU): 8 per burst.
+            for _ in 0..8 {
+                q.pop();
+            }
+            let _ = burst;
+        }
+        assert_eq!(q.priority_drops(), 0, "no BFD/BGP loss under overload");
+        assert!(q.data_drops() > 0, "data plane must be overloaded");
+    }
+
+    #[test]
+    fn shared_queue_baseline_drops_protocol_packets() {
+        // The §2.1 failure: one shared queue drops indiscriminately.
+        let mut shared: BoundedQueue<NicPacket> = BoundedQueue::new(64);
+        let mut proto_dropped = 0;
+        let mut id = 0;
+        for _ in 0..10 {
+            for _ in 0..100 {
+                id += 1;
+                shared.push(data_pkt(id));
+            }
+            id += 1;
+            if !shared.push(proto_pkt(id)).is_ok() {
+                proto_dropped += 1;
+            }
+            for _ in 0..8 {
+                shared.pop();
+            }
+        }
+        assert!(
+            proto_dropped > 0,
+            "shared queue must drop keepalives under overload"
+        );
+    }
+
+    #[test]
+    fn len_counts_both_classes() {
+        let mut q = PriorityQueues::new(4, 4);
+        assert!(q.is_empty());
+        q.push(data_pkt(1));
+        q.push(proto_pkt(2));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! SR-IOV virtualization of the NIC (appendix B).
+//!
+//! Each physical 100G port is a PF; VFs carved from the PFs are assigned to
+//! GW pods — 4 VFs per pod, spread across two NICs (four ports) of the same
+//! NUMA node so any single NIC/link failure costs the pod only one of four
+//! connections (Fig. B.1/B.2). Each VF carries `n` RX/TX queue pairs, where
+//! `n` is the pod's data-core count. VLAN ids address VFs on the wire.
+
+use std::collections::HashMap;
+
+/// Identifies one virtual function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VfId {
+    /// NIC index within the server.
+    pub nic: u8,
+    /// Port (PF) on that NIC.
+    pub port: u8,
+    /// VF slot on that PF.
+    pub slot: u8,
+}
+
+/// One virtual function's configuration.
+#[derive(Debug, Clone)]
+pub struct VfConfig {
+    /// The VF's identity.
+    pub id: VfId,
+    /// VLAN id addressing this VF on the wire.
+    pub vlan: u16,
+    /// Owning pod (opaque id).
+    pub pod: u32,
+    /// Number of RX/TX queue pairs (= pod data cores).
+    pub queue_pairs: u16,
+}
+
+/// Allocation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SriovError {
+    /// No VF slots remain on the required ports.
+    NoVfSlots,
+    /// The VLAN id is already assigned.
+    VlanInUse(u16),
+}
+
+impl std::fmt::Display for SriovError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SriovError::NoVfSlots => write!(f, "no VF slots remain"),
+            SriovError::VlanInUse(v) => write!(f, "VLAN {v} already in use"),
+        }
+    }
+}
+
+impl std::error::Error for SriovError {}
+
+/// VFs required per pod for the high-availability design (Fig. B.2).
+pub const VFS_PER_POD: usize = 4;
+
+/// The SR-IOV allocator for one NUMA node's two NICs (four 100G ports).
+#[derive(Debug)]
+pub struct SriovAllocator {
+    /// Max VFs per PF.
+    vfs_per_pf: u8,
+    /// (nic, port) → next free slot.
+    next_slot: HashMap<(u8, u8), u8>,
+    vfs: Vec<VfConfig>,
+    vlan_to_vf: HashMap<u16, VfId>,
+    next_vlan: u16,
+}
+
+impl SriovAllocator {
+    /// Creates an allocator with `vfs_per_pf` VF slots per port.
+    pub fn new(vfs_per_pf: u8) -> Self {
+        Self {
+            vfs_per_pf,
+            next_slot: HashMap::new(),
+            vfs: Vec::new(),
+            vlan_to_vf: HashMap::new(),
+            next_vlan: 100,
+        }
+    }
+
+    /// Allocates the pod's 4 VFs — one per port, across both NICs — each
+    /// with `data_cores` queue pairs. Returns the VF configs.
+    pub fn allocate_pod(
+        &mut self,
+        pod: u32,
+        data_cores: u16,
+    ) -> Result<Vec<VfConfig>, SriovError> {
+        // One VF on each of the four (nic, port) combinations of this NUMA
+        // node: NICs 0-1, ports 0-1.
+        let targets = [(0u8, 0u8), (0, 1), (1, 0), (1, 1)];
+        // First pass: check capacity everywhere before mutating.
+        for &(nic, port) in &targets {
+            let used = *self.next_slot.get(&(nic, port)).unwrap_or(&0);
+            if used >= self.vfs_per_pf {
+                return Err(SriovError::NoVfSlots);
+            }
+        }
+        let mut out = Vec::with_capacity(VFS_PER_POD);
+        for &(nic, port) in &targets {
+            let slot = self.next_slot.entry((nic, port)).or_insert(0);
+            let id = VfId {
+                nic,
+                port,
+                slot: *slot,
+            };
+            *slot += 1;
+            let vlan = self.next_vlan;
+            self.next_vlan += 1;
+            let cfg = VfConfig {
+                id,
+                vlan,
+                pod,
+                queue_pairs: data_cores,
+            };
+            self.vlan_to_vf.insert(vlan, id);
+            self.vfs.push(cfg.clone());
+            out.push(cfg);
+        }
+        Ok(out)
+    }
+
+    /// Looks up the VF addressed by a wire VLAN id.
+    pub fn vf_for_vlan(&self, vlan: u16) -> Option<VfId> {
+        self.vlan_to_vf.get(&vlan).copied()
+    }
+
+    /// All allocated VFs.
+    pub fn vfs(&self) -> &[VfConfig] {
+        &self.vfs
+    }
+
+    /// Number of pods that can still be placed.
+    pub fn remaining_pod_capacity(&self) -> usize {
+        let targets = [(0u8, 0u8), (0, 1), (1, 0), (1, 1)];
+        targets
+            .iter()
+            .map(|k| (self.vfs_per_pf - self.next_slot.get(k).unwrap_or(&0)) as usize)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Simulates the failure of one NIC: returns, per pod, how many of its
+    /// VFs survive (the Fig. B.2 independence property).
+    pub fn surviving_vfs_after_nic_failure(&self, failed_nic: u8) -> HashMap<u32, usize> {
+        let mut surviving: HashMap<u32, usize> = HashMap::new();
+        for vf in &self.vfs {
+            if vf.id.nic != failed_nic {
+                *surviving.entry(vf.pod).or_insert(0) += 1;
+            }
+        }
+        surviving
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_gets_four_vfs_across_ports() {
+        let mut alloc = SriovAllocator::new(8);
+        let vfs = alloc.allocate_pod(1, 44).unwrap();
+        assert_eq!(vfs.len(), 4);
+        let ports: std::collections::HashSet<_> =
+            vfs.iter().map(|v| (v.id.nic, v.id.port)).collect();
+        assert_eq!(ports.len(), 4, "VFs must land on 4 distinct ports");
+        assert!(vfs.iter().all(|v| v.queue_pairs == 44));
+    }
+
+    #[test]
+    fn vlan_lookup_resolves() {
+        let mut alloc = SriovAllocator::new(8);
+        let vfs = alloc.allocate_pod(7, 20).unwrap();
+        for vf in &vfs {
+            assert_eq!(alloc.vf_for_vlan(vf.vlan), Some(vf.id));
+        }
+        assert_eq!(alloc.vf_for_vlan(9999), None);
+    }
+
+    #[test]
+    fn capacity_exhausts_cleanly() {
+        let mut alloc = SriovAllocator::new(2);
+        assert_eq!(alloc.remaining_pod_capacity(), 2);
+        alloc.allocate_pod(1, 10).unwrap();
+        alloc.allocate_pod(2, 10).unwrap();
+        assert_eq!(alloc.remaining_pod_capacity(), 0);
+        assert_eq!(alloc.allocate_pod(3, 10).unwrap_err(), SriovError::NoVfSlots);
+        // Failed allocation must not leak slots.
+        assert_eq!(alloc.vfs().len(), 8);
+    }
+
+    #[test]
+    fn nic_failure_leaves_half_the_vfs() {
+        let mut alloc = SriovAllocator::new(4);
+        alloc.allocate_pod(1, 10).unwrap();
+        alloc.allocate_pod(2, 10).unwrap();
+        let surviving = alloc.surviving_vfs_after_nic_failure(0);
+        // Each pod keeps the 2 VFs on NIC 1.
+        assert_eq!(surviving[&1], 2);
+        assert_eq!(surviving[&2], 2);
+    }
+
+    #[test]
+    fn vlans_are_unique() {
+        let mut alloc = SriovAllocator::new(8);
+        alloc.allocate_pod(1, 4).unwrap();
+        alloc.allocate_pod(2, 4).unwrap();
+        let vlans: std::collections::HashSet<_> = alloc.vfs().iter().map(|v| v.vlan).collect();
+        assert_eq!(vlans.len(), alloc.vfs().len());
+    }
+}

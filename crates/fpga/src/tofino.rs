@@ -1,0 +1,284 @@
+//! Tofino resource model for the Sailfish baseline (Tab. 1, §2.1).
+//!
+//! Sailfish (the 2nd-gen Tofino gateway) folds its program across 4
+//! pipelines; pipeline pair 0,2 (gateway entry, heavy protocol parsing) is
+//! PHV-bound at 97.0%, pair 1,3 (VM-NC mapping tables) is SRAM-bound at
+//! 96.4%. The model exists to regenerate Tab. 1 and to demonstrate the
+//! §2.1 evolution blockers: adding a new header (NSH/Geneve) or a large
+//! table to the production program fails "compilation" because the pair is
+//! out of PHV/SRAM/stages — the motivation for Albatross.
+
+/// Per-pipeline resource capacity of a Tofino-class switch ASIC
+/// (abstract units; fractions are what Tab. 1 reports).
+#[derive(Debug, Clone, Copy)]
+pub struct TofinoPipeCapacity {
+    /// SRAM blocks per pipeline.
+    pub sram_blocks: u32,
+    /// TCAM blocks per pipeline.
+    pub tcam_blocks: u32,
+    /// PHV capacity in bits.
+    pub phv_bits: u32,
+    /// Match-action stages per pipeline.
+    pub stages: u32,
+}
+
+impl TofinoPipeCapacity {
+    /// Tofino-1 class capacity: 12 stages, 80 SRAM + 24 TCAM blocks per
+    /// stage, ~4 Kb PHV.
+    pub fn tofino1() -> Self {
+        Self {
+            sram_blocks: 960,
+            tcam_blocks: 288,
+            phv_bits: 4096,
+            stages: 12,
+        }
+    }
+}
+
+/// A feature deployed on one pipeline pair: parsers consume PHV, tables
+/// consume SRAM/TCAM and stages.
+#[derive(Debug, Clone)]
+pub struct Feature {
+    /// Feature name (protocol or table).
+    pub name: String,
+    /// PHV bits demanded (header fields carried between stages).
+    pub phv_bits: u32,
+    /// SRAM blocks demanded.
+    pub sram_blocks: u32,
+    /// TCAM blocks demanded.
+    pub tcam_blocks: u32,
+    /// Match-action stages demanded (dependency chain length).
+    pub stages: u32,
+}
+
+impl Feature {
+    /// Convenience constructor.
+    pub fn new(name: &str, phv_bits: u32, sram_blocks: u32, tcam_blocks: u32, stages: u32) -> Self {
+        Self {
+            name: name.to_string(),
+            phv_bits,
+            sram_blocks,
+            tcam_blocks,
+            stages,
+        }
+    }
+}
+
+/// Why a feature cannot be added (§2.1's three blockers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Not enough PHV left on the pair ("new packet headers").
+    PhvExhausted {
+        /// Bits requested.
+        needed: u32,
+        /// Bits remaining.
+        available: u32,
+    },
+    /// Not enough SRAM left ("large table capacity demand").
+    SramExhausted {
+        /// Blocks requested.
+        needed: u32,
+        /// Blocks remaining.
+        available: u32,
+    },
+    /// Not enough TCAM left.
+    TcamExhausted {
+        /// Blocks requested.
+        needed: u32,
+        /// Blocks remaining.
+        available: u32,
+    },
+    /// Dependency chain longer than remaining stages ("long-chained
+    /// functions").
+    StagesExhausted {
+        /// Stages requested.
+        needed: u32,
+        /// Stages remaining.
+        available: u32,
+    },
+}
+
+/// One folded pipeline pair (0,2 or 1,3) with its deployed features.
+#[derive(Debug, Clone)]
+pub struct PipelinePair {
+    capacity: TofinoPipeCapacity,
+    features: Vec<Feature>,
+}
+
+impl PipelinePair {
+    /// Creates an empty pair with the given per-pipe capacity.
+    pub fn new(capacity: TofinoPipeCapacity) -> Self {
+        Self {
+            capacity,
+            features: Vec::new(),
+        }
+    }
+
+    fn used(&self, f: impl Fn(&Feature) -> u32) -> u32 {
+        self.features.iter().map(f).sum()
+    }
+
+    /// Attempts to deploy a feature, enforcing all four resource classes.
+    pub fn try_add(&mut self, feature: Feature) -> Result<(), CompileError> {
+        let cap = self.capacity;
+        let phv_left = cap.phv_bits - self.used(|f| f.phv_bits);
+        if feature.phv_bits > phv_left {
+            return Err(CompileError::PhvExhausted {
+                needed: feature.phv_bits,
+                available: phv_left,
+            });
+        }
+        let sram_left = cap.sram_blocks - self.used(|f| f.sram_blocks);
+        if feature.sram_blocks > sram_left {
+            return Err(CompileError::SramExhausted {
+                needed: feature.sram_blocks,
+                available: sram_left,
+            });
+        }
+        let tcam_left = cap.tcam_blocks - self.used(|f| f.tcam_blocks);
+        if feature.tcam_blocks > tcam_left {
+            return Err(CompileError::TcamExhausted {
+                needed: feature.tcam_blocks,
+                available: tcam_left,
+            });
+        }
+        let stages_left = cap.stages - self.used(|f| f.stages).min(cap.stages);
+        if feature.stages > stages_left {
+            return Err(CompileError::StagesExhausted {
+                needed: feature.stages,
+                available: stages_left,
+            });
+        }
+        self.features.push(feature);
+        Ok(())
+    }
+
+    /// `(sram, tcam, phv)` utilization fractions — one Tab. 1 row group.
+    pub fn utilization(&self) -> (f64, f64, f64) {
+        let cap = self.capacity;
+        (
+            self.used(|f| f.sram_blocks) as f64 / cap.sram_blocks as f64,
+            self.used(|f| f.tcam_blocks) as f64 / cap.tcam_blocks as f64,
+            self.used(|f| f.phv_bits) as f64 / cap.phv_bits as f64,
+        )
+    }
+}
+
+/// The Sailfish production program: both folded pipeline pairs.
+#[derive(Debug, Clone)]
+pub struct SailfishProgram {
+    /// Pipelines 0,2 — gateway entry, protocol parsing heavy.
+    pub pair02: PipelinePair,
+    /// Pipelines 1,3 — VM-NC mapping tables, SRAM heavy.
+    pub pair13: PipelinePair,
+}
+
+impl SailfishProgram {
+    /// Deploys the production feature set, reproducing Tab. 1's utilization.
+    pub fn production() -> Self {
+        let cap = TofinoPipeCapacity::tofino1();
+        let mut pair02 = PipelinePair::new(cap);
+        // Entry pair: dozens of protocol parsers dominate PHV.
+        for f in [
+            Feature::new("eth_vlan_parse", 480, 40, 20, 1),
+            Feature::new("ipv4_ipv6_parse", 800, 60, 24, 1),
+            Feature::new("vxlan_geneve_gre", 720, 80, 16, 1),
+            Feature::new("tcp_udp_icmp", 560, 40, 8, 1),
+            Feature::new("tunnel_term_table", 420, 180, 20, 2),
+            Feature::new("ingress_acl", 320, 120, 16, 2),
+            Feature::new("vpc_route_lookup", 360, 100, 8, 2),
+            Feature::new("probe_telemetry", 312, 44, 4, 1),
+        ] {
+            pair02.try_add(f).expect("production pair02 must compile");
+        }
+        let mut pair13 = PipelinePair::new(cap);
+        // Table pair: VM-NC mapping for millions of tenants dominates SRAM.
+        for f in [
+            Feature::new("vm_nc_mapping_a", 800, 360, 64, 3),
+            Feature::new("vm_nc_mapping_b", 700, 320, 48, 3),
+            Feature::new("snat_table", 600, 140, 40, 2),
+            Feature::new("meter_tables", 400, 60, 24, 1),
+            Feature::new("egress_rewrite", 871, 45, 16, 2),
+        ] {
+            pair13.try_add(f).expect("production pair13 must compile");
+        }
+        Self { pair02, pair13 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_utilization_matches_tab1() {
+        let p = SailfishProgram::production();
+        let (sram02, tcam02, phv02) = p.pair02.utilization();
+        let (sram13, tcam13, phv13) = p.pair13.utilization();
+        // Tab. 1: pipe0,2 = 69.2% SRAM, 40.3% TCAM, 97.0% PHV
+        assert!((sram02 - 0.692).abs() < 0.01, "sram02={sram02}");
+        assert!((tcam02 - 0.403).abs() < 0.01, "tcam02={tcam02}");
+        assert!((phv02 - 0.970).abs() < 0.01, "phv02={phv02}");
+        // Tab. 1: pipe1,3 = 96.4% SRAM, 66.7% TCAM, 82.3% PHV
+        assert!((sram13 - 0.964).abs() < 0.01, "sram13={sram13}");
+        assert!((tcam13 - 0.667).abs() < 0.01, "tcam13={tcam13}");
+        assert!((phv13 - 0.823).abs() < 0.01, "phv13={phv13}");
+    }
+
+    #[test]
+    fn adding_nsh_header_fails_on_phv() {
+        // §2.1 blocker 1: "adding new headers, such as NSH and Geneve, is
+        // nearly impossible and results in compilation errors".
+        let mut p = SailfishProgram::production();
+        let nsh = Feature::new("nsh_parse", 256, 10, 0, 1);
+        match p.pair02.try_add(nsh) {
+            Err(CompileError::PhvExhausted { needed, available }) => {
+                assert_eq!(needed, 256);
+                assert!(available < 256);
+            }
+            other => panic!("expected PHV exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adding_large_table_fails_on_sram() {
+        // §2.1 blocker 2: "adding new or large tables becomes very
+        // difficult".
+        let mut p = SailfishProgram::production();
+        let table = Feature::new("new_big_table", 16, 120, 0, 1);
+        assert!(matches!(
+            p.pair13.try_add(table),
+            Err(CompileError::SramExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn long_chain_fails_on_stages() {
+        // §2.1 blocker 3: "if the number of required stages exceeds the
+        // total stages on the pipeline, compilation will fail."
+        let mut p = SailfishProgram::production();
+        let chained = Feature::new("long_chain_fn", 8, 4, 0, 6);
+        assert!(matches!(
+            p.pair13.try_add(chained),
+            Err(CompileError::StagesExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_pair_accepts_features() {
+        let mut pair = PipelinePair::new(TofinoPipeCapacity::tofino1());
+        assert!(pair.try_add(Feature::new("x", 100, 10, 5, 2)).is_ok());
+        let (s, t, p) = pair.utilization();
+        assert!(s > 0.0 && t > 0.0 && p > 0.0);
+    }
+
+    #[test]
+    fn tcam_exhaustion_detected() {
+        let mut pair = PipelinePair::new(TofinoPipeCapacity::tofino1());
+        pair.try_add(Feature::new("a", 0, 0, 288, 1)).unwrap();
+        assert!(matches!(
+            pair.try_add(Feature::new("b", 0, 0, 1, 1)),
+            Err(CompileError::TcamExhausted { .. })
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Ordered 5-tuple ACL rules.
+//!
+//! Security-group filtering in the gateway services. ACL denials are one of
+//! the CPU-side packet-drop sources that would cause reorder-queue HOL
+//! blocking if not signalled back with the drop flag (§4.1 HOL handling #2,
+//! Fig. 12) — the Fig. 12 harness installs deny rules here.
+
+use std::ops::RangeInclusive;
+
+use albatross_packet::flow::IpProtocol;
+use albatross_packet::FiveTuple;
+
+use crate::lpm::Prefix;
+
+/// Rule verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclAction {
+    /// Forward the packet.
+    Allow,
+    /// Drop the packet (GW pod sets the PLB drop flag).
+    Deny,
+}
+
+/// One ACL rule; `None` fields are wildcards. First match wins.
+#[derive(Debug, Clone)]
+pub struct AclRule {
+    /// Source prefix match.
+    pub src: Option<Prefix>,
+    /// Destination prefix match.
+    pub dst: Option<Prefix>,
+    /// Destination port range match.
+    pub dst_ports: Option<RangeInclusive<u16>>,
+    /// Protocol match.
+    pub protocol: Option<IpProtocol>,
+    /// Verdict on match.
+    pub action: AclAction,
+}
+
+impl AclRule {
+    /// A rule matching everything with the given action.
+    pub fn any(action: AclAction) -> Self {
+        Self {
+            src: None,
+            dst: None,
+            dst_ports: None,
+            protocol: None,
+            action,
+        }
+    }
+
+    fn matches(&self, t: &FiveTuple) -> bool {
+        self.src.map_or(true, |p| p.contains(t.src_ip))
+            && self.dst.map_or(true, |p| p.contains(t.dst_ip))
+            && self
+                .dst_ports
+                .as_ref()
+                .map_or(true, |r| r.contains(&t.dst_port))
+            && self.protocol.map_or(true, |p| t.protocol == p)
+    }
+}
+
+/// An ordered rule list with a default action.
+#[derive(Debug)]
+pub struct AclTable {
+    rules: Vec<AclRule>,
+    default_action: AclAction,
+    allowed: u64,
+    denied: u64,
+}
+
+impl AclTable {
+    /// Creates a table with the given default (applied when nothing
+    /// matches).
+    pub fn new(default_action: AclAction) -> Self {
+        Self {
+            rules: Vec::new(),
+            default_action,
+            allowed: 0,
+            denied: 0,
+        }
+    }
+
+    /// Appends a rule.
+    pub fn push(&mut self, rule: AclRule) {
+        self.rules.push(rule);
+    }
+
+    /// Evaluates a packet.
+    pub fn evaluate(&mut self, tuple: &FiveTuple) -> AclAction {
+        let action = self
+            .rules
+            .iter()
+            .find(|r| r.matches(tuple))
+            .map_or(self.default_action, |r| r.action);
+        match action {
+            AclAction::Allow => self.allowed += 1,
+            AclAction::Deny => self.denied += 1,
+        }
+        action
+    }
+
+    /// Number of rules installed.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the table has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Packets allowed so far.
+    pub fn allowed(&self) -> u64 {
+        self.allowed
+    }
+
+    /// Packets denied so far.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(src: &str, dst: &str, dst_port: u16, proto: IpProtocol) -> FiveTuple {
+        FiveTuple {
+            src_ip: src.parse().unwrap(),
+            dst_ip: dst.parse().unwrap(),
+            src_port: 40_000,
+            dst_port,
+            protocol: proto,
+        }
+    }
+
+    #[test]
+    fn first_match_wins_over_later_rules() {
+        let mut acl = AclTable::new(AclAction::Allow);
+        acl.push(AclRule {
+            src: Some(Prefix::new("10.0.0.0".parse().unwrap(), 24)),
+            dst: None,
+            dst_ports: None,
+            protocol: None,
+            action: AclAction::Deny,
+        });
+        acl.push(AclRule::any(AclAction::Allow));
+        assert_eq!(
+            acl.evaluate(&tuple("10.0.0.7", "1.1.1.1", 80, IpProtocol::Tcp)),
+            AclAction::Deny
+        );
+        assert_eq!(
+            acl.evaluate(&tuple("10.0.1.7", "1.1.1.1", 80, IpProtocol::Tcp)),
+            AclAction::Allow
+        );
+        assert_eq!(acl.denied(), 1);
+        assert_eq!(acl.allowed(), 1);
+    }
+
+    #[test]
+    fn port_range_and_protocol_match() {
+        let mut acl = AclTable::new(AclAction::Deny);
+        acl.push(AclRule {
+            src: None,
+            dst: None,
+            dst_ports: Some(80..=443),
+            protocol: Some(IpProtocol::Tcp),
+            action: AclAction::Allow,
+        });
+        assert_eq!(
+            acl.evaluate(&tuple("2.2.2.2", "3.3.3.3", 443, IpProtocol::Tcp)),
+            AclAction::Allow
+        );
+        assert_eq!(
+            acl.evaluate(&tuple("2.2.2.2", "3.3.3.3", 443, IpProtocol::Udp)),
+            AclAction::Deny,
+            "protocol mismatch must fall through"
+        );
+        assert_eq!(
+            acl.evaluate(&tuple("2.2.2.2", "3.3.3.3", 8080, IpProtocol::Tcp)),
+            AclAction::Deny,
+            "port outside range must fall through"
+        );
+    }
+
+    #[test]
+    fn empty_table_uses_default() {
+        let mut acl = AclTable::new(AclAction::Allow);
+        assert!(acl.is_empty());
+        assert_eq!(
+            acl.evaluate(&tuple("9.9.9.9", "8.8.8.8", 53, IpProtocol::Udp)),
+            AclAction::Allow
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Stateful source NAT.
+//!
+//! The canonical self-updating-table service from §2.1: a first packet of a
+//! flow *allocates* a public `(ip, port)` binding — the data plane writes
+//! its own table, which Tofino cannot do (entries only writable via the
+//! control-plane runtime API) and which motivated keeping packet processing
+//! on the CPU. Sessions age out on inactivity, replacing Tofino's missing
+//! timers.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use albatross_packet::FiveTuple;
+use albatross_sim::SimTime;
+
+/// A NAT binding for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatBinding {
+    /// Public source address after translation.
+    pub public_ip: Ipv4Addr,
+    /// Public source port after translation.
+    pub public_port: u16,
+}
+
+#[derive(Debug, Clone)]
+struct Session {
+    binding: NatBinding,
+    last_active: SimTime,
+}
+
+/// SNAT table with port-block allocation and inactivity aging.
+#[derive(Debug)]
+pub struct SnatTable {
+    /// Public IPs available to this gateway.
+    public_ips: Vec<Ipv4Addr>,
+    /// Next port to try per public IP index.
+    next_port: Vec<u16>,
+    /// Forward map: private tuple → session.
+    sessions: HashMap<FiveTuple, Session>,
+    /// Reverse map: (public ip, public port) → private tuple.
+    reverse: HashMap<(Ipv4Addr, u16), FiveTuple>,
+    /// Inactivity timeout.
+    timeout: SimTime,
+    created: u64,
+    expired: u64,
+}
+
+/// First usable NAT port (below are reserved).
+const PORT_FLOOR: u16 = 1024;
+
+impl SnatTable {
+    /// Creates a table over `public_ips` with the given inactivity timeout.
+    ///
+    /// # Panics
+    /// Panics when no public IPs are supplied.
+    pub fn new(public_ips: Vec<Ipv4Addr>, timeout: SimTime) -> Self {
+        assert!(!public_ips.is_empty(), "SNAT needs at least one public IP");
+        let n = public_ips.len();
+        Self {
+            public_ips,
+            next_port: vec![PORT_FLOOR; n],
+            sessions: HashMap::new(),
+            reverse: HashMap::new(),
+            timeout,
+            created: 0,
+            expired: 0,
+        }
+    }
+
+    /// Translates an outbound packet, creating a session on first sight.
+    /// Returns `None` when the port space is exhausted.
+    pub fn translate_outbound(&mut self, tuple: &FiveTuple, now: SimTime) -> Option<NatBinding> {
+        if let Some(s) = self.sessions.get_mut(tuple) {
+            s.last_active = now;
+            return Some(s.binding);
+        }
+        let binding = self.allocate(tuple)?;
+        self.sessions.insert(
+            *tuple,
+            Session {
+                binding,
+                last_active: now,
+            },
+        );
+        self.created += 1;
+        Some(binding)
+    }
+
+    fn allocate(&mut self, tuple: &FiveTuple) -> Option<NatBinding> {
+        // Spread flows over public IPs by flow hash; linear-probe ports.
+        let start_ip = (tuple.compact_hash() as usize) % self.public_ips.len();
+        for k in 0..self.public_ips.len() {
+            let ip_idx = (start_ip + k) % self.public_ips.len();
+            let ip = self.public_ips[ip_idx];
+            let mut tries = 0u32;
+            while tries < u32::from(u16::MAX - PORT_FLOOR) {
+                let port = self.next_port[ip_idx];
+                self.next_port[ip_idx] = if port == u16::MAX {
+                    PORT_FLOOR
+                } else {
+                    port + 1
+                };
+                if !self.reverse.contains_key(&(ip, port)) {
+                    self.reverse.insert((ip, port), *tuple);
+                    return Some(NatBinding {
+                        public_ip: ip,
+                        public_port: port,
+                    });
+                }
+                tries += 1;
+            }
+        }
+        None
+    }
+
+    /// Resolves an inbound (return-path) packet addressed to a public
+    /// binding back to the private flow.
+    pub fn translate_inbound(
+        &mut self,
+        public_ip: Ipv4Addr,
+        public_port: u16,
+        now: SimTime,
+    ) -> Option<FiveTuple> {
+        let tuple = *self.reverse.get(&(public_ip, public_port))?;
+        if let Some(s) = self.sessions.get_mut(&tuple) {
+            s.last_active = now;
+        }
+        Some(tuple)
+    }
+
+    /// Ages out sessions idle longer than the timeout. Returns how many
+    /// were reclaimed. (The control plane ran this on Tofino; on Albatross
+    /// a ctrl core runs it.)
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let timeout = self.timeout.as_nanos();
+        let dead: Vec<FiveTuple> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| now.saturating_since(s.last_active) > timeout)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in &dead {
+            if let Some(s) = self.sessions.remove(t) {
+                self.reverse
+                    .remove(&(s.binding.public_ip, s.binding.public_port));
+            }
+        }
+        self.expired += dead.len() as u64;
+        dead.len()
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Sessions created since start.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Sessions expired since start.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albatross_packet::flow::IpProtocol;
+
+    fn tuple(src_port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: "10.0.0.4".parse().unwrap(),
+            dst_ip: "93.184.216.34".parse().unwrap(),
+            src_port,
+            dst_port: 443,
+            protocol: IpProtocol::Tcp,
+        }
+    }
+
+    fn table() -> SnatTable {
+        SnatTable::new(
+            vec!["47.1.1.1".parse().unwrap(), "47.1.1.2".parse().unwrap()],
+            SimTime::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn same_flow_keeps_its_binding() {
+        let mut t = table();
+        let b1 = t.translate_outbound(&tuple(1000), SimTime::ZERO).unwrap();
+        let b2 = t
+            .translate_outbound(&tuple(1000), SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(t.created(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn different_flows_get_distinct_bindings() {
+        let mut t = table();
+        let b1 = t.translate_outbound(&tuple(1000), SimTime::ZERO).unwrap();
+        let b2 = t.translate_outbound(&tuple(1001), SimTime::ZERO).unwrap();
+        assert_ne!(
+            (b1.public_ip, b1.public_port),
+            (b2.public_ip, b2.public_port)
+        );
+    }
+
+    #[test]
+    fn inbound_resolves_to_private_flow() {
+        let mut t = table();
+        let flow = tuple(2222);
+        let b = t.translate_outbound(&flow, SimTime::ZERO).unwrap();
+        let resolved = t.translate_inbound(b.public_ip, b.public_port, SimTime::from_secs(1));
+        assert_eq!(resolved, Some(flow));
+        assert_eq!(t.translate_inbound(b.public_ip, 1, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn idle_sessions_expire_and_ports_recycle() {
+        let mut t = table();
+        let flow = tuple(3000);
+        let b = t.translate_outbound(&flow, SimTime::ZERO).unwrap();
+        // Inbound traffic keeps it alive.
+        t.translate_inbound(b.public_ip, b.public_port, SimTime::from_secs(50));
+        assert_eq!(t.expire(SimTime::from_secs(100)), 0, "kept alive at t=50");
+        // Now it idles past the timeout.
+        assert_eq!(t.expire(SimTime::from_secs(200)), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.expired(), 1);
+        // The reverse entry is gone; the binding can be reallocated.
+        assert_eq!(
+            t.translate_inbound(b.public_ip, b.public_port, SimTime::from_secs(201)),
+            None
+        );
+    }
+
+    #[test]
+    fn active_sessions_survive_expiry_sweeps() {
+        let mut t = table();
+        for p in 0..100 {
+            t.translate_outbound(&tuple(p), SimTime::from_secs(10)).unwrap();
+        }
+        assert_eq!(t.expire(SimTime::from_secs(30)), 0);
+        assert_eq!(t.len(), 100);
+    }
+}

@@ -1,0 +1,191 @@
+//! Stateful-NF session state backends (§7, "Stateful network function
+//! support with PLB").
+//!
+//! Under PLB, packets of one flow execute on *different* cores, so flow
+//! state becomes shared state. The paper's finding: *write-light* NFs
+//! (state written at session establishment/termination only) scale roughly
+//! linearly with cores, while *write-heavy* NFs (per-packet counters)
+//! collapse under lock and cache-coherence contention — and removing the
+//! locks doesn't help, because coherence traffic remains. The fix is making
+//! state core-local.
+//!
+//! Both backends here are real concurrent structures exercised by real
+//! threads in the `stateful_nf_scaling` bench:
+//!
+//! * [`LockedSessionTable`] — one shared map behind a mutex: the
+//!   write-heavy anti-pattern.
+//! * [`ShardedSessionTable`] — per-core shards (the "transform shared-states
+//!   into local-states" optimization); aggregation sums shards on read.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Per-flow session state (a session counter NF: bytes + packets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Packets seen.
+    pub packets: u64,
+    /// Bytes seen.
+    pub bytes: u64,
+}
+
+/// A backend for per-flow counters updated from many cores.
+pub trait SessionBackend: Send + Sync {
+    /// Charges one packet of `bytes` to `flow` from `core`.
+    fn record(&self, core: usize, flow: u64, bytes: u64);
+    /// Total counters for `flow`, aggregated across cores.
+    fn get(&self, flow: u64) -> SessionCounters;
+    /// Number of distinct flows tracked.
+    fn flows(&self) -> usize;
+}
+
+/// One global map behind a mutex — per-packet writes serialize on the lock
+/// *and* on the cache line holding it.
+#[derive(Debug, Default)]
+pub struct LockedSessionTable {
+    inner: Mutex<HashMap<u64, SessionCounters>>,
+}
+
+impl LockedSessionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SessionBackend for LockedSessionTable {
+    fn record(&self, _core: usize, flow: u64, bytes: u64) {
+        let mut map = self.inner.lock();
+        let e = map.entry(flow).or_default();
+        e.packets += 1;
+        e.bytes += bytes;
+    }
+
+    fn get(&self, flow: u64) -> SessionCounters {
+        self.inner.lock().get(&flow).copied().unwrap_or_default()
+    }
+
+    fn flows(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+/// Cache-line-padded shard so neighbouring shards never false-share.
+#[derive(Debug)]
+struct Shard {
+    map: Mutex<HashMap<u64, SessionCounters>>,
+    _pad: [u8; 64],
+}
+
+/// Per-core shards: each core writes only its own shard (no inter-core
+/// contention on the write path); reads aggregate across shards.
+#[derive(Debug)]
+pub struct ShardedSessionTable {
+    shards: Vec<Shard>,
+}
+
+impl ShardedSessionTable {
+    /// Creates a table with one shard per core.
+    ///
+    /// # Panics
+    /// Panics when `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one shard");
+        Self {
+            shards: (0..cores)
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                    _pad: [0; 64],
+                })
+                .collect(),
+        }
+    }
+}
+
+impl SessionBackend for ShardedSessionTable {
+    fn record(&self, core: usize, flow: u64, bytes: u64) {
+        let shard = &self.shards[core % self.shards.len()];
+        let mut map = shard.map.lock();
+        let e = map.entry(flow).or_default();
+        e.packets += 1;
+        e.bytes += bytes;
+    }
+
+    fn get(&self, flow: u64) -> SessionCounters {
+        let mut total = SessionCounters::default();
+        for shard in &self.shards {
+            if let Some(c) = shard.map.lock().get(&flow) {
+                total.packets += c.packets;
+                total.bytes += c.bytes;
+            }
+        }
+        total
+    }
+
+    fn flows(&self) -> usize {
+        let mut flows = std::collections::HashSet::new();
+        for shard in &self.shards {
+            flows.extend(shard.map.lock().keys().copied());
+        }
+        flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn exercise(backend: Arc<dyn SessionBackend>, cores: usize, per_core: u64) {
+        let mut handles = Vec::new();
+        for core in 0..cores {
+            let b = Arc::clone(&backend);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_core {
+                    // Everyone hammers flow 1 (write-heavy) plus a private
+                    // flow per core.
+                    b.record(core, 1, 100);
+                    b.record(core, 1000 + core as u64, 1);
+                    let _ = i;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn locked_table_counts_exactly_under_concurrency() {
+        let t: Arc<dyn SessionBackend> = Arc::new(LockedSessionTable::new());
+        exercise(Arc::clone(&t), 4, 10_000);
+        let c = t.get(1);
+        assert_eq!(c.packets, 40_000);
+        assert_eq!(c.bytes, 4_000_000);
+        assert_eq!(t.flows(), 5);
+    }
+
+    #[test]
+    fn sharded_table_counts_exactly_under_concurrency() {
+        let t: Arc<dyn SessionBackend> = Arc::new(ShardedSessionTable::new(4));
+        exercise(Arc::clone(&t), 4, 10_000);
+        let c = t.get(1);
+        assert_eq!(c.packets, 40_000, "aggregation must see all shards");
+        assert_eq!(t.flows(), 5);
+    }
+
+    #[test]
+    fn sharded_reads_of_unknown_flow_are_zero() {
+        let t = ShardedSessionTable::new(2);
+        assert_eq!(t.get(42), SessionCounters::default());
+        assert_eq!(t.flows(), 0);
+    }
+
+    #[test]
+    fn core_ids_beyond_shard_count_wrap() {
+        let t = ShardedSessionTable::new(2);
+        t.record(7, 5, 10); // shard 1
+        assert_eq!(t.get(5).packets, 1);
+    }
+}

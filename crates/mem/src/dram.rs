@@ -1,0 +1,98 @@
+//! DRAM latency model.
+//!
+//! §4.2: "we prefer models with low memory access latency and high memory
+//! frequency. According to our tests, when the memory frequency is increased
+//! from 4800 MHz to 5600 MHz, the gateway performance improves by
+//! approximately 8%." With a ~35% L3 hit rate, ~65% of accesses pay DRAM
+//! latency; an 8% end-to-end gain from a 16.7% frequency bump is consistent
+//! with DRAM latency scaling inversely with frequency on roughly half of the
+//! per-packet cost — which is exactly what this model produces when combined
+//! with the service cost model in `albatross-gateway`.
+
+/// DRAM + L3 access-latency parameters.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    freq_mhz: u32,
+    /// L3 hit latency (frequency-independent).
+    l3_hit_ns: u64,
+    /// DRAM access latency at the reference frequency.
+    base_miss_ns: u64,
+    /// Reference frequency for `base_miss_ns`.
+    reference_mhz: u32,
+}
+
+impl DramModel {
+    /// Reference DDR5 frequency the base latency is calibrated at.
+    pub const REFERENCE_MHZ: u32 = 4800;
+
+    /// Creates a model for DDR5 at `freq_mhz` with default latencies
+    /// (L3 hit 14 ns, DRAM ~90 ns at 4800 MHz).
+    pub fn new(freq_mhz: u32) -> Self {
+        Self {
+            freq_mhz,
+            l3_hit_ns: 14,
+            base_miss_ns: 90,
+            reference_mhz: Self::REFERENCE_MHZ,
+        }
+    }
+
+    /// Overrides the latency constants (for sensitivity studies).
+    pub fn with_latencies(mut self, l3_hit_ns: u64, base_miss_ns: u64) -> Self {
+        self.l3_hit_ns = l3_hit_ns;
+        self.base_miss_ns = base_miss_ns;
+        self
+    }
+
+    /// Configured memory frequency in MHz.
+    pub fn freq_mhz(&self) -> u32 {
+        self.freq_mhz
+    }
+
+    /// Latency of an L3 hit.
+    pub fn l3_hit_ns(&self) -> u64 {
+        self.l3_hit_ns
+    }
+
+    /// Latency of an L3 miss served by local DRAM, scaled by frequency:
+    /// higher frequency, proportionally lower access time.
+    pub fn miss_ns(&self) -> u64 {
+        (self.base_miss_ns as f64 * self.reference_mhz as f64 / self.freq_mhz as f64).round()
+            as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_frequency_uses_base_latency() {
+        let d = DramModel::new(4800);
+        assert_eq!(d.miss_ns(), 90);
+        assert_eq!(d.l3_hit_ns(), 14);
+    }
+
+    #[test]
+    fn higher_frequency_lowers_miss_latency() {
+        let slow = DramModel::new(4800);
+        let fast = DramModel::new(5600);
+        assert!(fast.miss_ns() < slow.miss_ns());
+        // 4800/5600 ≈ 0.857 → ~77 ns.
+        assert_eq!(fast.miss_ns(), 77);
+    }
+
+    #[test]
+    fn hit_latency_is_frequency_independent() {
+        assert_eq!(
+            DramModel::new(4800).l3_hit_ns(),
+            DramModel::new(5600).l3_hit_ns()
+        );
+    }
+
+    #[test]
+    fn custom_latencies() {
+        let d = DramModel::new(4800).with_latencies(10, 120);
+        assert_eq!(d.l3_hit_ns(), 10);
+        assert_eq!(d.miss_ns(), 120);
+    }
+}

@@ -1,0 +1,161 @@
+//! Memory-system model for the Albatross server.
+//!
+//! §4.2 of the paper is a memory story: gateway forwarding tables occupy
+//! *several GB* against ~200 MB of shared L3 cache, so table lookups hit L3
+//! only 30–45% of the time, which (a) makes PLB and RSS perform within 1% of
+//! each other (Fig. 4/5 — both are bound by the same shared-cache miss rate)
+//! and (b) makes DRAM latency/frequency the dominant tuning knob (+8% from
+//! 4800→5600 MHz). §7 adds the NUMA lessons: cross-NUMA placement costs 14%
+//! on VPC-VPC, and Automatic NUMA Balancing causes latency bursts at 90%
+//! load.
+//!
+//! This crate models exactly those mechanisms:
+//!
+//! * [`cache::SharedCache`] — a set-associative, true-LRU, shared L3 with
+//!   per-core hit statistics.
+//! * [`tables::WorkingSet`] — synthetic address-space layout of the gateway's
+//!   forwarding tables, so lookups touch realistic cache-line sequences.
+//! * [`dram::DramModel`] — hit/miss/remote access latencies parameterized by
+//!   memory frequency.
+//! * [`numa::NumaTopology`] / [`numa::NumaBalancing`] — node placement cost
+//!   and the auto-balancing stall injector.
+//! * [`MemorySystem`] — the facade the CPU-core model charges every table
+//!   access through.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dram;
+pub mod numa;
+pub mod tables;
+
+pub use cache::SharedCache;
+pub use dram::DramModel;
+pub use numa::{NumaBalancing, NumaTopology, Placement};
+pub use tables::{TableId, WorkingSet};
+
+/// The assembled memory hierarchy one NUMA node's cores see.
+///
+/// `access` is the single hot-path entry point: given the accessing core and
+/// a byte address, it consults the shared cache and returns the latency to
+/// charge, updating hit statistics.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cache: SharedCache,
+    dram: DramModel,
+    /// Extra latency per DRAM access when the accessing pod's memory is on
+    /// the remote NUMA node (0 for intra-NUMA placement).
+    remote_penalty_ns: u64,
+    /// Small extra latency per cache *hit* under cross-NUMA placement:
+    /// snoop/coherence traffic crossing the UPI (§7 lists "unnecessary
+    /// overhead in maintaining cache coherence" among the cross-NUMA
+    /// costs — the reason even a no-lookup workload degrades ~3%).
+    remote_hit_penalty_ns: u64,
+}
+
+impl MemorySystem {
+    /// Builds a memory system with the given cache and DRAM models and
+    /// intra-NUMA placement.
+    pub fn new(cache: SharedCache, dram: DramModel) -> Self {
+        Self {
+            cache,
+            dram,
+            remote_penalty_ns: 0,
+            remote_hit_penalty_ns: 0,
+        }
+    }
+
+    /// Configures placement: cross-NUMA placement charges the topology's
+    /// remote penalty on every DRAM access and a small coherence cost on
+    /// every hit.
+    pub fn with_placement(mut self, topo: &NumaTopology, placement: Placement) -> Self {
+        match placement {
+            Placement::IntraNuma => {
+                self.remote_penalty_ns = 0;
+                self.remote_hit_penalty_ns = 0;
+            }
+            Placement::CrossNuma => {
+                self.remote_penalty_ns = topo.remote_access_penalty_ns();
+                self.remote_hit_penalty_ns = (topo.remote_access_penalty_ns() / 20).max(1);
+            }
+        }
+        self
+    }
+
+    /// Performs one cached access from `core` to `addr`, returning latency
+    /// in nanoseconds.
+    pub fn access(&mut self, core: usize, addr: u64) -> u64 {
+        if self.cache.access(core, addr) {
+            self.dram.l3_hit_ns() + self.remote_hit_penalty_ns
+        } else {
+            self.dram.miss_ns() + self.remote_penalty_ns
+        }
+    }
+
+    /// Charges a table-entry read: touches every cache line the entry spans
+    /// (capped at 8 lines — entries are "hundreds of bytes", §4.2).
+    pub fn read_entry(&mut self, core: usize, addr: u64, entry_bytes: u32) -> u64 {
+        let lines = entry_bytes.div_ceil(cache::LINE_BYTES as u32).clamp(1, 8);
+        let mut total = 0;
+        for i in 0..lines {
+            total += self.access(core, addr + u64::from(i) * cache::LINE_BYTES as u64);
+        }
+        total
+    }
+
+    /// The shared cache (for hit-rate statistics).
+    pub fn cache(&self) -> &SharedCache {
+        &self.cache
+    }
+
+    /// The DRAM model.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system() -> MemorySystem {
+        MemorySystem::new(SharedCache::new(64 * 1024, 4), DramModel::new(4800))
+    }
+
+    #[test]
+    fn repeated_access_hits_cache() {
+        let mut m = small_system();
+        let first = m.access(0, 0x1000);
+        let second = m.access(0, 0x1000);
+        assert!(first > second, "first access must miss, second must hit");
+        assert_eq!(second, m.dram().l3_hit_ns());
+    }
+
+    #[test]
+    fn cross_numa_placement_is_slower() {
+        let topo = NumaTopology::albatross_server();
+        let mut local = small_system().with_placement(&topo, Placement::IntraNuma);
+        let mut remote = small_system().with_placement(&topo, Placement::CrossNuma);
+        // Compulsory miss on both; remote must cost more.
+        assert!(remote.access(0, 0x5000) > local.access(0, 0x5000));
+    }
+
+    #[test]
+    fn entry_read_touches_spanning_lines() {
+        let mut m = small_system();
+        // 300-byte entry spans 5 lines; all miss initially.
+        let cost = m.read_entry(0, 0, 300);
+        assert_eq!(cost, 5 * m.dram().miss_ns());
+        // Second read: all hit.
+        let cost2 = m.read_entry(0, 0, 300);
+        assert_eq!(cost2, 5 * m.dram().l3_hit_ns());
+    }
+
+    #[test]
+    fn entry_line_count_is_capped() {
+        let mut m = small_system();
+        let cost = m.read_entry(0, 0x10_0000, 10_000);
+        assert_eq!(cost, 8 * m.dram().miss_ns());
+    }
+}

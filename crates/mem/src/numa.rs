@@ -1,0 +1,216 @@
+//! NUMA topology and the Automatic-NUMA-Balancing stall model.
+//!
+//! The Albatross server is dual-NUMA (48 cores + 512 GB DDR5 per node, UPI
+//! interconnect — §3.2/Fig. 2). §7's lessons: cross-NUMA placement degrades
+//! VPC-VPC by 14% (3% with no service, i.e. pure memory path), and leaving
+//! the kernel's `numa_balancing` enabled while pods are pinned to a node
+//! produces latency bursts under 90% load because the balancer keeps trying
+//! to migrate pages/tasks that the pinning forbids, stalling the data cores.
+
+use albatross_sim::{SimRng, SimTime};
+
+/// Where a pod's CPU and memory live relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// CPU cores and memory on the same NUMA node (production requirement).
+    IntraNuma,
+    /// CPU on one node, memory (partly) on the other — the Fig. 16 ablation.
+    CrossNuma,
+}
+
+/// A static dual-socket NUMA topology.
+#[derive(Debug, Clone)]
+pub struct NumaTopology {
+    nodes: usize,
+    cores_per_node: usize,
+    remote_penalty_ns: u64,
+}
+
+impl NumaTopology {
+    /// Builds a topology.
+    ///
+    /// # Panics
+    /// Panics on zero nodes or zero cores per node.
+    pub fn new(nodes: usize, cores_per_node: usize, remote_penalty_ns: u64) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0, "degenerate topology");
+        Self {
+            nodes,
+            cores_per_node,
+            remote_penalty_ns,
+        }
+    }
+
+    /// The production Albatross server: 2 NUMA nodes × 48 cores. The
+    /// remote penalty is the *effective average* extra latency per DRAM
+    /// access under cross-NUMA placement, where the kernel interleaves
+    /// allocations so only part of the misses traverse the UPI (~60 ns
+    /// raw, ~20 ns averaged) — calibrated so cross-NUMA placement costs
+    /// VPC-VPC ~14% end to end (Fig. 16).
+    pub fn albatross_server() -> Self {
+        Self::new(2, 48, 20)
+    }
+
+    /// Number of NUMA nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Total cores in the server.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// NUMA node a global core id belongs to.
+    ///
+    /// # Panics
+    /// Panics when `core` is out of range.
+    pub fn node_of_core(&self, core: usize) -> usize {
+        assert!(core < self.total_cores(), "core {core} out of range");
+        core / self.cores_per_node
+    }
+
+    /// Extra latency for a DRAM access to the remote node.
+    pub fn remote_access_penalty_ns(&self) -> u64 {
+        self.remote_penalty_ns
+    }
+}
+
+/// Models the kernel's Automatic NUMA Balancing interference (Fig. 17).
+///
+/// When enabled and the node is under high load, the balancer periodically
+/// scans and attempts page migrations; for a pinned pod these manifest as
+/// stalls of hundreds of microseconds on a data core. The model draws
+/// Poisson-spaced stall events whose rate grows with load beyond a
+/// threshold; `stall_before(...)` answers "how much stall time hits a packet
+/// processed at this instant".
+#[derive(Debug, Clone)]
+pub struct NumaBalancing {
+    enabled: bool,
+    /// Load threshold above which stalls appear.
+    load_threshold: f64,
+    /// Mean stall inter-arrival at full load, per core.
+    mean_interval_ns: f64,
+    /// Stall duration bounds.
+    stall_min_ns: u64,
+    stall_max_ns: u64,
+    /// Next stall time per core.
+    next_stall: Vec<SimTime>,
+}
+
+impl NumaBalancing {
+    /// Creates the model for `cores` data cores; `enabled` mirrors the
+    /// kernel's `numa_balancing` sysctl.
+    pub fn new(cores: usize, enabled: bool) -> Self {
+        Self {
+            enabled,
+            load_threshold: 0.8,
+            mean_interval_ns: 50_000_000.0, // one scan burst per ~50 ms per core
+            stall_min_ns: 200_000,          // 0.2 ms
+            stall_max_ns: 2_000_000,        // 2 ms
+            next_stall: vec![SimTime::ZERO; cores],
+        }
+    }
+
+    /// True when the sysctl is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Returns the stall (ns) that hits `core` for a packet at `now` given
+    /// the node's current `load` (0.0–1.0), advancing the per-core schedule.
+    pub fn stall_before(
+        &mut self,
+        core: usize,
+        now: SimTime,
+        load: f64,
+        rng: &mut SimRng,
+    ) -> u64 {
+        if !self.enabled || load < self.load_threshold {
+            return 0;
+        }
+        let slot = &mut self.next_stall[core];
+        if *slot == SimTime::ZERO {
+            // Lazily seed the first event.
+            *slot = now + rng.exponential(self.mean_interval_ns) as u64;
+            return 0;
+        }
+        if now < *slot {
+            return 0;
+        }
+        // A scan burst is due: charge one stall, schedule the next.
+        let stall =
+            self.stall_min_ns + rng.below(self.stall_max_ns - self.stall_min_ns + 1);
+        *slot = now + rng.exponential(self.mean_interval_ns) as u64;
+        stall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_core_mapping() {
+        let t = NumaTopology::albatross_server();
+        assert_eq!(t.total_cores(), 96);
+        assert_eq!(t.node_of_core(0), 0);
+        assert_eq!(t.node_of_core(47), 0);
+        assert_eq!(t.node_of_core(48), 1);
+        assert_eq!(t.node_of_core(95), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_panics() {
+        NumaTopology::albatross_server().node_of_core(96);
+    }
+
+    #[test]
+    fn disabled_balancing_never_stalls() {
+        let mut nb = NumaBalancing::new(4, false);
+        let mut rng = SimRng::seed_from(1);
+        for i in 0..10_000u64 {
+            assert_eq!(
+                nb.stall_before(0, SimTime::from_micros(i * 10), 0.95, &mut rng),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn low_load_never_stalls() {
+        let mut nb = NumaBalancing::new(4, true);
+        let mut rng = SimRng::seed_from(2);
+        for i in 0..10_000u64 {
+            assert_eq!(
+                nb.stall_before(0, SimTime::from_micros(i * 10), 0.5, &mut rng),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn high_load_with_balancing_stalls_occasionally() {
+        let mut nb = NumaBalancing::new(1, true);
+        let mut rng = SimRng::seed_from(3);
+        let mut stalls = 0;
+        let mut total = 0u64;
+        // 10 virtual seconds at 1 µs steps.
+        for i in 0..10_000_000u64 {
+            let s = nb.stall_before(0, SimTime::from_micros(i), 0.9, &mut rng);
+            if s > 0 {
+                stalls += 1;
+                total += s;
+                assert!((200_000..=2_000_000).contains(&s));
+            }
+        }
+        // ~1 per 50 ms → ~200 over 10 s.
+        assert!((100..400).contains(&stalls), "stalls={stalls}");
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Working-set layout of the gateway's forwarding tables.
+//!
+//! §4.2: "table entries in a typical cloud gateway occupy several GB of
+//! memory, far exceeding the approximately 200 MB of CPU cache", with
+//! entries "often hundreds of bytes" and "multiple cascading table entries"
+//! per packet. This module lays those tables out in a synthetic physical
+//! address space so that the cache model sees realistic line-level access
+//! patterns: each table gets a contiguous, line-aligned region; a lookup of
+//! entry *i* touches the lines that entry spans.
+
+/// Handle to a table registered in a [`WorkingSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(usize);
+
+#[derive(Debug, Clone)]
+struct TableRegion {
+    name: &'static str,
+    base: u64,
+    entries: u64,
+    entry_bytes: u32,
+}
+
+/// The synthetic address-space layout of all tables a GW pod reads.
+#[derive(Debug, Clone, Default)]
+pub struct WorkingSet {
+    regions: Vec<TableRegion>,
+    next_base: u64,
+}
+
+impl WorkingSet {
+    /// Creates an empty working set. Region 0 starts above the first 4 GiB
+    /// so table addresses never collide with per-packet scratch addresses.
+    pub fn new() -> Self {
+        Self {
+            regions: Vec::new(),
+            next_base: 4 << 30,
+        }
+    }
+
+    /// Registers a table of `entries` entries of `entry_bytes` each.
+    ///
+    /// # Panics
+    /// Panics on zero entries or zero-size entries.
+    pub fn add_table(&mut self, name: &'static str, entries: u64, entry_bytes: u32) -> TableId {
+        assert!(entries > 0 && entry_bytes > 0, "degenerate table {name}");
+        let id = TableId(self.regions.len());
+        let bytes = entries * u64::from(entry_bytes);
+        self.regions.push(TableRegion {
+            name,
+            base: self.next_base,
+            entries,
+            entry_bytes,
+        });
+        // Align the next region to a 1 MiB boundary.
+        self.next_base += (bytes + 0xF_FFFF) & !0xF_FFFF;
+        id
+    }
+
+    /// Address of entry `index` of `table` (wrapping `index` into range, so
+    /// hash-derived indexes can be passed directly).
+    pub fn entry_addr(&self, table: TableId, index: u64) -> u64 {
+        let r = &self.regions[table.0];
+        r.base + (index % r.entries) * u64::from(r.entry_bytes)
+    }
+
+    /// Entry size of `table` in bytes.
+    pub fn entry_bytes(&self, table: TableId) -> u32 {
+        self.regions[table.0].entry_bytes
+    }
+
+    /// Entry count of `table`.
+    pub fn entries(&self, table: TableId) -> u64 {
+        self.regions[table.0].entries
+    }
+
+    /// Name of `table`.
+    pub fn name(&self, table: TableId) -> &'static str {
+        self.regions[table.0].name
+    }
+
+    /// Total bytes across all registered tables.
+    pub fn total_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.entries * u64::from(r.entry_bytes))
+            .sum()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// The table inventory of a production-scale cloud gateway, sized per the
+/// paper: VM-NC mapping for millions of tenants, >10 M-capable VXLAN LPM,
+/// NAT sessions, ACLs, tenant config — several GB in total.
+#[derive(Debug, Clone)]
+pub struct CloudGatewayTables {
+    /// The working set holding all regions.
+    pub ws: WorkingSet,
+    /// VM → NC (physical host) exact-match mapping (§2.1, Tab. 1 context).
+    pub vm_nc: TableId,
+    /// VXLAN routing LPM nodes (Tab. 6: >10 M rules).
+    pub vxlan_lpm: TableId,
+    /// Per-tenant VPC configuration.
+    pub tenant_cfg: TableId,
+    /// Security-group / ACL rules.
+    pub acl: TableId,
+    /// NAT / session table (stateful services).
+    pub session: TableId,
+    /// Internet routing table (VPC-Internet service).
+    pub inet_route: TableId,
+}
+
+impl CloudGatewayTables {
+    /// Builds the production-scale inventory (~4.6 GB total).
+    pub fn production_scale() -> Self {
+        Self::scaled(1.0)
+    }
+
+    /// Builds a working set scaled by `factor` (1.0 = production ≈ 4.6 GB).
+    /// Experiments that only need relative behaviour can run scaled-down.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not positive.
+    pub fn scaled(factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let n = |base: u64| ((base as f64 * factor) as u64).max(1024);
+        let mut ws = WorkingSet::new();
+        let vm_nc = ws.add_table("vm_nc_map", n(8_000_000), 128);
+        let vxlan_lpm = ws.add_table("vxlan_lpm", n(12_000_000), 64);
+        let tenant_cfg = ws.add_table("tenant_cfg", n(1_000_000), 256);
+        let acl = ws.add_table("acl_rules", n(4_000_000), 128);
+        let session = ws.add_table("session_table", n(8_000_000), 192);
+        let inet_route = ws.add_table("inet_route", n(1_000_000), 64);
+        Self {
+            ws,
+            vm_nc,
+            vxlan_lpm,
+            tenant_cfg,
+            acl,
+            session,
+            inet_route,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut ws = WorkingSet::new();
+        let a = ws.add_table("a", 1000, 100);
+        let b = ws.add_table("b", 1000, 100);
+        let a_end = ws.entry_addr(a, 999) + 100;
+        let b_start = ws.entry_addr(b, 0);
+        assert!(a_end <= b_start);
+    }
+
+    #[test]
+    fn entry_addresses_stride_by_entry_size() {
+        let mut ws = WorkingSet::new();
+        let t = ws.add_table("t", 10, 200);
+        assert_eq!(ws.entry_addr(t, 1) - ws.entry_addr(t, 0), 200);
+        assert_eq!(ws.entry_bytes(t), 200);
+        assert_eq!(ws.entries(t), 10);
+        assert_eq!(ws.name(t), "t");
+    }
+
+    #[test]
+    fn index_wraps_into_range() {
+        let mut ws = WorkingSet::new();
+        let t = ws.add_table("t", 10, 64);
+        assert_eq!(ws.entry_addr(t, 12), ws.entry_addr(t, 2));
+    }
+
+    #[test]
+    fn production_inventory_is_several_gb() {
+        let tables = CloudGatewayTables::production_scale();
+        let gb = tables.ws.total_bytes() as f64 / (1 << 30) as f64;
+        assert!(
+            (3.0..8.0).contains(&gb),
+            "working set {gb:.1} GB out of the paper's 'several GB' range"
+        );
+        assert_eq!(tables.ws.len(), 6);
+    }
+
+    #[test]
+    fn scaled_inventory_shrinks() {
+        let full = CloudGatewayTables::production_scale();
+        let small = CloudGatewayTables::scaled(0.01);
+        assert!(small.ws.total_bytes() < full.ws.total_bytes() / 50);
+    }
+
+    #[test]
+    fn tables_start_above_scratch_space() {
+        let mut ws = WorkingSet::new();
+        let t = ws.add_table("t", 1, 64);
+        assert!(ws.entry_addr(t, 0) >= 4 << 30);
+    }
+}

@@ -1,0 +1,299 @@
+//! Packet construction.
+//!
+//! Workload generators build real frames once per flow and reuse them; the
+//! builder assembles Ethernet(+VLAN) / IPv4 / UDP|TCP (+VXLAN inner stub)
+//! with correct lengths and checksums.
+
+use std::net::Ipv4Addr;
+
+use crate::ether::{EtherType, EthernetFrame, MacAddr};
+use crate::ipv4::Ipv4Packet;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::vlan::VlanTag;
+use crate::vxlan::VxlanHeader;
+use crate::{ether, ipv4, tcp, udp, vlan, vxlan};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum L4 {
+    Udp,
+    Tcp,
+}
+
+/// Fluent builder for test/workload frames.
+///
+/// ```
+/// use albatross_packet::{PacketBuilder, flow::parse_frame};
+/// let frame = PacketBuilder::udp(
+///     "10.1.0.1".parse().unwrap(),
+///     "10.2.0.2".parse().unwrap(),
+///     4000,
+///     4789,
+/// )
+/// .vlan(7)
+/// .vxlan(0x1234, 128)
+/// .build();
+/// let parsed = parse_frame(&frame).unwrap();
+/// assert_eq!(parsed.vni, Some(0x1234));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    vlan: Option<u16>,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    ttl: u8,
+    l4: L4,
+    src_port: u16,
+    dst_port: u16,
+    /// VXLAN: (vni, inner frame length).
+    vxlan: Option<(u32, usize)>,
+    payload_len: usize,
+    payload_byte: u8,
+}
+
+impl PacketBuilder {
+    fn new(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, src_port: u16, dst_port: u16, l4: L4) -> Self {
+        Self {
+            src_mac: MacAddr::local(1),
+            dst_mac: MacAddr::local(2),
+            vlan: None,
+            src_ip,
+            dst_ip,
+            ttl: 64,
+            l4,
+            src_port,
+            dst_port,
+            vxlan: None,
+            payload_len: 0,
+            payload_byte: 0,
+        }
+    }
+
+    /// Starts a UDP packet.
+    pub fn udp(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, src_port: u16, dst_port: u16) -> Self {
+        Self::new(src_ip, dst_ip, src_port, dst_port, L4::Udp)
+    }
+
+    /// Starts a TCP packet.
+    pub fn tcp(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, src_port: u16, dst_port: u16) -> Self {
+        Self::new(src_ip, dst_ip, src_port, dst_port, L4::Tcp)
+    }
+
+    /// Adds an 802.1Q tag with the given VLAN id.
+    pub fn vlan(mut self, vid: u16) -> Self {
+        self.vlan = Some(vid);
+        self
+    }
+
+    /// Sets source/destination MACs.
+    pub fn macs(mut self, src: MacAddr, dst: MacAddr) -> Self {
+        self.src_mac = src;
+        self.dst_mac = dst;
+        self
+    }
+
+    /// Sets the IPv4 TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Makes this a VXLAN packet carrying `inner_len` bytes of inner frame.
+    /// Only meaningful with UDP destination port [`vxlan::UDP_PORT`].
+    pub fn vxlan(mut self, vni: u32, inner_len: usize) -> Self {
+        self.vxlan = Some((vni, inner_len));
+        self
+    }
+
+    /// Appends `len` bytes of payload (pattern-filled).
+    pub fn payload_len(mut self, len: usize) -> Self {
+        self.payload_len = len;
+        self
+    }
+
+    /// Sets the payload fill byte (to distinguish flows in tests).
+    pub fn payload_byte(mut self, b: u8) -> Self {
+        self.payload_byte = b;
+        self
+    }
+
+    /// Total frame length this builder will produce.
+    pub fn frame_len(&self) -> usize {
+        let l4_payload = match self.vxlan {
+            Some((_, inner_len)) => vxlan::HEADER_LEN + inner_len,
+            None => self.payload_len,
+        };
+        let l4_hdr = match self.l4 {
+            L4::Udp => udp::HEADER_LEN,
+            L4::Tcp => tcp::MIN_HEADER_LEN,
+        };
+        ether::HEADER_LEN
+            + self.vlan.map_or(0, |_| vlan::TAG_LEN)
+            + ipv4::MIN_HEADER_LEN
+            + l4_hdr
+            + l4_payload
+    }
+
+    /// Assembles the frame with valid lengths and checksums.
+    pub fn build(&self) -> Vec<u8> {
+        let total = self.frame_len();
+        let mut buf = vec![0u8; total];
+
+        let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+        eth.set_src(self.src_mac);
+        eth.set_dst(self.dst_mac);
+        let mut offset = ether::HEADER_LEN;
+        if let Some(vid) = self.vlan {
+            eth.set_ethertype(EtherType::Vlan);
+            let mut tag = VlanTag::new_unchecked(&mut buf[offset..]);
+            tag.set_vid(vid);
+            tag.set_inner_ethertype(EtherType::Ipv4);
+            offset += vlan::TAG_LEN;
+        } else {
+            eth.set_ethertype(EtherType::Ipv4);
+        }
+
+        let ip_total = total - offset;
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut buf[offset..]);
+            ip.init_basic_header();
+            ip.set_total_len(ip_total as u16);
+            ip.set_ttl(self.ttl);
+            ip.set_protocol(match self.l4 {
+                L4::Udp => 17,
+                L4::Tcp => 6,
+            });
+            ip.set_src(self.src_ip);
+            ip.set_dst(self.dst_ip);
+        }
+        let l4_offset = offset + ipv4::MIN_HEADER_LEN;
+
+        match self.l4 {
+            L4::Udp => {
+                let udp_len = total - l4_offset;
+                {
+                    let mut u = UdpDatagram::new_unchecked(&mut buf[l4_offset..]);
+                    u.set_src_port(self.src_port);
+                    u.set_dst_port(self.dst_port);
+                    u.set_len_field(udp_len as u16);
+                }
+                let payload_start = l4_offset + udp::HEADER_LEN;
+                if let Some((vni, _)) = self.vxlan {
+                    let mut v = VxlanHeader::new_unchecked(&mut buf[payload_start..]);
+                    v.init();
+                    v.set_vni(vni);
+                    let inner_start = payload_start + vxlan::HEADER_LEN;
+                    buf[inner_start..].fill(self.payload_byte);
+                } else {
+                    buf[payload_start..].fill(self.payload_byte);
+                }
+                let mut u = UdpDatagram::new_unchecked(&mut buf[l4_offset..]);
+                u.fill_checksum(self.src_ip, self.dst_ip);
+            }
+            L4::Tcp => {
+                let mut t = TcpSegment::new_unchecked(&mut buf[l4_offset..]);
+                t.init_basic_header();
+                t.set_src_port(self.src_port);
+                t.set_dst_port(self.dst_port);
+                t.set_flags(crate::tcp::TcpFlags::ACK);
+                let payload_start = l4_offset + tcp::MIN_HEADER_LEN;
+                buf[payload_start..].fill(self.payload_byte);
+            }
+        }
+
+        // IPv4 header checksum last (fields are final now).
+        let mut ip = Ipv4Packet::new_unchecked(&mut buf[offset..]);
+        ip.fill_checksum();
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::parse_frame;
+
+    #[test]
+    fn udp_frame_is_valid() {
+        let b = PacketBuilder::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            100,
+            200,
+        )
+        .payload_len(26)
+        .payload_byte(0x5A);
+        let frame = b.build();
+        assert_eq!(frame.len(), b.frame_len());
+        let p = parse_frame(&frame).unwrap();
+        assert_eq!(p.tuple.src_port, 100);
+
+        // Checksums verify end-to-end.
+        let ip = Ipv4Packet::new_checked(&frame[ether::HEADER_LEN..]).unwrap();
+        assert!(ip.verify_checksum());
+        let u = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert!(u.verify_checksum(ip.src(), ip.dst()));
+        assert!(u.payload().iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn vxlan_frame_layout() {
+        let frame = PacketBuilder::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            100,
+            vxlan::UDP_PORT,
+        )
+        .vxlan(77, 100)
+        .build();
+        let p = parse_frame(&frame).unwrap();
+        assert_eq!(p.vni, Some(77));
+        // 14 eth + 20 ip + 8 udp + 8 vxlan + 100 inner
+        assert_eq!(frame.len(), 150);
+    }
+
+    #[test]
+    fn tcp_frame_parses() {
+        let frame = PacketBuilder::tcp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            443,
+            55555,
+        )
+        .payload_len(5)
+        .build();
+        let p = parse_frame(&frame).unwrap();
+        assert_eq!(p.tuple.protocol, crate::flow::IpProtocol::Tcp);
+        assert_eq!(frame.len(), 14 + 20 + 20 + 5);
+    }
+
+    #[test]
+    fn vlan_adds_four_bytes() {
+        let plain = PacketBuilder::udp(
+            "1.1.1.1".parse().unwrap(),
+            "2.2.2.2".parse().unwrap(),
+            1,
+            2,
+        );
+        let tagged = plain.clone().vlan(100);
+        assert_eq!(tagged.frame_len(), plain.frame_len() + 4);
+        let p = parse_frame(&tagged.build()).unwrap();
+        assert_eq!(p.vlan, Some(100));
+    }
+
+    #[test]
+    fn ttl_is_configurable() {
+        let frame = PacketBuilder::udp(
+            "1.1.1.1".parse().unwrap(),
+            "2.2.2.2".parse().unwrap(),
+            1,
+            2,
+        )
+        .ttl(3)
+        .build();
+        let ip = Ipv4Packet::new_checked(&frame[ether::HEADER_LEN..]).unwrap();
+        assert_eq!(ip.ttl(), 3);
+    }
+}

@@ -1,0 +1,205 @@
+//! Ethernet II frames.
+
+use crate::{ParseError, Result};
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for group (multicast/broadcast) addresses.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// A locally-administered unicast address derived from a small integer,
+    /// handy for simulated hosts (mirrors smoltcp's `02-00-00-...` examples).
+    pub fn local(n: u32) -> MacAddr {
+        let b = n.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let a = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            a[0], a[1], a[2], a[3], a[4], a[5]
+        )
+    }
+}
+
+/// EtherType values used in this codebase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// 802.1Q VLAN tag (0x8100).
+    Vlan,
+    /// ARP (0x0806) — parsed but not processed by the gateway.
+    Arp,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x8100 => EtherType::Vlan,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(t: EtherType) -> u16 {
+        match t {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Vlan => 0x8100,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// Byte length of an Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// A typed view over an Ethernet II frame.
+///
+/// ```
+/// use albatross_packet::{EthernetFrame, EtherType, MacAddr};
+/// let mut buf = vec![0u8; 60];
+/// let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+/// f.set_dst(MacAddr::local(1));
+/// f.set_src(MacAddr::local(2));
+/// f.set_ethertype(EtherType::Ipv4);
+/// let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+/// assert_eq!(f.ethertype(), EtherType::Ipv4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer without length validation (for writers building up a
+    /// frame in place).
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wraps a buffer, checking it holds at least a full header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Destination MAC.
+    pub fn dst(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source MAC.
+    pub fn src(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[12], b[13]]).into()
+    }
+
+    /// Bytes after the Ethernet header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the source MAC.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the EtherType.
+    pub fn set_ethertype(&mut self, t: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(t).to_be_bytes());
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fields() {
+        let mut buf = [0u8; 64];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.set_dst(MacAddr([1, 2, 3, 4, 5, 6]));
+        f.set_src(MacAddr([7, 8, 9, 10, 11, 12]));
+        f.set_ethertype(EtherType::Vlan);
+        f.payload_mut()[0] = 0xAB;
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.dst(), MacAddr([1, 2, 3, 4, 5, 6]));
+        assert_eq!(f.src(), MacAddr([7, 8, 9, 10, 11, 12]));
+        assert_eq!(f.ethertype(), EtherType::Vlan);
+        assert_eq!(f.payload()[0], 0xAB);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        assert_eq!(u16::from(EtherType::Ipv4), 0x0800);
+        assert_eq!(EtherType::from(0x8100), EtherType::Vlan);
+        assert_eq!(EtherType::from(0x1234), EtherType::Other(0x1234));
+        assert_eq!(u16::from(EtherType::Other(0x9999)), 0x9999);
+    }
+
+    #[test]
+    fn mac_predicates() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::local(5).is_multicast());
+        assert_eq!(MacAddr::local(5).to_string(), "02:00:00:00:00:05");
+    }
+}

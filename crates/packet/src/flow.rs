@@ -1,0 +1,282 @@
+//! Flow identification: 5-tuples and full-frame parsing.
+//!
+//! The NIC pipeline classifies every ingress packet (pkt_dir), selects a
+//! reorder queue from the 5-tuple hash (`get_ordq_idx`), and extracts the
+//! tenant VNI for rate limiting. [`parse_frame`] performs that one-pass
+//! parse: Ethernet → optional 802.1Q → IPv4 → UDP/TCP → optional VXLAN.
+
+use std::net::Ipv4Addr;
+
+use crate::ether::{EtherType, EthernetFrame};
+use crate::ipv4::Ipv4Packet;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::vlan::VlanTag;
+use crate::vxlan::{self, VxlanHeader};
+use crate::{ParseError, Result};
+
+/// Transport protocols the gateway distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// ICMP (1) — health checks and probes.
+    Icmp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            1 => IpProtocol::Icmp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(p: IpProtocol) -> u8 {
+        match p {
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Icmp => 1,
+            IpProtocol::Other(v) => v,
+        }
+    }
+}
+
+/// The classic connection 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source port (0 for portless protocols).
+    pub src_port: u16,
+    /// Destination port (0 for portless protocols).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: IpProtocol,
+}
+
+impl FiveTuple {
+    /// A compact deterministic 64-bit mix of the tuple, used where a cheap
+    /// non-Toeplitz hash suffices (table indexing inside the simulation).
+    pub fn compact_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for b in self.src_ip.octets() {
+            mix(b);
+        }
+        for b in self.dst_ip.octets() {
+            mix(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            mix(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            mix(b);
+        }
+        mix(u8::from(self.protocol));
+        h
+    }
+
+    /// The reversed tuple (for matching return traffic of NAT sessions).
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+}
+
+/// Everything the NIC pipeline learns from one parse pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// Outer 5-tuple (the one RSS and `get_ordq_idx` hash).
+    pub tuple: FiveTuple,
+    /// 802.1Q VLAN id if tagged (identifies the target VF).
+    pub vlan: Option<u16>,
+    /// VXLAN network identifier if the packet is VXLAN-encapsulated
+    /// (identifies the tenant).
+    pub vni: Option<u32>,
+    /// Offset where the L4 payload begins (header-payload split point).
+    pub payload_offset: usize,
+    /// Total frame length.
+    pub frame_len: usize,
+}
+
+/// Parses an Ethernet frame down to the transport layer in one pass.
+///
+/// Non-IPv4 frames yield `ParseError::Malformed` (the gateway's priority
+/// path handles those separately).
+pub fn parse_frame(frame: &[u8]) -> Result<ParsedPacket> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    let mut offset = crate::ether::HEADER_LEN;
+    let mut vlan = None;
+    let mut ethertype = eth.ethertype();
+    if ethertype == EtherType::Vlan {
+        let tag = VlanTag::new_checked(&frame[offset..])?;
+        vlan = Some(tag.vid());
+        ethertype = tag.inner_ethertype();
+        offset += crate::vlan::TAG_LEN;
+    }
+    if ethertype != EtherType::Ipv4 {
+        return Err(ParseError::Malformed);
+    }
+    let ip = Ipv4Packet::new_checked(&frame[offset..])?;
+    let (src_ip, dst_ip, proto) = (ip.src(), ip.dst(), ip.protocol());
+    let l4_offset = offset + ip.header_len();
+    let protocol = IpProtocol::from(proto);
+    let (src_port, dst_port, payload_offset, vni) = match protocol {
+        IpProtocol::Udp => {
+            let udp = UdpDatagram::new_checked(&frame[l4_offset..])?;
+            let payload_offset = l4_offset + crate::udp::HEADER_LEN;
+            let vni = if udp.dst_port() == vxlan::UDP_PORT {
+                VxlanHeader::new_checked(udp.payload()).ok().map(|v| v.vni())
+            } else {
+                None
+            };
+            (udp.src_port(), udp.dst_port(), payload_offset, vni)
+        }
+        IpProtocol::Tcp => {
+            let tcp = TcpSegment::new_checked(&frame[l4_offset..])?;
+            let payload_offset = l4_offset + tcp.header_len();
+            (tcp.src_port(), tcp.dst_port(), payload_offset, None)
+        }
+        _ => (0, 0, l4_offset, None),
+    };
+    Ok(ParsedPacket {
+        tuple: FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol,
+        },
+        vlan,
+        vni,
+        payload_offset,
+        frame_len: frame.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+
+    #[test]
+    fn parses_plain_udp() {
+        let frame = PacketBuilder::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            1111,
+            2222,
+        )
+        .payload_len(32)
+        .build();
+        let p = parse_frame(&frame).unwrap();
+        assert_eq!(p.tuple.src_port, 1111);
+        assert_eq!(p.tuple.dst_port, 2222);
+        assert_eq!(p.tuple.protocol, IpProtocol::Udp);
+        assert_eq!(p.vlan, None);
+        assert_eq!(p.vni, None);
+        assert_eq!(p.frame_len, frame.len());
+        assert!(p.payload_offset < frame.len());
+    }
+
+    #[test]
+    fn parses_vlan_and_vxlan() {
+        let frame = PacketBuilder::udp(
+            "172.16.0.1".parse().unwrap(),
+            "172.16.0.2".parse().unwrap(),
+            9999,
+            crate::vxlan::UDP_PORT,
+        )
+        .vlan(42)
+        .vxlan(0x5555, 64)
+        .build();
+        let p = parse_frame(&frame).unwrap();
+        assert_eq!(p.vlan, Some(42));
+        assert_eq!(p.vni, Some(0x5555));
+    }
+
+    #[test]
+    fn parses_tcp() {
+        let frame = PacketBuilder::tcp(
+            "1.1.1.1".parse().unwrap(),
+            "2.2.2.2".parse().unwrap(),
+            80,
+            50000,
+        )
+        .payload_len(10)
+        .build();
+        let p = parse_frame(&frame).unwrap();
+        assert_eq!(p.tuple.protocol, IpProtocol::Tcp);
+        assert_eq!(p.tuple.dst_port, 50000);
+    }
+
+    #[test]
+    fn rejects_non_ip() {
+        let mut frame = PacketBuilder::udp(
+            "1.1.1.1".parse().unwrap(),
+            "2.2.2.2".parse().unwrap(),
+            1,
+            2,
+        )
+        .build();
+        frame[12] = 0x08;
+        frame[13] = 0x06; // ARP
+        assert_eq!(parse_frame(&frame).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn compact_hash_differs_and_is_stable() {
+        let a = FiveTuple {
+            src_ip: "10.0.0.1".parse().unwrap(),
+            dst_ip: "10.0.0.2".parse().unwrap(),
+            src_port: 1,
+            dst_port: 2,
+            protocol: IpProtocol::Udp,
+        };
+        let mut b = a;
+        b.src_port = 3;
+        assert_ne!(a.compact_hash(), b.compact_hash());
+        assert_eq!(a.compact_hash(), a.compact_hash());
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let a = FiveTuple {
+            src_ip: "10.0.0.1".parse().unwrap(),
+            dst_ip: "10.0.0.2".parse().unwrap(),
+            src_port: 1000,
+            dst_port: 80,
+            protocol: IpProtocol::Tcp,
+        };
+        let r = a.reversed();
+        assert_eq!(r.src_ip, a.dst_ip);
+        assert_eq!(r.dst_port, 1000);
+        assert_eq!(r.reversed(), a);
+    }
+
+    #[test]
+    fn protocol_conversions() {
+        assert_eq!(IpProtocol::from(6), IpProtocol::Tcp);
+        assert_eq!(IpProtocol::from(89), IpProtocol::Other(89));
+        assert_eq!(u8::from(IpProtocol::Icmp), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! IPv4 headers.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::{ParseError, Result};
+
+/// Minimum IPv4 header length (IHL = 5).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// A typed view over an IPv4 packet (header + payload).
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wraps without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wraps, validating version, IHL, and that the buffer covers the header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let b = buffer.as_ref();
+        if b.len() < MIN_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let version = b[0] >> 4;
+        let ihl = (b[0] & 0x0F) as usize * 4;
+        if version != 4 || ihl < MIN_HEADER_LEN {
+            return Err(ParseError::Malformed);
+        }
+        if b.len() < ihl {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        (self.buffer.as_ref()[0] & 0x0F) as usize * 4
+    }
+
+    /// Total length field.
+    pub fn total_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Protocol number (6 = TCP, 17 = UDP).
+    pub fn protocol(&self) -> u8 {
+        self.buffer.as_ref()[9]
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[12], b[13], b[14], b[15])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[16], b[17], b[18], b[19])
+    }
+
+    /// True when the header checksum verifies. A header whose IHL points
+    /// past the buffer is malformed and reports `false` rather than
+    /// panicking (unchecked views can see such bytes).
+    pub fn verify_checksum(&self) -> bool {
+        let hl = self.header_len();
+        let b = self.buffer.as_ref();
+        if b.len() < hl {
+            return false;
+        }
+        checksum::verify(&b[..hl])
+    }
+
+    /// Bytes after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Initializes version=4, IHL=5, and zeroes DSCP/flags.
+    pub fn init_basic_header(&mut self) {
+        let b = self.buffer.as_mut();
+        b[0] = 0x45;
+        b[1] = 0;
+        b[6] = 0;
+        b[7] = 0;
+    }
+
+    /// Sets the total length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the identification field.
+    pub fn set_ident(&mut self, id: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+
+    /// Sets the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Sets the protocol number.
+    pub fn set_protocol(&mut self, proto: u8) {
+        self.buffer.as_mut()[9] = proto;
+    }
+
+    /// Sets the source address.
+    pub fn set_src(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.octets());
+    }
+
+    /// Recomputes and writes the header checksum.
+    pub fn fill_checksum(&mut self) {
+        let hl = self.header_len();
+        let b = self.buffer.as_mut();
+        b[10] = 0;
+        b[11] = 0;
+        let c = checksum::checksum(&b[..hl]);
+        b[10..12].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Decrements the TTL and incrementally patches the checksum
+    /// (RFC 1624-style update), as a forwarding gateway must.
+    ///
+    /// Returns `false` (and leaves the packet untouched) when the TTL is
+    /// already 0 or 1, in which case the packet must be dropped.
+    pub fn decrement_ttl(&mut self) -> bool {
+        let b = self.buffer.as_mut();
+        if b[8] <= 1 {
+            return false;
+        }
+        // RFC 1624: HC' = ~(~HC + ~m + m'), where m is the 16-bit word
+        // holding TTL (high byte) and protocol (low byte). The naive
+        // "checksum += 0x0100" shortcut (RFC 1141) miscomputes the 0xFFFF
+        // corner case.
+        let m = u16::from_be_bytes([b[8], b[9]]);
+        b[8] -= 1;
+        let m_new = u16::from_be_bytes([b[8], b[9]]);
+        let hc = u16::from_be_bytes([b[10], b[11]]);
+        let mut acc = u32::from(!hc) + u32::from(!m) + u32::from(m_new);
+        while acc > 0xFFFF {
+            acc = (acc & 0xFFFF) + (acc >> 16);
+        }
+        let hc_new = !(acc as u16);
+        b[10..12].copy_from_slice(&hc_new.to_be_bytes());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; 40];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.init_basic_header();
+        p.set_total_len(40);
+        p.set_ident(0x1234);
+        p.set_ttl(64);
+        p.set_protocol(17);
+        p.set_src(Ipv4Addr::new(10, 0, 0, 1));
+        p.set_dst(Ipv4Addr::new(192, 168, 1, 2));
+        p.fill_checksum();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let buf = sample();
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.ttl(), 64);
+        assert_eq!(p.protocol(), 17);
+        assert_eq!(p.src(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(p.dst(), Ipv4Addr::new(192, 168, 1, 2));
+        assert_eq!(p.total_len(), 40);
+        assert_eq!(p.header_len(), 20);
+        assert!(p.verify_checksum());
+        assert_eq!(p.payload().len(), 20);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = sample();
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Malformed
+        );
+    }
+
+    #[test]
+    fn bad_ihl_rejected() {
+        let mut buf = sample();
+        buf[0] = 0x44; // IHL 4 → 16 bytes, illegal
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Malformed
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0x45u8; 19][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn ttl_decrement_keeps_checksum_valid() {
+        let mut buf = sample();
+        {
+            let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+            assert!(p.decrement_ttl());
+        }
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.ttl(), 63);
+        assert!(p.verify_checksum(), "incremental checksum update broke");
+    }
+
+    #[test]
+    fn ttl_decrement_over_many_hops_stays_valid() {
+        let mut buf = sample();
+        for expected in (1..64u8).rev() {
+            let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+            assert!(p.decrement_ttl());
+            let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+            assert_eq!(p.ttl(), expected);
+            assert!(p.verify_checksum(), "broke at ttl {expected}");
+        }
+        // TTL 1: must refuse.
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        assert!(!p.decrement_ttl());
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = sample();
+        buf[15] ^= 0xFF;
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+}

@@ -1,0 +1,72 @@
+//! Wire formats and packet views for the Albatross gateway.
+//!
+//! Alibaba's gateways parse "dozens of network protocols" (§2.1); this crate
+//! implements the subset the evaluation exercises: Ethernet II, 802.1Q VLAN
+//! (used to address SR-IOV VFs, appendix A), IPv4, UDP, TCP, and VXLAN (the
+//! overlay encapsulation whose routing table dominates Sailfish's SRAM).
+//!
+//! The design follows smoltcp: each protocol gets a typed *view* over a byte
+//! slice (`Frame<T: AsRef<[u8]>>`) with checked constructors, field
+//! accessors, and — for mutable buffers — field setters. No allocation
+//! happens on the parse path.
+//!
+//! Two pieces are Albatross-specific:
+//!
+//! * [`meta`] — the PLB meta header (PSN, reorder-queue id, timestamp, drop
+//!   flag) that `plb_dispatch` tags onto every packet and the CPU returns to
+//!   the NIC. Per the §7 lesson it is appended at the packet *tail*; the
+//!   head-insertion alternative is also implemented for the ablation bench.
+//! * [`rss`] — the Toeplitz hash used for flow-level (RSS) distribution and
+//!   for reorder-queue selection (`get_ordq_idx`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod ether;
+pub mod flow;
+pub mod ipv4;
+pub mod meta;
+pub mod rss;
+pub mod tcp;
+pub mod udp;
+pub mod vlan;
+pub mod vxlan;
+
+pub use builder::PacketBuilder;
+pub use ether::{EtherType, EthernetFrame, MacAddr};
+pub use flow::{FiveTuple, IpProtocol};
+pub use ipv4::Ipv4Packet;
+pub use meta::{MetaPlacement, PlbMeta};
+pub use rss::ToeplitzHasher;
+pub use tcp::TcpSegment;
+pub use udp::UdpDatagram;
+pub use vlan::VlanTag;
+pub use vxlan::VxlanHeader;
+
+/// Errors produced when parsing a packet view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the protocol's minimum header.
+    Truncated,
+    /// A header field has an illegal value (e.g. IPv4 IHL < 5).
+    Malformed,
+    /// A checksum failed verification.
+    BadChecksum,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "buffer too short for header"),
+            ParseError::Malformed => write!(f, "illegal header field"),
+            ParseError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,293 @@
+//! The PLB meta header.
+//!
+//! `plb_dispatch` tags every PLB packet with a meta header carrying the
+//! packet sequence number (PSN); the meta travels with the packet to the CPU
+//! and back so `plb_reorder` can restore order (§4.1). The GW pod sets the
+//! *drop flag* in the meta when it drops a packet (ACL, rate limiting) so the
+//! NIC releases reorder resources instead of waiting for the 100 µs timeout
+//! (§4.1, HOL handling #2).
+//!
+//! Placement: §7 reports that inserting the meta at the packet *head*
+//! disturbs encap/decap or costs 33.6% in extra copies, so production places
+//! it at the *tail*. Both placements are implemented; the ablation bench
+//! charges the head placement its measured copy cost.
+
+use crate::{ParseError, Result};
+
+/// On-wire size of the encoded meta header.
+pub const META_LEN: usize = 16;
+
+const MAGIC: u16 = 0xA1BA; // "ALBAtross"
+
+/// Where the meta header is attached to the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaPlacement {
+    /// Appended after the payload (production choice; tails are never
+    /// touched by gateway processing).
+    Tail,
+    /// Inserted before the Ethernet header (ablation alternative; forces a
+    /// copy on every encap/decap).
+    Head,
+}
+
+/// Flag bits carried in the meta header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetaFlags(pub u8);
+
+impl MetaFlags {
+    /// GW pod dropped this packet; NIC must free reorder resources.
+    pub const DROP: u8 = 0x01;
+    /// Header-only delivery: payload stayed in the NIC buffer.
+    pub const HEADER_ONLY: u8 = 0x02;
+
+    /// True if the drop flag is set.
+    pub fn drop(self) -> bool {
+        self.0 & Self::DROP != 0
+    }
+
+    /// True if this is a header-only delivery.
+    pub fn header_only(self) -> bool {
+        self.0 & Self::HEADER_ONLY != 0
+    }
+}
+
+/// The decoded PLB meta header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlbMeta {
+    /// Packet sequence number assigned by `plb_dispatch` within the
+    /// packet's order-preserving queue. Full width is kept here; the
+    /// reorder engine's legal check deliberately examines only
+    /// `psn[11:0]` (see `albatross-core`).
+    pub psn: u32,
+    /// Index of the order-preserving queue this packet belongs to.
+    pub ordq: u8,
+    /// Flag bits.
+    pub flags: MetaFlags,
+    /// NIC ingress timestamp in nanoseconds (for timeout determination).
+    pub ingress_ns: u64,
+}
+
+impl PlbMeta {
+    /// Creates a meta for a freshly dispatched packet.
+    pub fn new(psn: u32, ordq: u8, ingress_ns: u64) -> Self {
+        Self {
+            psn,
+            ordq,
+            flags: MetaFlags::default(),
+            ingress_ns,
+        }
+    }
+
+    /// The low 12 bits of the PSN — the only bits the hardware legal check
+    /// inspects (§4.1).
+    pub fn psn_low12(&self) -> u16 {
+        (self.psn & 0x0FFF) as u16
+    }
+
+    /// Marks the packet as dropped by the GW pod.
+    pub fn set_drop(&mut self) {
+        self.flags.0 |= MetaFlags::DROP;
+    }
+
+    /// Marks the packet as header-only delivery.
+    pub fn set_header_only(&mut self) {
+        self.flags.0 |= MetaFlags::HEADER_ONLY;
+    }
+
+    /// Encodes to the 16-byte wire format.
+    pub fn encode(&self) -> [u8; META_LEN] {
+        let mut out = [0u8; META_LEN];
+        out[0..2].copy_from_slice(&MAGIC.to_be_bytes());
+        out[2] = self.flags.0;
+        out[3] = self.ordq;
+        out[4..8].copy_from_slice(&self.psn.to_be_bytes());
+        out[8..16].copy_from_slice(&self.ingress_ns.to_be_bytes());
+        out
+    }
+
+    /// Decodes from the 16-byte wire format, validating the magic.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        if data.len() < META_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if u16::from_be_bytes([data[0], data[1]]) != MAGIC {
+            return Err(ParseError::Malformed);
+        }
+        Ok(Self {
+            flags: MetaFlags(data[2]),
+            ordq: data[3],
+            psn: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ingress_ns: u64::from_be_bytes(data[8..16].try_into().unwrap()),
+        })
+    }
+
+    /// Attaches this meta to `frame` in the given placement, returning the
+    /// tagged packet.
+    pub fn attach(&self, frame: &[u8], placement: MetaPlacement) -> Vec<u8> {
+        let enc = self.encode();
+        let mut out = Vec::with_capacity(frame.len() + META_LEN);
+        match placement {
+            MetaPlacement::Tail => {
+                out.extend_from_slice(frame);
+                out.extend_from_slice(&enc);
+            }
+            MetaPlacement::Head => {
+                out.extend_from_slice(&enc);
+                out.extend_from_slice(frame);
+            }
+        }
+        out
+    }
+
+    /// Attaches this meta to an owned buffer *in place* — the operation the
+    /// §7 placement lesson is about. Tail placement appends (amortized
+    /// O(1)); head placement must shift the entire frame to make room,
+    /// which is the extra copy that cost 33.6% of forwarding performance.
+    pub fn attach_in_place(&self, frame: &mut Vec<u8>, placement: MetaPlacement) {
+        let enc = self.encode();
+        match placement {
+            MetaPlacement::Tail => frame.extend_from_slice(&enc),
+            MetaPlacement::Head => {
+                // splice at the front: memmove of the whole frame.
+                frame.splice(0..0, enc.iter().copied());
+            }
+        }
+    }
+
+    /// Removes an in-place-attached meta, returning it.
+    pub fn detach_in_place(frame: &mut Vec<u8>, placement: MetaPlacement) -> Result<Self> {
+        if frame.len() < META_LEN {
+            return Err(ParseError::Truncated);
+        }
+        match placement {
+            MetaPlacement::Tail => {
+                let split = frame.len() - META_LEN;
+                let meta = Self::decode(&frame[split..])?;
+                frame.truncate(split);
+                Ok(meta)
+            }
+            MetaPlacement::Head => {
+                let meta = Self::decode(&frame[..META_LEN])?;
+                frame.drain(0..META_LEN);
+                Ok(meta)
+            }
+        }
+    }
+
+    /// Splits a tagged packet back into `(meta, frame)`.
+    pub fn detach(tagged: &[u8], placement: MetaPlacement) -> Result<(Self, &[u8])> {
+        if tagged.len() < META_LEN {
+            return Err(ParseError::Truncated);
+        }
+        match placement {
+            MetaPlacement::Tail => {
+                let split = tagged.len() - META_LEN;
+                let meta = Self::decode(&tagged[split..])?;
+                Ok((meta, &tagged[..split]))
+            }
+            MetaPlacement::Head => {
+                let meta = Self::decode(&tagged[..META_LEN])?;
+                Ok((meta, &tagged[META_LEN..]))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut m = PlbMeta::new(0xABCDE, 3, 123_456_789);
+        m.set_header_only();
+        let d = PlbMeta::decode(&m.encode()).unwrap();
+        assert_eq!(d, m);
+        assert!(d.flags.header_only());
+        assert!(!d.flags.drop());
+    }
+
+    #[test]
+    fn psn_low12_masks() {
+        let m = PlbMeta::new(0x0000_1FFF, 0, 0);
+        assert_eq!(m.psn_low12(), 0x0FFF);
+        let m = PlbMeta::new(0x0000_1000, 0, 0);
+        assert_eq!(m.psn_low12(), 0);
+    }
+
+    #[test]
+    fn drop_flag() {
+        let mut m = PlbMeta::new(1, 0, 0);
+        assert!(!m.flags.drop());
+        m.set_drop();
+        let d = PlbMeta::decode(&m.encode()).unwrap();
+        assert!(d.flags.drop());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut enc = PlbMeta::new(1, 0, 0).encode();
+        enc[0] = 0;
+        assert_eq!(PlbMeta::decode(&enc).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            PlbMeta::decode(&[0u8; 15]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn tail_attachment_preserves_frame_bytes() {
+        let frame = vec![0x11u8; 60];
+        let m = PlbMeta::new(42, 1, 999);
+        let tagged = m.attach(&frame, MetaPlacement::Tail);
+        assert_eq!(tagged.len(), 76);
+        // Frame head is untouched — encap/decap can proceed in place.
+        assert_eq!(&tagged[..60], &frame[..]);
+        let (d, f) = PlbMeta::detach(&tagged, MetaPlacement::Tail).unwrap();
+        assert_eq!(d, m);
+        assert_eq!(f, &frame[..]);
+    }
+
+    #[test]
+    fn head_attachment_shifts_frame() {
+        let frame = vec![0x22u8; 30];
+        let m = PlbMeta::new(7, 0, 1);
+        let tagged = m.attach(&frame, MetaPlacement::Head);
+        assert_eq!(&tagged[META_LEN..], &frame[..]);
+        let (d, f) = PlbMeta::detach(&tagged, MetaPlacement::Head).unwrap();
+        assert_eq!(d, m);
+        assert_eq!(f, &frame[..]);
+    }
+
+    #[test]
+    fn in_place_roundtrip_both_placements() {
+        for placement in [MetaPlacement::Tail, MetaPlacement::Head] {
+            let mut frame = vec![0x5Au8; 100];
+            let m = PlbMeta::new(3, 1, 7);
+            m.attach_in_place(&mut frame, placement);
+            assert_eq!(frame.len(), 116);
+            let d = PlbMeta::detach_in_place(&mut frame, placement).unwrap();
+            assert_eq!(d, m);
+            assert_eq!(frame, vec![0x5Au8; 100]);
+        }
+    }
+
+    #[test]
+    fn in_place_detach_too_short_fails() {
+        let mut frame = vec![0u8; 10];
+        assert!(PlbMeta::detach_in_place(&mut frame, MetaPlacement::Tail).is_err());
+    }
+
+    #[test]
+    fn detach_with_wrong_placement_fails_or_mismatches() {
+        let frame = vec![0u8; 40];
+        let m = PlbMeta::new(9, 2, 5);
+        let tagged = m.attach(&frame, MetaPlacement::Tail);
+        // Head-decode sees frame bytes where the magic should be.
+        assert!(PlbMeta::detach(&tagged, MetaPlacement::Head).is_err());
+    }
+}

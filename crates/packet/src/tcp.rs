@@ -1,0 +1,192 @@
+//! TCP segments (header view only — the gateway forwards TCP, it does not
+//! terminate it; full stream semantics live with the tenants).
+
+use crate::{ParseError, Result};
+
+/// Minimum TCP header length (data offset = 5).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN bit.
+    pub const FIN: u8 = 0x01;
+    /// SYN bit.
+    pub const SYN: u8 = 0x02;
+    /// RST bit.
+    pub const RST: u8 = 0x04;
+    /// PSH bit.
+    pub const PSH: u8 = 0x08;
+    /// ACK bit.
+    pub const ACK: u8 = 0x10;
+
+    /// True if SYN set.
+    pub fn syn(self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+    /// True if FIN set.
+    pub fn fin(self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+    /// True if RST set.
+    pub fn rst(self) -> bool {
+        self.0 & Self::RST != 0
+    }
+    /// True if ACK set.
+    pub fn ack(self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+}
+
+/// A typed view over a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wraps without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wraps, validating the data offset and buffer length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let b = buffer.as_ref();
+        if b.len() < MIN_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let doff = ((b[12] >> 4) as usize) * 4;
+        if doff < MIN_HEADER_LEN {
+            return Err(ParseError::Malformed);
+        }
+        if b.len() < doff {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack_no(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Header length in bytes.
+    pub fn header_len(&self) -> usize {
+        ((self.buffer.as_ref()[12] >> 4) as usize) * 4
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buffer.as_ref()[13] & 0x3F)
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    /// Initializes data offset = 5, flags cleared.
+    pub fn init_basic_header(&mut self) {
+        let b = self.buffer.as_mut();
+        b[12] = 0x50;
+        b[13] = 0;
+    }
+
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, s: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&s.to_be_bytes());
+    }
+
+    /// Sets the acknowledgment number.
+    pub fn set_ack_no(&mut self, a: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&a.to_be_bytes());
+    }
+
+    /// Sets the flag bits.
+    pub fn set_flags(&mut self, f: u8) {
+        self.buffer.as_mut()[13] = f & 0x3F;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; 32];
+        let mut s = TcpSegment::new_unchecked(&mut buf[..]);
+        s.init_basic_header();
+        s.set_src_port(443);
+        s.set_dst_port(51000);
+        s.set_seq(0xDEADBEEF);
+        s.set_ack_no(0x01020304);
+        s.set_flags(TcpFlags::SYN | TcpFlags::ACK);
+        let s = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(s.src_port(), 443);
+        assert_eq!(s.dst_port(), 51000);
+        assert_eq!(s.seq(), 0xDEADBEEF);
+        assert_eq!(s.ack_no(), 0x01020304);
+        assert!(s.flags().syn() && s.flags().ack());
+        assert!(!s.flags().fin() && !s.flags().rst());
+        assert_eq!(s.header_len(), 20);
+        assert_eq!(s.payload().len(), 12);
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut buf = [0u8; 20];
+        buf[12] = 0x40; // doff 4 → 16 bytes
+        assert_eq!(
+            TcpSegment::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Malformed
+        );
+        buf[12] = 0xF0; // doff 15 → 60 bytes, buffer only 20
+        assert_eq!(
+            TcpSegment::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            TcpSegment::new_checked(&[0u8; 19][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

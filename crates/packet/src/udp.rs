@@ -1,0 +1,194 @@
+//! UDP datagrams.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::{ParseError, Result};
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed view over a UDP datagram (header + payload).
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wraps, checking the buffer covers the header and the length field is
+    /// sane.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let len = u16::from_be_bytes([b[4], b[5]]) as usize;
+        if len < HEADER_LEN {
+            return Err(ParseError::Malformed);
+        }
+        if b.len() < len {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Payload bytes (bounded by the length field).
+    pub fn payload(&self) -> &[u8] {
+        let len = self.len_field() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..len]
+    }
+
+    /// Verifies the UDP checksum against the IPv4 pseudo-header. A zero
+    /// checksum means "not computed" and passes (per RFC 768).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let b = self.buffer.as_ref();
+        let stored = u16::from_be_bytes([b[6], b[7]]);
+        if stored == 0 {
+            return true;
+        }
+        let len = self.len_field();
+        let acc = checksum::pseudo_header_sum(src.octets(), dst.octets(), 17, len)
+            + checksum::sum(&b[..len as usize]);
+        checksum::finish(acc) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_len_field(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Computes and writes the checksum over the pseudo-header and datagram.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        let len = self.len_field();
+        let b = self.buffer.as_mut();
+        b[6] = 0;
+        b[7] = 0;
+        let acc = checksum::pseudo_header_sum(src.octets(), dst.octets(), 17, len)
+            + checksum::sum(&b[..len as usize]);
+        let mut c = checksum::finish(acc);
+        if c == 0 {
+            c = 0xFFFF; // RFC 768: transmitted zero means "no checksum"
+        }
+        b[6..8].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload bytes.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = self.len_field() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
+        d.set_src_port(5000);
+        d.set_dst_port(4789);
+        d.set_len_field((HEADER_LEN + payload.len()) as u16);
+        d.payload_mut().copy_from_slice(payload);
+        d.fill_checksum(SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let buf = sample(b"hello world");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 5000);
+        assert_eq!(d.dst_port(), 4789);
+        assert_eq!(d.payload(), b"hello world");
+        assert!(d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn wrong_pseudo_header_fails_checksum() {
+        let buf = sample(b"payload");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(SRC, Ipv4Addr::new(10, 0, 0, 3)));
+    }
+
+    #[test]
+    fn zero_checksum_always_passes() {
+        let mut buf = sample(b"x");
+        buf[6] = 0;
+        buf[7] = 0;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn length_field_bounds_payload() {
+        // Buffer longer than the datagram: payload must respect len field.
+        let mut buf = sample(b"abcd");
+        buf.extend_from_slice(b"JUNK");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.payload(), b"abcd");
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut buf = sample(b"abcd");
+        buf[4] = 0;
+        buf[5] = 4; // shorter than header
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Malformed
+        );
+        buf[5] = 200; // longer than buffer
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = sample(b"sensitive");
+        let idx = buf.len() - 1;
+        buf[idx] ^= 0x40;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(SRC, DST));
+    }
+}

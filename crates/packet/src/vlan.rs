@@ -1,0 +1,112 @@
+//! 802.1Q VLAN tags.
+//!
+//! Albatross uses VLAN tags to steer packets to the right SR-IOV VF: "the
+//! uplink switches apply VLAN tags when packets are sent to Albatross"
+//! (appendix A), and the basic pipeline decapsulates/encapsulates them at
+//! ingress/egress.
+
+use crate::ether::EtherType;
+use crate::{ParseError, Result};
+
+/// Byte length of one 802.1Q tag (TCI + inner EtherType).
+pub const TAG_LEN: usize = 4;
+
+/// A typed view over a 4-byte 802.1Q tag (the bytes immediately after the
+/// outer EtherType 0x8100).
+#[derive(Debug, Clone)]
+pub struct VlanTag<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> VlanTag<T> {
+    /// Wraps without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wraps, checking the buffer holds a full tag.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < TAG_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// VLAN identifier (12 bits).
+    pub fn vid(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]]) & 0x0FFF
+    }
+
+    /// Priority code point (3 bits).
+    pub fn pcp(&self) -> u8 {
+        (self.buffer.as_ref()[0] >> 5) & 0x7
+    }
+
+    /// EtherType of the encapsulated payload.
+    pub fn inner_ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]]).into()
+    }
+
+    /// Bytes after the tag.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[TAG_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> VlanTag<T> {
+    /// Sets the VLAN id (low 12 bits used).
+    pub fn set_vid(&mut self, vid: u16) {
+        let b = self.buffer.as_mut();
+        let tci = (u16::from(b[0] & 0xF0) << 8) | (vid & 0x0FFF);
+        b[0..2].copy_from_slice(&tci.to_be_bytes());
+    }
+
+    /// Sets the priority code point.
+    pub fn set_pcp(&mut self, pcp: u8) {
+        let b = self.buffer.as_mut();
+        b[0] = (b[0] & 0x1F) | ((pcp & 0x7) << 5);
+    }
+
+    /// Sets the inner EtherType.
+    pub fn set_inner_ethertype(&mut self, t: EtherType) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&u16::from(t).to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; 8];
+        let mut t = VlanTag::new_unchecked(&mut buf[..]);
+        t.set_vid(0x123);
+        t.set_pcp(5);
+        t.set_inner_ethertype(EtherType::Ipv4);
+        let t = VlanTag::new_checked(&buf[..]).unwrap();
+        assert_eq!(t.vid(), 0x123);
+        assert_eq!(t.pcp(), 5);
+        assert_eq!(t.inner_ethertype(), EtherType::Ipv4);
+    }
+
+    #[test]
+    fn vid_is_masked_to_12_bits() {
+        let mut buf = [0u8; 4];
+        let mut t = VlanTag::new_unchecked(&mut buf[..]);
+        t.set_pcp(7);
+        t.set_vid(0xFFFF);
+        assert_eq!(t.vid(), 0x0FFF);
+        assert_eq!(t.pcp(), 7, "setting vid must not clobber pcp");
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            VlanTag::new_checked(&[0u8; 3][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

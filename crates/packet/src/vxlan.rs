@@ -1,0 +1,110 @@
+//! VXLAN encapsulation (RFC 7348).
+//!
+//! The VNI is the tenant identifier throughout the paper: the two-stage rate
+//! limiter indexes its color table by `VNI % 4K` and hashes the VNI into the
+//! meter table, and the "VXLAN routing table" is the LPM table whose >10M
+//! rule capacity Tab. 6 highlights.
+
+use crate::{ParseError, Result};
+
+/// VXLAN header length.
+pub const HEADER_LEN: usize = 8;
+
+/// The IANA-assigned VXLAN UDP port.
+pub const UDP_PORT: u16 = 4789;
+
+/// A typed view over a VXLAN header (+ inner frame).
+#[derive(Debug, Clone)]
+pub struct VxlanHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> VxlanHeader<T> {
+    /// Wraps without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wraps, checking length and that the I flag (valid VNI) is set.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if b[0] & 0x08 == 0 {
+            return Err(ParseError::Malformed); // I flag must be set
+        }
+        Ok(Self { buffer })
+    }
+
+    /// The 24-bit VXLAN Network Identifier.
+    pub fn vni(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([0, b[4], b[5], b[6]])
+    }
+
+    /// The encapsulated Ethernet frame.
+    pub fn inner(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> VxlanHeader<T> {
+    /// Initializes flags (I bit set) and reserved fields.
+    pub fn init(&mut self) {
+        let b = self.buffer.as_mut();
+        b[..HEADER_LEN].fill(0);
+        b[0] = 0x08;
+    }
+
+    /// Sets the 24-bit VNI (high byte of `vni` is ignored).
+    pub fn set_vni(&mut self, vni: u32) {
+        let v = vni.to_be_bytes();
+        let b = self.buffer.as_mut();
+        b[4] = v[1];
+        b[5] = v[2];
+        b[6] = v[3];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; 16];
+        let mut h = VxlanHeader::new_unchecked(&mut buf[..]);
+        h.init();
+        h.set_vni(0x00ABCDEF);
+        let h = VxlanHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(h.vni(), 0x00ABCDEF);
+        assert_eq!(h.inner().len(), 8);
+    }
+
+    #[test]
+    fn vni_is_24_bits() {
+        let mut buf = [0u8; 8];
+        let mut h = VxlanHeader::new_unchecked(&mut buf[..]);
+        h.init();
+        h.set_vni(0xFF123456);
+        assert_eq!(VxlanHeader::new_checked(&buf[..]).unwrap().vni(), 0x123456);
+    }
+
+    #[test]
+    fn missing_i_flag_rejected() {
+        let buf = [0u8; 8];
+        assert_eq!(
+            VxlanHeader::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Malformed
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            VxlanHeader::new_checked(&[8u8, 0, 0, 0, 0, 0, 0][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

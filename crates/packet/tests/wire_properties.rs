@@ -1,0 +1,146 @@
+//! Property tests over the wire formats: arbitrary field combinations
+//! round-trip, checksums catch arbitrary single-byte corruption, and the
+//! meta trailer survives any frame.
+
+use std::net::Ipv4Addr;
+
+use albatross_packet::flow::parse_frame;
+use albatross_packet::meta::{MetaPlacement, PlbMeta};
+use albatross_packet::{ether, Ipv4Packet, PacketBuilder, UdpDatagram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn udp_builder_parse_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in 1u16..,
+        dport in 1u16..,
+        payload in 0usize..1400,
+        vlan in proptest::option::of(1u16..4095),
+    ) {
+        let mut b = PacketBuilder::udp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::from(dst),
+            sport,
+            dport,
+        )
+        .payload_len(payload);
+        if let Some(v) = vlan {
+            b = b.vlan(v);
+        }
+        let frame = b.build();
+        let p = parse_frame(&frame).unwrap();
+        prop_assert_eq!(p.tuple.src_ip, Ipv4Addr::from(src));
+        prop_assert_eq!(p.tuple.dst_ip, Ipv4Addr::from(dst));
+        prop_assert_eq!(p.tuple.src_port, sport);
+        prop_assert_eq!(p.tuple.dst_port, dport);
+        prop_assert_eq!(p.vlan, vlan);
+        prop_assert_eq!(p.frame_len, frame.len());
+    }
+
+    #[test]
+    fn vxlan_vni_roundtrip(vni in 0u32..(1 << 24), inner in 14usize..600) {
+        let frame = PacketBuilder::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            5000,
+            albatross_packet::vxlan::UDP_PORT,
+        )
+        .vxlan(vni, inner)
+        .build();
+        let p = parse_frame(&frame).unwrap();
+        prop_assert_eq!(p.vni, Some(vni));
+    }
+
+    #[test]
+    fn ipv4_checksum_catches_any_single_byte_flip(
+        payload in 0usize..64,
+        corrupt_at in 0usize..20,
+        flip in 1u8..,
+    ) {
+        let frame = PacketBuilder::udp(
+            "192.0.2.1".parse().unwrap(),
+            "198.51.100.2".parse().unwrap(),
+            1,
+            2,
+        )
+        .payload_len(payload)
+        .build();
+        let mut corrupted = frame.clone();
+        corrupted[ether::HEADER_LEN + corrupt_at] ^= flip;
+        let ip = Ipv4Packet::new_unchecked(&corrupted[ether::HEADER_LEN..]);
+        prop_assert!(!ip.verify_checksum(), "flip of {flip:#x} at {corrupt_at} undetected");
+    }
+
+    #[test]
+    fn udp_checksum_catches_payload_corruption(
+        payload in 1usize..200,
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..,
+    ) {
+        let frame = PacketBuilder::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            7,
+            9,
+        )
+        .payload_len(payload)
+        .build();
+        let ip_off = ether::HEADER_LEN;
+        let udp_off = ip_off + 20;
+        let payload_off = udp_off + 8;
+        let pos = payload_off + ((payload as f64 * pos_frac) as usize).min(payload - 1);
+        let mut corrupted = frame.clone();
+        corrupted[pos] ^= flip;
+        let ip = Ipv4Packet::new_checked(&corrupted[ip_off..]).unwrap();
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        prop_assert!(!udp.verify_checksum(ip.src(), ip.dst()));
+    }
+
+    #[test]
+    fn meta_roundtrips_any_fields_and_frame(
+        psn in any::<u32>(),
+        ordq in any::<u8>(),
+        ts in any::<u64>(),
+        set_drop in any::<bool>(),
+        frame in prop::collection::vec(any::<u8>(), 14..512),
+        tail in any::<bool>(),
+    ) {
+        let mut meta = PlbMeta::new(psn, ordq, ts);
+        if set_drop {
+            meta.set_drop();
+        }
+        let placement = if tail { MetaPlacement::Tail } else { MetaPlacement::Head };
+        let tagged = meta.attach(&frame, placement);
+        let (got, body) = PlbMeta::detach(&tagged, placement).unwrap();
+        prop_assert_eq!(got, meta);
+        prop_assert_eq!(body, &frame[..]);
+    }
+
+    #[test]
+    fn parser_never_panics_on_random_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_frame(&bytes); // must return Err, never panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_valid_frames(
+        payload in 0usize..100,
+        pos_frac in 0.0f64..1.0,
+        flip in any::<u8>(),
+    ) {
+        let mut frame = PacketBuilder::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            1,
+            albatross_packet::vxlan::UDP_PORT,
+        )
+        .vxlan(7, 50.max(payload))
+        .build();
+        let pos = ((frame.len() - 1) as f64 * pos_frac) as usize;
+        frame[pos] ^= flip;
+        let _ = parse_frame(&frame);
+    }
+}

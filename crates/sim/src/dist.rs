@@ -1,0 +1,202 @@
+//! Latency models.
+//!
+//! §4.1 of the paper characterizes CPU-side processing latency: "the
+//! processing latency for most cloud gateway services is less than 50 µs",
+//! with "significant delay jitters" and rare corner-case branches reaching
+//! milliseconds. [`LatencyModel`] captures that shape as a base latency, a
+//! bounded jitter, and an optional heavy tail — enough to reproduce the
+//! Fig. 11 latency distributions and drive reorder-buffer sizing.
+
+use crate::rng::SimRng;
+
+/// A parametric latency distribution sampled in nanoseconds.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Always exactly this many nanoseconds (FPGA pipeline stages).
+    Fixed(u64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound in ns.
+        lo: u64,
+        /// Upper bound in ns (inclusive).
+        hi: u64,
+    },
+    /// Normal-ish jitter around `mean_ns` with `stddev_ns`, clamped to
+    /// `[min_ns, +inf)`.
+    Jitter {
+        /// Mean latency in ns.
+        mean_ns: u64,
+        /// Standard deviation in ns.
+        stddev_ns: u64,
+        /// Hard lower clamp in ns (latency can never be below this).
+        min_ns: u64,
+    },
+    /// Jitter plus a heavy Pareto tail hit with probability `tail_prob` —
+    /// the "corner case code branches" of §4.1 that reach milliseconds.
+    HeavyTail {
+        /// Mean of the common-case latency in ns.
+        mean_ns: u64,
+        /// Standard deviation of the common case in ns.
+        stddev_ns: u64,
+        /// Hard lower clamp in ns.
+        min_ns: u64,
+        /// Probability that a sample comes from the tail.
+        tail_prob: f64,
+        /// Pareto scale (minimum tail latency) in ns.
+        tail_scale_ns: u64,
+        /// Pareto shape; smaller is heavier. Must be > 1 for a finite mean.
+        tail_shape: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match *self {
+            LatencyModel::Fixed(ns) => ns,
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi);
+                lo + rng.below(hi - lo + 1)
+            }
+            LatencyModel::Jitter {
+                mean_ns,
+                stddev_ns,
+                min_ns,
+            } => {
+                let v = rng.normal(mean_ns as f64, stddev_ns as f64);
+                (v.max(min_ns as f64)) as u64
+            }
+            LatencyModel::HeavyTail {
+                mean_ns,
+                stddev_ns,
+                min_ns,
+                tail_prob,
+                tail_scale_ns,
+                tail_shape,
+            } => {
+                if rng.chance(tail_prob) {
+                    rng.pareto(tail_scale_ns as f64, tail_shape) as u64
+                } else {
+                    let v = rng.normal(mean_ns as f64, stddev_ns as f64);
+                    (v.max(min_ns as f64)) as u64
+                }
+            }
+        }
+    }
+
+    /// Expected value in nanoseconds (exact for Fixed/Uniform/Jitter, and the
+    /// analytic mixture mean for HeavyTail).
+    pub fn mean_ns(&self) -> f64 {
+        match *self {
+            LatencyModel::Fixed(ns) => ns as f64,
+            LatencyModel::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            LatencyModel::Jitter { mean_ns, .. } => mean_ns as f64,
+            LatencyModel::HeavyTail {
+                mean_ns,
+                tail_prob,
+                tail_scale_ns,
+                tail_shape,
+                ..
+            } => {
+                let tail_mean = if tail_shape > 1.0 {
+                    tail_scale_ns as f64 * tail_shape / (tail_shape - 1.0)
+                } else {
+                    tail_scale_ns as f64 * 10.0 // undefined mean; bound it
+                };
+                (1.0 - tail_prob) * mean_ns as f64 + tail_prob * tail_mean
+            }
+        }
+    }
+
+    /// The paper's nominal cloud-gateway service latency: ~15 µs mean with
+    /// jitter, >99% under 30 µs, occasional excursions (cf. Fig. 11).
+    pub fn typical_gateway_service() -> Self {
+        LatencyModel::HeavyTail {
+            mean_ns: 14_000,
+            stddev_ns: 4_500,
+            min_ns: 3_000,
+            tail_prob: 3e-4,
+            tail_scale_ns: 40_000,
+            tail_shape: 1.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let m = LatencyModel::Fixed(580);
+        let mut r = SimRng::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), 580);
+        }
+        assert_eq!(m.mean_ns(), 580.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::Uniform { lo: 100, hi: 200 };
+        let mut r = SimRng::seed_from(2);
+        for _ in 0..1000 {
+            let v = m.sample(&mut r);
+            assert!((100..=200).contains(&v));
+        }
+        assert_eq!(m.mean_ns(), 150.0);
+    }
+
+    #[test]
+    fn jitter_respects_min_clamp() {
+        let m = LatencyModel::Jitter {
+            mean_ns: 1_000,
+            stddev_ns: 5_000,
+            min_ns: 500,
+        };
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..5000 {
+            assert!(m.sample(&mut r) >= 500);
+        }
+    }
+
+    #[test]
+    fn jitter_sample_mean_close_to_mean() {
+        let m = LatencyModel::Jitter {
+            mean_ns: 15_000,
+            stddev_ns: 2_000,
+            min_ns: 0,
+        };
+        let mut r = SimRng::seed_from(4);
+        let n = 20_000;
+        let avg: f64 = (0..n).map(|_| m.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((avg - 15_000.0).abs() < 200.0, "avg={avg}");
+    }
+
+    #[test]
+    fn heavy_tail_occasionally_exceeds_common_case() {
+        let m = LatencyModel::HeavyTail {
+            mean_ns: 10_000,
+            stddev_ns: 1_000,
+            min_ns: 1_000,
+            tail_prob: 0.01,
+            tail_scale_ns: 100_000,
+            tail_shape: 1.5,
+        };
+        let mut r = SimRng::seed_from(5);
+        let n = 100_000;
+        let big = (0..n).filter(|_| m.sample(&mut r) >= 100_000).count();
+        let frac = big as f64 / n as f64;
+        assert!((frac - 0.01).abs() < 0.003, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn typical_gateway_mostly_under_30us() {
+        let m = LatencyModel::typical_gateway_service();
+        let mut r = SimRng::seed_from(6);
+        let n = 200_000;
+        let under = (0..n).filter(|_| m.sample(&mut r) < 30_000).count();
+        let frac = under as f64 / n as f64;
+        assert!(frac > 0.99, "under-30us fraction {frac}");
+    }
+}

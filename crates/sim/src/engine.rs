@@ -1,0 +1,252 @@
+//! The event heap.
+//!
+//! [`Engine`] is an intentionally minimal discrete-event core: callers
+//! schedule typed events at absolute virtual times and pop them in time
+//! order. Dispatch lives in the *caller's* loop (a `match` over the event
+//! enum), not in stored callbacks — this sidesteps shared-mutability
+//! gymnastics and keeps every experiment a plain readable loop:
+//!
+//! ```
+//! use albatross_sim::{Engine, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { PacketArrival(u32), Timer }
+//!
+//! let mut eng = Engine::new();
+//! eng.schedule(SimTime::from_micros(5), Ev::Timer);
+//! eng.schedule(SimTime::from_micros(1), Ev::PacketArrival(7));
+//! let (t, ev) = eng.pop().unwrap();
+//! assert_eq!(t, SimTime::from_micros(1));
+//! assert_eq!(ev, Ev::PacketArrival(7));
+//! ```
+//!
+//! Ties are broken by insertion order (FIFO), which matters for packet-level
+//! determinism: two packets scheduled for the same nanosecond must dequeue in
+//! arrival order or reorder statistics become seed-dependent noise.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable with [`Engine::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so earliest time (then lowest
+        // sequence number) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue over event type `E`.
+pub struct Engine<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic bug in the caller and panics.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `event` `delay_ns` after the current time.
+    pub fn schedule_after(&mut self, delay_ns: u64, event: E) -> EventId {
+        self.schedule(self.now + delay_ns, event)
+    }
+
+    /// Cancels a scheduled event. Cancelling an already-fired or unknown id
+    /// is a no-op (the id space is never reused, so this is safe).
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    /// Returns `None` when the queue has drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Pops the earliest event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? > deadline {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_nanos(30), "c");
+        e.schedule(SimTime::from_nanos(10), "a");
+        e.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, ev)| ev).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(e.now(), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut e = Engine::new();
+        let t = SimTime::from_micros(1);
+        for i in 0..100 {
+            e.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, ev)| ev).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_suppresses_delivery() {
+        let mut e = Engine::new();
+        let id = e.schedule(SimTime::from_nanos(5), "dead");
+        e.schedule(SimTime::from_nanos(6), "alive");
+        e.cancel(id);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.pop().unwrap().1, "alive");
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut e = Engine::<u8>::new();
+        let id = e.schedule(SimTime::from_nanos(1), 0);
+        assert_eq!(e.pop().unwrap().1, 0);
+        e.cancel(id); // already fired
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_nanos(100), ());
+        e.pop();
+        e.schedule_after(50, ());
+        assert_eq!(e.pop().unwrap().0, SimTime::from_nanos(150));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_nanos(10), 1);
+        e.schedule(SimTime::from_nanos(100), 2);
+        assert_eq!(e.pop_until(SimTime::from_nanos(50)).unwrap().1, 1);
+        assert!(e.pop_until(SimTime::from_nanos(50)).is_none());
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_nanos(10), ());
+        e.pop();
+        e.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut e = Engine::new();
+        let id = e.schedule(SimTime::from_nanos(1), "x");
+        e.schedule(SimTime::from_nanos(2), "y");
+        e.cancel(id);
+        assert_eq!(e.peek_time(), Some(SimTime::from_nanos(2)));
+    }
+}

@@ -1,0 +1,184 @@
+//! Bounded FIFO queues with drop accounting.
+//!
+//! RX/TX data queues, VF queue pairs and priority queues all share one
+//! behaviour in the paper: a fixed capacity, tail-drop on overflow, and the
+//! drop count mattering as much as the throughput (NIC port overload in §2.1
+//! drops BGP keepalives; Fig. 13's 50% loss is queue overflow at the CPU).
+//! [`BoundedQueue`] makes the drop path explicit so no harness can lose
+//! packets silently.
+
+use std::collections::VecDeque;
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// The item was accepted.
+    Ok,
+    /// The queue was full and the item was tail-dropped.
+    Dropped,
+}
+
+impl Enqueue {
+    /// True if the item was accepted.
+    pub fn is_ok(self) -> bool {
+        self == Enqueue::Ok
+    }
+}
+
+/// A fixed-capacity FIFO with tail-drop and high-watermark statistics.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    enqueued: u64,
+    dropped: u64,
+    high_watermark: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-capacity queue drops everything,
+    /// which is never what an experiment means.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enqueued: 0,
+            dropped: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Attempts to enqueue, tail-dropping when full.
+    pub fn push(&mut self, item: T) -> Enqueue {
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            return Enqueue::Dropped;
+        }
+        self.items.push_back(item);
+        self.enqueued += 1;
+        self.high_watermark = self.high_watermark.max(self.items.len());
+        Enqueue::Ok
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when at capacity (the next push will drop).
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupancy as a fraction of capacity.
+    pub fn fill_fraction(&self) -> f64 {
+        self.items.len() as f64 / self.capacity as f64
+    }
+
+    /// Total accepted items over the queue's lifetime.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Total tail-dropped items over the queue's lifetime.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Iterates over queued items front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            assert!(q.push(i).is_ok());
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut q = BoundedQueue::new(2);
+        assert_eq!(q.push(1), Enqueue::Ok);
+        assert_eq!(q.push(2), Enqueue::Ok);
+        assert_eq!(q.push(3), Enqueue::Dropped);
+        assert_eq!(q.total_dropped(), 1);
+        assert_eq!(q.total_enqueued(), 2);
+        assert_eq!(q.len(), 2);
+        // Dropped item is gone; order preserved.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(4).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn watermark_tracks_peak() {
+        let mut q = BoundedQueue::new(10);
+        for i in 0..7 {
+            q.push(i);
+        }
+        for _ in 0..7 {
+            q.pop();
+        }
+        assert_eq!(q.high_watermark(), 7);
+        assert!(q.is_empty());
+        assert_eq!(q.fill_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fullness_predicates() {
+        let mut q = BoundedQueue::new(1);
+        assert!(!q.is_full());
+        q.push(0);
+        assert!(q.is_full());
+        assert_eq!(q.fill_fraction(), 1.0);
+        assert_eq!(q.front(), Some(&0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Seeded, splittable randomness.
+//!
+//! Every experiment takes a single scenario seed; components derive their own
+//! independent streams from it so adding a component never perturbs another
+//! component's draws (a classic reproducibility trap in simulators).
+//!
+//! The generator is `rand`'s SmallRng-class algorithm re-exported behind a
+//! thin wrapper with the few distributions this codebase needs: uniform,
+//! exponential inter-arrivals, normal-ish jitter, and Zipf tenant popularity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream for component `tag`.
+    ///
+    /// The derivation mixes the tag through splitmix64 so adjacent tags give
+    /// uncorrelated seeds.
+    pub fn derive(&self, tag: u64) -> Self {
+        let mut z = tag.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Mix with a draw-independent fingerprint of our own seed state by
+        // cloning, so deriving does not advance this stream.
+        let mut probe = self.inner.clone();
+        let fp: u64 = probe.gen();
+        Self::seed_from(z ^ fp.rotate_left(17))
+    }
+
+    /// Uniform `u64` in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential draw with the given mean (for Poisson inter-arrivals).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = 1.0 - self.unit(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Approximately normal draw via the sum of 12 uniforms (Irwin–Hall),
+    /// which is ±6σ-bounded — convenient for latencies that must stay
+    /// non-negative after clamping.
+    pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
+        let s: f64 = (0..12).map(|_| self.unit()).sum::<f64>() - 6.0;
+        mean + stddev * s
+    }
+
+    /// Pareto draw with scale `xm` and shape `alpha` (heavy tails for the
+    /// rare-but-huge latency excursions of §4.1's corner-case code paths).
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        let u = 1.0 - self.unit();
+        xm / u.powf(1.0 / alpha)
+    }
+}
+
+/// Precomputed Zipf sampler over ranks `0..n`.
+///
+/// Tenant traffic in cloud gateways is dominated by a few tenants ("most
+/// traffic is concentrated in a few large flows" — §2.1); Zipf is the
+/// standard stand-in. Sampling is O(log n) by binary search over the CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s` (s=0 is uniform,
+    /// s≈1 is classic Zipf).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when over an empty set (unreachable by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let root = SimRng::seed_from(7);
+        let mut c1 = root.derive(1);
+        let mut c2 = root.derive(2);
+        let v1: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let v2: Vec<u64> = (0..8).map(|_| c2.next_u64()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn derive_does_not_advance_parent() {
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        let _ = a.derive(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::seed_from(3);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(100.0)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 3.0, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = SimRng::seed_from(4);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn zipf_rank0_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = SimRng::seed_from(5);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999] * 10);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.2);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_bounded_below() {
+        let mut r = SimRng::seed_from(6);
+        for _ in 0..1000 {
+            assert!(r.pareto(50.0, 2.0) >= 50.0);
+        }
+    }
+}

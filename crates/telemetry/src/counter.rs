@@ -1,0 +1,154 @@
+//! Counters and windowed rate meters.
+//!
+//! The tenant rate-limiting experiments (Fig. 13/14) plot per-tenant
+//! delivered rate in Mpps against time; [`RateMeter`] produces exactly that:
+//! a per-window packet count converted to a rate, keyed by virtual time.
+
+/// A simple monotonic event counter with a name, used for drop/forward
+/// accounting all over the data plane.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Resets to zero and returns the previous value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.value)
+    }
+}
+
+/// Converts timestamped event counts into a rate time series.
+///
+/// Events are bucketed into fixed windows of `window_ns`; [`RateMeter::series`]
+/// then yields `(window_start_ns, events_per_second)` points. Used by the
+/// Fig. 13/14 harnesses with 1-second windows.
+///
+/// ```
+/// use albatross_telemetry::RateMeter;
+/// let mut m = RateMeter::new(1_000_000_000); // 1 s windows
+/// for i in 0..100 {
+///     m.record(i * 10_000_000, 1); // 100 events in the first second
+/// }
+/// let s = m.series();
+/// assert_eq!(s[0], (0, 100.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateMeter {
+    window_ns: u64,
+    /// Count per window index; windows are dense from 0.
+    windows: Vec<u64>,
+}
+
+impl RateMeter {
+    /// Creates a meter with the given window width in nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `window_ns` is zero.
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0, "window must be non-empty");
+        Self {
+            window_ns,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Records `n` events at virtual time `now_ns`.
+    pub fn record(&mut self, now_ns: u64, n: u64) {
+        let idx = (now_ns / self.window_ns) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, 0);
+        }
+        self.windows[idx] += n;
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.windows.iter().sum()
+    }
+
+    /// Returns `(window_start_ns, events_per_second)` for every window seen so
+    /// far, including empty interior windows.
+    pub fn series(&self) -> Vec<(u64, f64)> {
+        let per_sec = 1e9 / self.window_ns as f64;
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 * self.window_ns, c as f64 * per_sec))
+            .collect()
+    }
+
+    /// Rate in events/second over the window containing `now_ns`, or 0.0 if
+    /// nothing was recorded there.
+    pub fn rate_at(&self, now_ns: u64) -> f64 {
+        let idx = (now_ns / self.window_ns) as usize;
+        let per_sec = 1e9 / self.window_ns as f64;
+        self.windows.get(idx).copied().unwrap_or(0) as f64 * per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn rate_meter_windows() {
+        let mut m = RateMeter::new(1_000); // 1 µs windows
+        m.record(0, 5);
+        m.record(999, 5);
+        m.record(1_000, 2);
+        m.record(3_500, 1);
+        let s = m.series();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].1, 10.0 * 1e6);
+        assert_eq!(s[1].1, 2.0 * 1e6);
+        assert_eq!(s[2].1, 0.0);
+        assert_eq!(s[3].1, 1.0 * 1e6);
+        assert_eq!(m.total(), 13);
+    }
+
+    #[test]
+    fn rate_at_is_window_local() {
+        let mut m = RateMeter::new(1_000_000_000);
+        m.record(500_000_000, 42);
+        assert_eq!(m.rate_at(0), 42.0);
+        assert_eq!(m.rate_at(999_999_999), 42.0);
+        assert_eq!(m.rate_at(1_000_000_000), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_panics() {
+        let _ = RateMeter::new(0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Measurement substrate for the Albatross reproduction.
+//!
+//! Every experiment in the paper reports one of a small set of statistics:
+//! latency percentiles (Fig. 9, Fig. 11, Tab. 4), rates over time (Fig. 13,
+//! Fig. 14), per-core utilization dispersion (Fig. 10), or simple
+//! paper-vs-measured tables. This crate provides the corresponding
+//! instruments:
+//!
+//! * [`hist::LatencyHistogram`] — a log-bucketed histogram with percentile
+//!   queries, used for every latency distribution in the paper.
+//! * [`counter::Counter`] / [`counter::RateMeter`] — monotonic counters and
+//!   windowed rate estimation for Mpps time series.
+//! * [`series::TimeSeries`] / [`series::CoreUtilization`] — sampled series and
+//!   the cross-core standard deviation used by Fig. 10.
+//! * [`report`] — the `paper vs measured` table formatter shared by all bench
+//!   harnesses so `bench_output.txt` has a uniform, greppable shape.
+//!
+//! The instruments are deliberately simple, deterministic, and allocation-light
+//! so they can sit on the simulated hot path without perturbing results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod hist;
+pub mod report;
+pub mod series;
+
+pub use counter::{Counter, RateMeter};
+pub use hist::LatencyHistogram;
+pub use report::{ExperimentReport, Row};
+pub use series::{CoreUtilization, TimeSeries};

@@ -1,0 +1,219 @@
+//! Paper-vs-measured report tables.
+//!
+//! Every bench target prints its results through [`ExperimentReport`] so the
+//! final `bench_output.txt` has one uniform shape:
+//!
+//! ```text
+//! == Fig. 8: Load balancing comparison (heavy hitter ramp) ==
+//! metric                          | paper          | measured       | note
+//! --------------------------------+----------------+----------------+------
+//! RSS core-1 peak utilization     | overload       | 1.30x capacity | ...
+//! ```
+//!
+//! Rows carry free-form strings because the paper mixes units freely (Mpps,
+//! µs, %, "days"); the harness is responsible for formatting numbers, this
+//! module only aligns them.
+
+use serde::Serialize;
+
+/// A single row of a paper-vs-measured table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// What is being compared (e.g. "VPC-Internet packet rate").
+    pub metric: String,
+    /// The value the paper reports, verbatim.
+    pub paper: String,
+    /// The value this reproduction measured.
+    pub measured: String,
+    /// Optional qualifier (e.g. "shape match: PLB flat, RSS spikes").
+    pub note: String,
+}
+
+impl Row {
+    /// Builds a row from anything displayable.
+    pub fn new(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        note: impl Into<String>,
+    ) -> Self {
+        Self {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            note: note.into(),
+        }
+    }
+}
+
+/// A named experiment report: a header, comparison rows, and optional
+/// free-form series dumps (for figures, where the deliverable is a curve).
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct ExperimentReport {
+    /// Experiment identifier, e.g. "Fig. 8" or "Tab. 3".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    rows: Vec<Row>,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report for experiment `id` with a descriptive title.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            rows: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a paper-vs-measured row.
+    pub fn row(
+        &mut self,
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        note: impl Into<String>,
+    ) -> &mut Self {
+        self.rows.push(Row::new(metric, paper, measured, note));
+        self
+    }
+
+    /// Adds a named `(x, y)` series (a figure curve).
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// Comparison rows recorded so far.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Renders the report as an aligned text table plus series dumps.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        if !self.rows.is_empty() {
+            let w_metric = self
+                .rows
+                .iter()
+                .map(|r| r.metric.len())
+                .chain(["metric".len()])
+                .max()
+                .unwrap();
+            let w_paper = self
+                .rows
+                .iter()
+                .map(|r| r.paper.len())
+                .chain(["paper".len()])
+                .max()
+                .unwrap();
+            let w_meas = self
+                .rows
+                .iter()
+                .map(|r| r.measured.len())
+                .chain(["measured".len()])
+                .max()
+                .unwrap();
+            out.push_str(&format!(
+                "{:w1$} | {:w2$} | {:w3$} | note\n",
+                "metric",
+                "paper",
+                "measured",
+                w1 = w_metric,
+                w2 = w_paper,
+                w3 = w_meas
+            ));
+            out.push_str(&format!(
+                "{}-+-{}-+-{}-+-----\n",
+                "-".repeat(w_metric),
+                "-".repeat(w_paper),
+                "-".repeat(w_meas)
+            ));
+            for r in &self.rows {
+                out.push_str(&format!(
+                    "{:w1$} | {:w2$} | {:w3$} | {}\n",
+                    r.metric,
+                    r.paper,
+                    r.measured,
+                    r.note,
+                    w1 = w_metric,
+                    w2 = w_paper,
+                    w3 = w_meas
+                ));
+            }
+        }
+        for (name, pts) in &self.series {
+            out.push_str(&format!("-- series: {name} --\n"));
+            for (x, y) in pts {
+                out.push_str(&format!("  {x:>12.4}  {y:>14.6}\n"));
+            }
+        }
+        out
+    }
+
+    /// Prints the rendered report to stdout (the bench harness entry point).
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a rate in packets/second as Mpps with two decimals.
+pub fn mpps(pps: f64) -> String {
+    format!("{:.2} Mpps", pps / 1e6)
+}
+
+/// Formats nanoseconds as microseconds with two decimals.
+pub fn us(ns: u64) -> String {
+    format!("{:.2} us", ns as f64 / 1e3)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_rows_aligned() {
+        let mut rep = ExperimentReport::new("Tab. 3", "Service throughput");
+        rep.row("VPC-VPC", "128.8 Mpps", "130.1 Mpps", "");
+        rep.row("VPC-Internet", "81.6 Mpps", "80.0 Mpps", "slowest service");
+        let s = rep.render();
+        assert!(s.contains("== Tab. 3: Service throughput =="));
+        assert!(s.contains("VPC-VPC"));
+        assert!(s.contains("slowest service"));
+        // Header separator present.
+        assert!(s.contains("-+-"));
+    }
+
+    #[test]
+    fn render_series() {
+        let mut rep = ExperimentReport::new("Fig. 9", "P99 latency");
+        rep.series("plb", vec![(0.5, 20.0), (0.9, 25.0)]);
+        let s = rep.render();
+        assert!(s.contains("series: plb"));
+        assert!(s.contains("0.5"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mpps(81_600_000.0), "81.60 Mpps");
+        assert_eq!(us(20_000), "20.00 us");
+        assert_eq!(pct(0.356), "35.6%");
+    }
+
+    #[test]
+    fn empty_report_renders_header_only() {
+        let rep = ExperimentReport::new("X", "empty");
+        let s = rep.render();
+        assert!(s.starts_with("== X: empty =="));
+        assert!(!s.contains("metric"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: histogram percentiles stay within the documented
+//! quantization error of exact order statistics.
+
+use albatross_telemetry::LatencyHistogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn percentile_within_quantization_of_exact(
+        mut values in prop::collection::vec(0u64..10_000_000, 1..500),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((values.len() as f64 * q).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let approx = h.percentile(q);
+        // Bucket lower bound: approx ≤ exact always; relative error ≤ 2/64
+        // plus one-off small-value slack.
+        prop_assert!(approx <= exact.max(h.min()), "approx {} exact {}", approx, exact);
+        let tolerance = (exact as f64 * (2.0 / 64.0)).max(1.0);
+        prop_assert!(
+            exact as f64 - approx as f64 <= tolerance,
+            "approx {} too far below exact {}", approx, exact
+        );
+    }
+
+    #[test]
+    fn count_mean_min_max_are_exact(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_commutes_with_concatenation(
+        a in prop::collection::vec(0u64..1_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        a.iter().for_each(|&v| ha.record(v));
+        let mut hb = LatencyHistogram::new();
+        b.iter().for_each(|&v| hb.record(v));
+        let mut hcat = LatencyHistogram::new();
+        a.iter().chain(b.iter()).for_each(|&v| hcat.record(v));
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hcat.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.percentile(q), hcat.percentile(q));
+        }
+    }
+
+    #[test]
+    fn fraction_above_plus_at_or_below_is_one(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        threshold in 0u64..1_000_000,
+    ) {
+        let mut h = LatencyHistogram::new();
+        values.iter().for_each(|&v| h.record(v));
+        let total = h.fraction_above(threshold) + h.fraction_at_or_below(threshold);
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,191 @@
+//! Microburst traffic.
+//!
+//! §6: "cloud gateways experience numerous micro-bursts, which can increase
+//! the utilization of a single core by about 50% under RSS in less than one
+//! second" — microbursts are what separate PLB from RSS in Fig. 9 (P99
+//! latency above 75% load) and Fig. 10 (per-core utilization dispersion).
+//!
+//! A [`MicroburstSource`] emits steady background traffic plus short,
+//! randomly-timed bursts during which a *single flow* transmits at a much
+//! higher rate — the flow concentration is the point: under RSS the whole
+//! burst lands on one core.
+
+use albatross_sim::{SimRng, SimTime};
+
+use crate::flowgen::FlowSet;
+use crate::traffic::TrafficSource;
+use crate::PacketDesc;
+
+/// Configuration of a microburst stream.
+#[derive(Debug, Clone)]
+pub struct MicroburstConfig {
+    /// Steady background rate (packets/s) spread over all flows.
+    pub background_pps: u64,
+    /// Burst rate (packets/s) concentrated on one flow while bursting.
+    pub burst_pps: u64,
+    /// Mean gap between bursts.
+    pub mean_gap: SimTime,
+    /// Burst duration.
+    pub burst_len: SimTime,
+    /// Packet size.
+    pub len_bytes: u32,
+}
+
+impl MicroburstConfig {
+    /// A production-flavoured default: 200 ms mean gap, 5 ms bursts at 8×
+    /// the background rate.
+    pub fn typical(background_pps: u64) -> Self {
+        Self {
+            background_pps,
+            burst_pps: background_pps * 8,
+            mean_gap: SimTime::from_millis(200),
+            burst_len: SimTime::from_millis(5),
+            len_bytes: 256,
+        }
+    }
+}
+
+/// Background + single-flow microbursts.
+#[derive(Debug)]
+pub struct MicroburstSource {
+    cfg: MicroburstConfig,
+    flows: FlowSet,
+    rng: SimRng,
+    now: SimTime,
+    end: SimTime,
+    burst_until: SimTime,
+    next_burst: SimTime,
+    burst_flow: usize,
+    counter: usize,
+    bursts_emitted: u64,
+}
+
+impl MicroburstSource {
+    /// Creates the source over `flows`, running until `end`.
+    pub fn new(cfg: MicroburstConfig, flows: FlowSet, end: SimTime, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let first_burst = SimTime::from_nanos(
+            rng.exponential(cfg.mean_gap.as_nanos() as f64) as u64
+        );
+        Self {
+            cfg,
+            flows,
+            rng,
+            now: SimTime::ZERO,
+            end,
+            burst_until: SimTime::ZERO,
+            next_burst: first_burst,
+            burst_flow: 0,
+            counter: 0,
+            bursts_emitted: 0,
+        }
+    }
+
+    /// Number of bursts started so far.
+    pub fn bursts_emitted(&self) -> u64 {
+        self.bursts_emitted
+    }
+
+    fn in_burst(&self) -> bool {
+        self.now < self.burst_until
+    }
+}
+
+impl TrafficSource for MicroburstSource {
+    fn next_packet(&mut self) -> Option<PacketDesc> {
+        if self.now >= self.end {
+            return None;
+        }
+        // Start a burst when due.
+        if !self.in_burst() && self.now >= self.next_burst {
+            self.burst_until = self.now + self.cfg.burst_len.as_nanos();
+            self.burst_flow = self.rng.below(self.flows.len() as u64) as usize;
+            self.next_burst = self.burst_until
+                + self
+                    .rng
+                    .exponential(self.cfg.mean_gap.as_nanos() as f64) as u64;
+            self.bursts_emitted += 1;
+        }
+        let (pps, tuple) = if self.in_burst() {
+            // Burst packets interleave with background; the burst flow
+            // dominates the instantaneous rate.
+            let total = self.cfg.background_pps + self.cfg.burst_pps;
+            let from_burst = self
+                .rng
+                .chance(self.cfg.burst_pps as f64 / total as f64);
+            let tuple = if from_burst {
+                self.flows.flow(self.burst_flow)
+            } else {
+                self.flows.sample(&mut self.rng)
+            };
+            (total, tuple)
+        } else {
+            (self.cfg.background_pps, self.flows.sample(&mut self.rng))
+        };
+        let desc = PacketDesc {
+            time: self.now,
+            tuple,
+            vni: self.flows.vni(),
+            len_bytes: self.cfg.len_bytes,
+            protocol: false,
+        };
+        self.counter += 1;
+        self.now += 1_000_000_000 / pps.max(1);
+        Some(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::collect;
+
+    fn source(seed: u64) -> MicroburstSource {
+        MicroburstSource::new(
+            MicroburstConfig::typical(100_000),
+            FlowSet::generate(1000, Some(5), 1),
+            SimTime::from_secs(2),
+            seed,
+        )
+    }
+
+    #[test]
+    fn emits_ordered_packets_and_some_bursts() {
+        let mut s = source(3);
+        let pkts = collect(&mut s);
+        assert!(pkts.windows(2).all(|w| w[0].time <= w[1].time));
+        // 2 s at 200 ms mean gap → ~10 bursts.
+        assert!(
+            (3..30).contains(&s.bursts_emitted()),
+            "bursts={}",
+            s.bursts_emitted()
+        );
+        // More packets than pure background (bursts add volume).
+        assert!(pkts.len() as u64 > 2 * 100_000);
+    }
+
+    #[test]
+    fn bursts_concentrate_on_one_flow() {
+        let mut s = source(4);
+        let pkts = collect(&mut s);
+        // The most frequent flow must be far above the uniform share.
+        let mut counts = std::collections::HashMap::new();
+        for p in &pkts {
+            *counts.entry(p.tuple).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let uniform = pkts.len() as u64 / 1000;
+        assert!(
+            max > uniform * 10,
+            "burst flow {max} vs uniform share {uniform}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = collect(&mut source(9));
+        let b = collect(&mut source(9));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[100], b[100]);
+    }
+}

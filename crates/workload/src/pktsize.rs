@@ -1,0 +1,94 @@
+//! Packet-size distributions.
+//!
+//! The evaluation uses 256 B packets for throughput tests (§6), 64 B for
+//! the §2.1 worst-case vNIC stress (1.6 Mpps per gigabit), and jumbo
+//! frames with up to 8,500 B Ethernet payload for the header-only-delivery
+//! story (appendix A).
+
+use albatross_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A frame-size distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PacketSize {
+    /// Every frame the same size.
+    Fixed(u32),
+    /// Classic IMIX: 64 B (58.3%), 570 B (33.3%), 1518 B (8.3%).
+    Imix,
+    /// Jumbo frames: 8,500 B payload + headers ≈ 8,542 B.
+    Jumbo,
+}
+
+impl PacketSize {
+    /// The evaluation's standard size (256 B).
+    pub fn evaluation_default() -> Self {
+        PacketSize::Fixed(256)
+    }
+
+    /// Draws one frame size in bytes.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match self {
+            PacketSize::Fixed(n) => *n,
+            PacketSize::Imix => {
+                let u = rng.unit();
+                if u < 0.583 {
+                    64
+                } else if u < 0.916 {
+                    570
+                } else {
+                    1518
+                }
+            }
+            PacketSize::Jumbo => 8_542,
+        }
+    }
+
+    /// Mean frame size in bytes.
+    pub fn mean(&self) -> f64 {
+        match self {
+            PacketSize::Fixed(n) => f64::from(*n),
+            PacketSize::Imix => 0.583 * 64.0 + 0.333 * 570.0 + 0.084 * 1518.0,
+            PacketSize::Jumbo => 8_542.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SimRng::seed_from(1);
+        let d = PacketSize::Fixed(256);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 256);
+        }
+        assert_eq!(d.mean(), 256.0);
+    }
+
+    #[test]
+    fn imix_mix_is_roughly_right() {
+        let mut rng = SimRng::seed_from(2);
+        let d = PacketSize::Imix;
+        let n = 100_000;
+        let small = (0..n).filter(|_| d.sample(&mut rng) == 64).count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.583).abs() < 0.01, "64B fraction {frac}");
+    }
+
+    #[test]
+    fn imix_sample_mean_matches_analytic() {
+        let mut rng = SimRng::seed_from(3);
+        let d = PacketSize::Imix;
+        let n = 200_000;
+        let avg: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((avg - d.mean()).abs() < 5.0, "avg {avg} vs {}", d.mean());
+    }
+
+    #[test]
+    fn jumbo_is_jumbo() {
+        let mut rng = SimRng::seed_from(4);
+        assert!(PacketSize::Jumbo.sample(&mut rng) > 8_000);
+    }
+}

@@ -1,0 +1,107 @@
+//! Tenant populations.
+//!
+//! The rate-limiter experiments need realistic multi-tenant traffic:
+//! hundreds of thousands of VNIs with Zipf-skewed volume ("most CPU
+//! overloads are caused by sudden bursts or anomalies from one or a few
+//! dominant tenants", §4.3). A [`TenantSet`] assigns each tenant a VNI and
+//! a popularity rank and samples tenants per packet.
+
+use albatross_sim::rng::Zipf;
+use albatross_sim::SimRng;
+
+/// A population of tenants with Zipf-skewed traffic shares.
+#[derive(Debug, Clone)]
+pub struct TenantSet {
+    vnis: Vec<u32>,
+    zipf: Zipf,
+}
+
+impl TenantSet {
+    /// Creates `n` tenants with skew exponent `s` (0 = uniform, ~1 =
+    /// production-like skew). VNIs are assigned pseudo-randomly in the
+    /// 24-bit space so adjacent ranks do not share color-table entries.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one tenant");
+        let mut rng = SimRng::seed_from(seed);
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        let mut vnis = Vec::with_capacity(n);
+        while vnis.len() < n {
+            let vni = rng.below(1 << 24) as u32;
+            if seen.insert(vni) {
+                vnis.push(vni);
+            }
+        }
+        Self {
+            vnis,
+            zipf: Zipf::new(n, s),
+        }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.vnis.len()
+    }
+
+    /// True when empty (unreachable by construction).
+    pub fn is_empty(&self) -> bool {
+        self.vnis.is_empty()
+    }
+
+    /// VNI of the tenant at popularity rank `r` (0 = most popular).
+    pub fn vni_of_rank(&self, r: usize) -> u32 {
+        self.vnis[r]
+    }
+
+    /// Samples a tenant VNI by popularity.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        self.vnis[self.zipf.sample(rng)]
+    }
+
+    /// Expected traffic share of rank `r`.
+    pub fn share_of_rank(&self, r: usize) -> f64 {
+        self.zipf.pmf(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vnis_are_distinct_24_bit() {
+        let t = TenantSet::new(10_000, 1.0, 1);
+        let set: std::collections::HashSet<_> = (0..t.len()).map(|r| t.vni_of_rank(r)).collect();
+        assert_eq!(set.len(), 10_000);
+        assert!(set.iter().all(|&v| v < (1 << 24)));
+    }
+
+    #[test]
+    fn rank0_dominates_samples() {
+        let t = TenantSet::new(1000, 1.1, 2);
+        let mut rng = SimRng::seed_from(3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(t.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        let top = counts[&t.vni_of_rank(0)];
+        let mid = counts.get(&t.vni_of_rank(500)).copied().unwrap_or(0);
+        assert!(top > mid * 20, "top={top} mid={mid}");
+    }
+
+    #[test]
+    fn uniform_skew_is_flat() {
+        let t = TenantSet::new(100, 0.0, 4);
+        assert!((t.share_of_rank(0) - 0.01).abs() < 1e-9);
+        assert!((t.share_of_rank(99) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TenantSet::new(100, 1.0, 5);
+        let b = TenantSet::new(100, 1.0, 5);
+        assert_eq!(a.vni_of_rank(7), b.vni_of_rank(7));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests of the traffic sources: time ordering, rate fidelity,
+//! and merge completeness hold for arbitrary parameters.
+
+use albatross_sim::SimTime;
+use albatross_workload::burst::{MicroburstConfig, MicroburstSource};
+use albatross_workload::traffic::collect;
+use albatross_workload::{
+    ConstantRateSource, FlowSet, MergedSource, PoissonSource, RampSource, TrafficSource,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn constant_rate_count_and_order(
+        pps in 1_000u64..1_000_000,
+        millis in 1u64..50,
+        flows in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let end = SimTime::from_millis(millis);
+        let mut s = ConstantRateSource::new(
+            FlowSet::generate(flows, Some(1), seed),
+            pps,
+            256,
+            SimTime::ZERO,
+            end,
+        );
+        let pkts = collect(&mut s);
+        // Count = ceil(end / interval) within rounding of integer division.
+        let interval = 1_000_000_000 / pps;
+        let expected = end.as_nanos().div_ceil(interval);
+        prop_assert!(
+            (pkts.len() as i64 - expected as i64).abs() <= 1,
+            "{} packets vs expected {}", pkts.len(), expected
+        );
+        prop_assert!(pkts.windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert!(pkts.iter().all(|p| p.time < end));
+    }
+
+    #[test]
+    fn poisson_is_ordered_and_rate_accurate(
+        pps in 10_000.0f64..500_000.0,
+        seed in any::<u64>(),
+    ) {
+        let end = SimTime::from_millis(200);
+        let mut s = PoissonSource::new(
+            FlowSet::generate(16, None, 1),
+            pps,
+            256,
+            SimTime::ZERO,
+            end,
+            seed,
+        );
+        let pkts = collect(&mut s);
+        prop_assert!(pkts.windows(2).all(|w| w[0].time <= w[1].time));
+        let expected = pps * 0.2;
+        let got = pkts.len() as f64;
+        // Poisson: stddev = sqrt(n); allow 6 sigma.
+        prop_assert!(
+            (got - expected).abs() <= 6.0 * expected.sqrt() + 2.0,
+            "{got} events vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ramp_respects_piecewise_rates(
+        r1 in 1_000u64..100_000,
+        r2 in 1_000u64..100_000,
+        seed in any::<u64>(),
+    ) {
+        let _ = seed;
+        let end = SimTime::from_millis(100);
+        let mid = SimTime::from_millis(50);
+        let mut s = RampSource::new(
+            FlowSet::generate(4, Some(2), 3),
+            vec![(SimTime::ZERO, r1), (mid, r2)],
+            256,
+            end,
+        );
+        let pkts = collect(&mut s);
+        let first = pkts.iter().filter(|p| p.time < mid).count() as f64;
+        let second = pkts.len() as f64 - first;
+        // The phase boundary can swallow a couple of packets (the last
+        // phase-1 interval may straddle `mid`), and integer interval
+        // division rounds the effective rate slightly up.
+        let tol = |expected: f64| 3.0 + expected * 0.01;
+        let e1 = r1 as f64 * 0.05;
+        let e2 = r2 as f64 * 0.05;
+        prop_assert!((first - e1).abs() <= tol(e1), "phase1 {first} vs {e1}");
+        prop_assert!((second - e2).abs() <= tol(e2), "phase2 {second} vs {e2}");
+    }
+
+    #[test]
+    fn merged_preserves_every_packet(
+        rates in prop::collection::vec(1_000u64..50_000, 1..5),
+    ) {
+        let end = SimTime::from_millis(20);
+        let mut expected = 0usize;
+        let sources: Vec<Box<dyn TrafficSource>> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &pps)| {
+                let mut probe = ConstantRateSource::new(
+                    FlowSet::generate(2, Some(i as u32), i as u64),
+                    pps,
+                    256,
+                    SimTime::ZERO,
+                    end,
+                );
+                expected += collect(&mut probe).len();
+                Box::new(ConstantRateSource::new(
+                    FlowSet::generate(2, Some(i as u32), i as u64),
+                    pps,
+                    256,
+                    SimTime::ZERO,
+                    end,
+                )) as Box<dyn TrafficSource>
+            })
+            .collect();
+        let mut merged = MergedSource::new(sources);
+        let pkts = collect(&mut merged);
+        prop_assert_eq!(pkts.len(), expected);
+        prop_assert!(pkts.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn microbursts_are_ordered_for_any_seed(seed in any::<u64>()) {
+        let mut s = MicroburstSource::new(
+            MicroburstConfig::typical(50_000),
+            FlowSet::generate(100, Some(1), 2),
+            SimTime::from_millis(300),
+            seed,
+        );
+        let pkts = collect(&mut s);
+        prop_assert!(!pkts.is_empty());
+        prop_assert!(pkts.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+}

@@ -1,0 +1,23 @@
+//! # Albatross
+//!
+//! A full reproduction of *Albatross: A Containerized Cloud Gateway Platform
+//! with FPGA-accelerated Packet-level Load Balancing* (SIGCOMM 2025) as a
+//! Rust workspace. This facade crate re-exports every subsystem so examples
+//! and integration tests can use one dependency.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory and per-experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use albatross_bgp as bgp;
+pub use albatross_container as container;
+pub use albatross_core as core;
+pub use albatross_fpga as fpga;
+pub use albatross_gateway as gateway;
+pub use albatross_mem as mem;
+pub use albatross_packet as packet;
+pub use albatross_sim as sim;
+pub use albatross_telemetry as telemetry;
+pub use albatross_workload as workload;

@@ -1,0 +1,169 @@
+//! Cross-crate integration: the full Fig. 1 data path under one roof.
+//!
+//! These tests drive `workload → fpga pipeline → core PLB → gateway
+//! services → telemetry` through the `container::simrun` driver and check
+//! system-level invariants that no single crate can see alone.
+
+use albatross::container::simrun::{PodSimulation, SimConfig};
+use albatross::core::engine::LbMode;
+use albatross::core::ratelimit::RateLimiterConfig;
+use albatross::gateway::services::ServiceKind;
+use albatross::sim::SimTime;
+use albatross::workload::{ConstantRateSource, FlowSet, MergedSource, TrafficSource};
+
+fn base_cfg(cores: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(cores, ServiceKind::VpcVpc);
+    cfg.table_scale = 0.002;
+    cfg.cache_bytes = 8 * 1024 * 1024;
+    cfg
+}
+
+#[test]
+fn conservation_every_packet_is_accounted_for() {
+    // offered = transmitted + all drop categories + (a handful in flight
+    // at the horizon).
+    let cfg = base_cfg(4);
+    let duration = SimTime::from_millis(40);
+    let mut src = ConstantRateSource::new(
+        FlowSet::generate(5_000, Some(9), 1),
+        2_000_000,
+        256,
+        SimTime::ZERO,
+        duration,
+    );
+    let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(60));
+    let accounted = r.transmitted
+        + r.dropped_ratelimit
+        + r.dropped_ingress_full
+        + r.dropped_rx_queue
+        + r.dropped_acl
+        + r.hol_timeouts; // timed-out heads whose packet never returned
+    assert!(
+        accounted <= r.offered && accounted >= r.offered.saturating_sub(50),
+        "offered {} vs accounted {accounted}",
+        r.offered
+    );
+}
+
+#[test]
+fn plb_and_rss_deliver_identical_packet_sets_under_light_load() {
+    for mode in [LbMode::Plb, LbMode::Rss] {
+        let mut cfg = base_cfg(8);
+        cfg.mode = mode;
+        let duration = SimTime::from_millis(30);
+        let mut src = ConstantRateSource::new(
+            FlowSet::generate(1_000, Some(2), 3),
+            500_000,
+            256,
+            SimTime::ZERO,
+            duration,
+        );
+        let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(40));
+        assert_eq!(r.offered, r.transmitted, "{mode:?} lost packets");
+        assert_eq!(r.out_of_order, 0, "{mode:?} disordered packets");
+    }
+}
+
+#[test]
+fn rate_limited_pod_protects_capacity_end_to_end() {
+    // Two tenants: one floods, one behaves. End to end (through the full
+    // NIC + CPU models) the behaving tenant must see zero drops.
+    let mut cfg = base_cfg(2);
+    cfg.rate_limiter = Some(RateLimiterConfig {
+        stage1_pps: 400_000.0,
+        stage2_pps: 100_000.0,
+        tenant_limit_pps: 500_000.0,
+        ..RateLimiterConfig::production()
+    });
+    let duration = SimTime::from_millis(100);
+    let flood = ConstantRateSource::new(
+        FlowSet::generate(100, Some(111), 4),
+        3_000_000,
+        256,
+        SimTime::ZERO,
+        duration,
+    );
+    let polite = ConstantRateSource::new(
+        FlowSet::generate(100, Some(222), 5),
+        200_000,
+        256,
+        SimTime::ZERO,
+        duration,
+    );
+    let mut src = MergedSource::new(vec![
+        Box::new(flood) as Box<dyn TrafficSource>,
+        Box::new(polite),
+    ]);
+    let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(110));
+    assert!(r.dropped_ratelimit > 0, "flood must be limited");
+    let polite_delivered = r.tenant_delivered.get(&222).map_or(0, |m| m.total());
+    assert_eq!(polite_delivered, 20_000, "polite tenant untouched");
+}
+
+#[test]
+fn latency_floor_is_the_nic_pipeline() {
+    let cfg = base_cfg(2);
+    let duration = SimTime::from_millis(20);
+    let mut src = ConstantRateSource::new(
+        FlowSet::generate(10, Some(1), 6),
+        10_000,
+        256,
+        SimTime::ZERO,
+        duration,
+    );
+    let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(30));
+    // RX 3.90 µs + TX 4.17 µs = 8.07 µs of NIC time on every packet.
+    assert!(r.latency.min() >= 8_070, "min {}", r.latency.min());
+}
+
+#[test]
+fn cross_numa_is_measurably_slower_end_to_end() {
+    use albatross::mem::Placement;
+    let run = |placement| {
+        let mut cfg = SimConfig::new(4, ServiceKind::VpcVpc);
+        cfg.placement = placement;
+        cfg.warmup = SimTime::from_millis(10);
+        let duration = SimTime::from_millis(40);
+        let mut src = ConstantRateSource::new(
+            FlowSet::generate(200_000, Some(1), 7),
+            12_000_000,
+            256,
+            SimTime::ZERO,
+            duration,
+        )
+        .with_random_flows(8);
+        PodSimulation::new(cfg)
+            .run(&mut src, duration)
+            .throughput_pps()
+    };
+    let intra = run(Placement::IntraNuma);
+    let cross = run(Placement::CrossNuma);
+    assert!(
+        cross < intra * 0.97,
+        "cross-NUMA {cross} should trail intra {intra}"
+    );
+}
+
+#[test]
+fn determinism_full_stack() {
+    let run = || {
+        let cfg = base_cfg(6);
+        let duration = SimTime::from_millis(25);
+        let mut src = ConstantRateSource::new(
+            FlowSet::generate(2_000, Some(5), 11),
+            3_000_000,
+            256,
+            SimTime::ZERO,
+            duration,
+        )
+        .with_random_flows(12);
+        PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(30))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.offered, b.offered);
+    assert_eq!(a.transmitted, b.transmitted);
+    assert_eq!(a.in_order, b.in_order);
+    assert_eq!(a.latency.max(), b.latency.max());
+    assert_eq!(a.per_core_processed, b.per_core_processed);
+}

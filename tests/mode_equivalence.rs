@@ -1,0 +1,114 @@
+//! System-level equivalence and regression guards: properties that tie
+//! the headline numbers of several experiments together, so a change that
+//! silently breaks one model surfaces as a cross-check failure here.
+
+use albatross::container::simrun::{PodSimulation, SimConfig};
+use albatross::core::engine::LbMode;
+use albatross::gateway::services::ServiceKind;
+use albatross::sim::SimTime;
+use albatross::workload::{ConstantRateSource, FlowSet};
+
+fn capacity(mode: LbMode, service: ServiceKind, cores: usize, seed: u64) -> f64 {
+    let mut cfg = SimConfig::new(cores, service);
+    cfg.mode = mode;
+    cfg.warmup = SimTime::from_millis(8);
+    cfg.seed = seed;
+    let duration = SimTime::from_millis(24);
+    let mut src = ConstantRateSource::new(
+        FlowSet::generate(200_000, Some(11), seed),
+        2_200_000 * cores as u64,
+        256,
+        SimTime::ZERO,
+        duration,
+    )
+    .with_random_flows(seed ^ 1);
+    PodSimulation::new(cfg)
+        .run(&mut src, duration)
+        .throughput_pps()
+}
+
+#[test]
+fn fig4_invariant_plb_and_rss_capacity_agree_within_3_percent() {
+    // The Fig. 4 headline as a regression guard at test scale.
+    let plb = capacity(LbMode::Plb, ServiceKind::VpcVpc, 8, 5);
+    let rss = capacity(LbMode::Rss, ServiceKind::VpcVpc, 8, 6);
+    let gap = (plb - rss).abs() / rss;
+    assert!(gap < 0.03, "PLB {plb} vs RSS {rss}: {:.1}% apart", gap * 100.0);
+}
+
+#[test]
+fn tab3_invariant_service_ordering_holds_at_any_scale() {
+    // VPC-Internet < {VPC-IDC} < {VPC-VPC, VPC-CloudService} in rate.
+    let vpc = capacity(LbMode::Plb, ServiceKind::VpcVpc, 4, 7);
+    let inet = capacity(LbMode::Plb, ServiceKind::VpcInternet, 4, 7);
+    let idc = capacity(LbMode::Plb, ServiceKind::VpcIdc, 4, 7);
+    let cloud = capacity(LbMode::Plb, ServiceKind::VpcCloudService, 4, 7);
+    assert!(inet < idc, "inet {inet} !< idc {idc}");
+    assert!(idc < vpc, "idc {idc} !< vpc {vpc}");
+    assert!(inet < cloud, "inet {inet} !< cloud {cloud}");
+}
+
+#[test]
+fn memory_frequency_speeds_up_the_gateway() {
+    // The §4.2 8%-from-5600MHz lesson, directionally, as a guard.
+    let run = |mhz: u32| {
+        let mut cfg = SimConfig::new(4, ServiceKind::VpcVpc);
+        cfg.mem_freq_mhz = mhz;
+        cfg.warmup = SimTime::from_millis(8);
+        let duration = SimTime::from_millis(24);
+        let mut src = ConstantRateSource::new(
+            FlowSet::generate(200_000, Some(3), 9),
+            9_000_000,
+            256,
+            SimTime::ZERO,
+            duration,
+        )
+        .with_random_flows(10);
+        PodSimulation::new(cfg)
+            .run(&mut src, duration)
+            .throughput_pps()
+    };
+    let slow = run(4800);
+    let fast = run(5600);
+    let gain = fast / slow - 1.0;
+    assert!(
+        (0.02..0.20).contains(&gain),
+        "4800→5600 MHz gain {:.1}% out of plausible range",
+        gain * 100.0
+    );
+}
+
+#[test]
+fn reorder_timeout_bounds_worst_case_added_latency() {
+    // No packet may be delayed by reordering for more than the 100 µs
+    // timeout plus pipeline time: inject one stuck flow, measure others.
+    let mut cfg = SimConfig::new(2, ServiceKind::VpcVpc);
+    cfg.table_scale = 0.002;
+    cfg.acl_drop_modulus = Some(64);
+    cfg.use_drop_flag = false; // worst case: silent drops
+    let duration = SimTime::from_millis(40);
+    let mut src = ConstantRateSource::new(
+        FlowSet::generate(5_000, Some(2), 13),
+        500_000,
+        256,
+        SimTime::ZERO,
+        duration,
+    );
+    let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(50));
+    assert!(r.hol_timeouts > 0, "precondition: HOL must occur");
+    // Max latency ≤ NIC (8.1 µs + per-byte) + processing + 100 µs HOL.
+    assert!(
+        r.latency.max() < 130_000,
+        "HOL-delayed packet exceeded the timeout bound: {} ns",
+        r.latency.max()
+    );
+}
+
+#[test]
+fn different_seeds_actually_change_the_run() {
+    let a = capacity(LbMode::Plb, ServiceKind::VpcVpc, 2, 100);
+    let b = capacity(LbMode::Plb, ServiceKind::VpcVpc, 2, 101);
+    // Same physics, different draws: close but not identical.
+    assert!(a != b, "different seeds should perturb the run");
+    assert!((a - b).abs() / a < 0.05, "but not by much: {a} vs {b}");
+}

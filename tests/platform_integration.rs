@@ -1,0 +1,136 @@
+//! Platform-level integration: servers, orchestration, SR-IOV failure
+//! domains, BGP proxy density and migration working together.
+
+use std::net::Ipv4Addr;
+
+use albatross::bgp::msg::NlriPrefix;
+use albatross::bgp::proxy::{switch_peers_with_proxy, BgpProxy};
+use albatross::bgp::switchcp::{SwitchControlPlane, SAFE_PEER_LIMIT};
+use albatross::container::cost::AzCostModel;
+use albatross::container::migration::{Migration, VALIDATION_PERIOD};
+use albatross::container::orchestrator::{Orchestrator, POD_BRINGUP};
+use albatross::container::pod::{GwPodSpec, GwRole};
+use albatross::container::server::AlbatrossServer;
+use albatross::sim::SimTime;
+
+#[test]
+fn az_buildout_fits_and_respects_bgp_limits() {
+    // Place the full Fig. 15 AZ and register its proxies with a modelled
+    // switch: peers must stay within the safe threshold and convergence in
+    // seconds.
+    let model = AzCostModel::paper();
+    let mut orch = Orchestrator::with_servers(model.albatross_servers());
+    for role in GwRole::ALL {
+        for _ in 0..model.gateways_per_cluster {
+            orch.schedule(
+                &GwPodSpec {
+                    role,
+                    data_cores: 21,
+                    ctrl_cores: 2,
+                },
+                SimTime::ZERO,
+            )
+            .expect("AZ must fit");
+        }
+    }
+    assert_eq!(orch.pods().len(), 32);
+    assert_eq!(
+        orch.ready_pods(SimTime::ZERO + POD_BRINGUP.as_nanos()),
+        32
+    );
+
+    let mut switch = SwitchControlPlane::new();
+    let peers = switch_peers_with_proxy(model.albatross_servers(), 2);
+    for _ in 0..peers {
+        switch.add_peer(16); // each proxy re-advertises its pods' VIPs
+    }
+    assert!(switch.peer_count() <= SAFE_PEER_LIMIT);
+    assert!(switch.convergence_after_restart() < SimTime::from_secs(30));
+}
+
+#[test]
+fn nic_failure_never_silences_a_pod() {
+    // Appendix B: each pod has 4 VFs across 2 NICs; losing one NIC leaves
+    // every pod 2 live connections.
+    let mut server = AlbatrossServer::production();
+    for _ in 0..2 {
+        server
+            .place(&GwPodSpec::evaluation_standard(GwRole::Igw))
+            .unwrap();
+    }
+    let node0_pods: Vec<u32> = server
+        .placements()
+        .iter()
+        .filter(|p| p.numa_node == 0)
+        .map(|p| p.pod_id)
+        .collect();
+    for nic in 0..2u8 {
+        let surviving = server
+            .placements()
+            .iter()
+            .filter(|p| node0_pods.contains(&p.pod_id))
+            .map(|p| {
+                p.vfs
+                    .iter()
+                    .filter(|vf| vf.id.nic != nic)
+                    .count()
+            })
+            .min()
+            .unwrap_or(4);
+        assert_eq!(surviving, 2, "NIC {nic} failure must leave 2 of 4 VFs");
+    }
+}
+
+#[test]
+fn surge_handling_scales_out_in_ten_seconds_with_no_vip_gap() {
+    // The §7 elasticity lesson as one timeline.
+    let mut orch = Orchestrator::with_servers(2);
+    let vip = NlriPrefix::new(Ipv4Addr::new(203, 0, 113, 99), 32);
+    let mut proxy = BgpProxy::new();
+    proxy.pod_advertise(1, vip, Ipv4Addr::new(10, 0, 0, 1));
+    proxy.take_upstream_updates();
+
+    let surge_at = SimTime::from_secs(3600);
+    let scheduled = orch
+        .schedule(&GwPodSpec::evaluation_standard(GwRole::Slb), surge_at)
+        .expect("redundant capacity available");
+    assert_eq!(scheduled.ready_at - surge_at, POD_BRINGUP.as_nanos());
+
+    let ready = scheduled.ready_at;
+    let mut migration = Migration::new(vip, 1, 2);
+    migration
+        .advertise_new(&mut proxy, Ipv4Addr::new(10, 0, 0, 2), ready)
+        .unwrap();
+    // At every probe instant the VIP has a best route.
+    for probe_s in 0..=30u64 {
+        let t = ready + SimTime::from_secs(probe_s).as_nanos();
+        assert!(
+            proxy.rib().best(vip).is_some(),
+            "VIP unserved at validation second {probe_s}"
+        );
+        if probe_s == 30 {
+            migration.withdraw_old(&mut proxy, t).unwrap();
+        }
+    }
+    assert_eq!(proxy.rib().best(vip).unwrap().peer, 2);
+    // Total surge-to-migrated time: 10 s bring-up + 30 s validation.
+    let total = POD_BRINGUP.as_nanos() + VALIDATION_PERIOD.as_nanos();
+    assert_eq!(total, SimTime::from_secs(40).as_nanos());
+}
+
+#[test]
+fn pod_crash_recovers_via_proxy_flush() {
+    let vip = NlriPrefix::new(Ipv4Addr::new(203, 0, 113, 50), 32);
+    let mut proxy = BgpProxy::new();
+    // Primary/backup pair per the §7 migration design.
+    proxy.pod_advertise(1, vip, Ipv4Addr::new(10, 0, 0, 1));
+    proxy.pod_advertise(2, vip, Ipv4Addr::new(10, 0, 0, 2));
+    proxy.take_upstream_updates();
+    proxy.pod_down(1);
+    // The VIP fails over to the backup without an upstream withdrawal.
+    assert_eq!(proxy.rib().best(vip).unwrap().peer, 2);
+    assert!(proxy.take_upstream_updates().is_empty());
+    // Backup dies too: now the switch must hear the withdrawal.
+    proxy.pod_down(2);
+    assert!(!proxy.take_upstream_updates().is_empty());
+}

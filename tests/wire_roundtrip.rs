@@ -1,0 +1,96 @@
+//! Cross-crate wire-format integration: frames built by the workload
+//! generator survive the FPGA basic pipeline, the packet parsers, the PLB
+//! meta machinery, and the BGP control plane — on real bytes throughout.
+
+use albatross::bgp::msg::{BgpMessage, NlriPrefix};
+use albatross::bgp::proxy::BgpProxy;
+use albatross::fpga::basic::{vlan_decap, vlan_encap, PayloadBuffer};
+use albatross::packet::flow::parse_frame;
+use albatross::packet::meta::{MetaPlacement, PlbMeta};
+use albatross::packet::{ether, Ipv4Packet, UdpDatagram};
+use albatross::workload::FlowSet;
+
+#[test]
+fn workload_frames_parse_and_checksum() {
+    let flows = FlowSet::generate(64, Some(0xBEEF), 7);
+    for i in 0..64 {
+        let frame = flows.frame(i, 256);
+        let parsed = parse_frame(&frame).expect("generated frame parses");
+        assert_eq!(parsed.vni, Some(0xBEEF));
+        assert_eq!(parsed.frame_len, 256);
+        // Verify both checksums on the wire.
+        let ip = Ipv4Packet::new_checked(&frame[ether::HEADER_LEN..]).unwrap();
+        assert!(ip.verify_checksum(), "frame {i} IPv4 checksum");
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert!(udp.verify_checksum(ip.src(), ip.dst()), "frame {i} UDP checksum");
+    }
+}
+
+#[test]
+fn full_nic_ingress_egress_on_bytes() {
+    // switch-tagged frame → decap → meta tag (tail) → CPU (untouched head)
+    // → meta strip → encap: byte-identical to the input.
+    let flows = FlowSet::generate(4, Some(0x42), 9);
+    let inner = flows.frame(0, 512);
+    let wire = vlan_encap(&inner, 777).unwrap();
+
+    let (vid, got_inner) = vlan_decap(&wire).unwrap();
+    assert_eq!(vid, 777);
+    assert_eq!(got_inner, inner);
+
+    let meta = PlbMeta::new(0xFACE, 5, 123);
+    let mut tagged = got_inner.clone();
+    meta.attach_in_place(&mut tagged, MetaPlacement::Tail);
+    // The gateway rewrites the head in place — the tail meta is oblivious.
+    let parsed = parse_frame(&tagged[..tagged.len() - 16]).unwrap();
+    assert_eq!(parsed.vni, Some(0x42));
+    let back = PlbMeta::detach_in_place(&mut tagged, MetaPlacement::Tail).unwrap();
+    assert_eq!(back, meta);
+    assert_eq!(vlan_encap(&tagged, vid).unwrap(), wire);
+}
+
+#[test]
+fn header_payload_split_lifecycle_with_real_sizes() {
+    // Jumbo frame: only the header crosses PCIe; the payload waits in the
+    // NIC buffer and is reclaimed on egress.
+    let mut buffer = PayloadBuffer::new(64 * 1024);
+    let payload_len = 8_500u32;
+    assert!(buffer.store(1, payload_len));
+    assert!(buffer.contains(1));
+    // Late header whose payload was reaped: header must be dropped.
+    buffer.reap(1);
+    assert_eq!(buffer.take(1), None);
+    assert_eq!(buffer.released_by_reaper(), 1);
+}
+
+#[test]
+fn bgp_updates_from_proxy_decode_on_the_switch_side() {
+    // The proxy's upstream UPDATEs must round-trip the real codec — this
+    // is what the uplink switch would parse.
+    let mut proxy = BgpProxy::new();
+    let vip = NlriPrefix::new("203.0.113.7".parse().unwrap(), 32);
+    proxy.pod_advertise(3, vip, "10.0.0.3".parse().unwrap());
+    let updates = proxy.take_upstream_updates();
+    assert_eq!(updates.len(), 1);
+    let bytes = updates[0].encode();
+    let (decoded, used) = BgpMessage::decode(&bytes).expect("switch parses the proxy");
+    assert_eq!(used, bytes.len());
+    match decoded {
+        BgpMessage::Update { nlri, next_hop, .. } => {
+            assert_eq!(nlri, vec![vip]);
+            assert_eq!(next_hop, Some("10.0.0.3".parse().unwrap()));
+        }
+        other => panic!("expected UPDATE, got {other:?}"),
+    }
+}
+
+#[test]
+fn meta_magic_rejects_cross_placement_confusion() {
+    // A tail-tagged packet must not be accepted as head-tagged: the magic
+    // word guards against driver misconfiguration.
+    let flows = FlowSet::generate(1, None, 3);
+    let frame = flows.frame(0, 128);
+    let meta = PlbMeta::new(1, 0, 0);
+    let tagged = meta.attach(&frame, MetaPlacement::Tail);
+    assert!(PlbMeta::detach(&tagged, MetaPlacement::Head).is_err());
+}

@@ -80,7 +80,11 @@ fn main() {
             full.latency.mean() / 1e3,
             split.latency.mean() / 1e3
         ),
-        if split.latency.mean() < full.latency.mean() { "shape match" } else { "SHAPE MISMATCH" },
+        if split.latency.mean() < full.latency.mean() {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.row(
         "reaper path exercised",

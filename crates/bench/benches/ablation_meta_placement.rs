@@ -61,7 +61,11 @@ fn main() {
                 tail / 1e6,
                 head / 1e6
             ),
-            if degradation > 0.05 { "shape match: head is costlier" } else { "SHAPE MISMATCH" },
+            if degradation > 0.05 {
+                "shape match: head is costlier"
+            } else {
+                "SHAPE MISMATCH"
+            },
         );
     }
     rep.row(

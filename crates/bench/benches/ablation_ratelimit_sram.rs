@@ -35,12 +35,7 @@ fn main() {
         format!("{:.0} MB", naive as f64 / 1e6),
         "",
     );
-    rep.row(
-        "reduction",
-        "100x",
-        format!("{}x", naive / two_stage),
-        "",
-    );
+    rep.row("reduction", "100x", format!("{}x", naive / two_stage), "");
     let device = FpgaDevice::albatross_production();
     let mut ledger = ResourceLedger::new(device);
     let naive_fits = ledger.register("naive_meters", 0, naive * 8).is_ok();
@@ -50,7 +45,11 @@ fn main() {
         "fits the FPGA (265 Mbit BRAM)?",
         "naive: no; two-stage: yes",
         format!("naive: {naive_fits}; two-stage (alongside full pipeline): {two_stage_fits}"),
-        if !naive_fits && two_stage_fits { "shape match" } else { "SHAPE MISMATCH" },
+        if !naive_fits && two_stage_fits {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
 
     // (b) Collision rescue timeline. Find an innocent tenant colliding
@@ -92,10 +91,7 @@ fn main() {
         if promoted_at.is_none() && rl.is_promoted(dominant) {
             promoted_at = Some(w);
         }
-        series.push((
-            w as f64 * 0.5,
-            innocent_pass as f64 / innocent_total as f64,
-        ));
+        series.push((w as f64 * 0.5, innocent_pass as f64 / innocent_total as f64));
     }
     let first = series.first().expect("windows").1;
     let last = series.last().expect("windows").1;
@@ -118,7 +114,11 @@ fn main() {
         "innocent tenant delivered fraction (final window)",
         "100% (rescued)",
         format!("{:.0}%", last * 100.0),
-        if last > 0.99 { "shape match" } else { "SHAPE MISMATCH" },
+        if last > 0.99 {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.series("innocent_delivered_fraction_vs_time_s", series);
     rep.print();

@@ -114,7 +114,11 @@ fn main() {
             "tolerance {:.0}→{:.0} Mpps; blast {:.2}%→{:.2}%",
             c1_series[0].1, c1_series[3].1, c2_series[0].1, c2_series[3].1
         ),
-        if c1_ok && c2_ok { "shape match" } else { "SHAPE MISMATCH" },
+        if c1_ok && c2_ok {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.series("c1_hh_tolerance_mpps_vs_queues", c1_series);
     rep.series("c2_hol_delayed_pct_vs_queues", c2_series);

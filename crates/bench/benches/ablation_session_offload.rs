@@ -106,7 +106,11 @@ fn main() {
         "8-core scaling (CPU state vs offloaded)",
         "offload restores near-linear scaling",
         format!("{base_scale:.2}x vs {off_scale:.2}x"),
-        if off_scale > 2.0 * base_scale { "shape match" } else { "SHAPE MISMATCH" },
+        if off_scale > 2.0 * base_scale {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.series("write_heavy_cpu_mpps_vs_cores", no_off);
     rep.series("write_heavy_offloaded_mpps_vs_cores", with_off);

@@ -6,8 +6,8 @@
 //! doesn't help, the coherence traffic remains — and the fix is making
 //! state core-local (sharding).
 //!
-//! On a multi-core host this runs real crossbeam threads against the real
-//! session tables. On a single-core host (CI containers) wall-clock
+//! On a multi-core host this runs real scoped threads (`std::thread::scope`)
+//! against the real session tables. On a single-core host (CI containers) wall-clock
 //! threading cannot exhibit parallel contention, so the harness falls
 //! back to the standard MESI ping-pong cost model: every write to shared
 //! state costs one cache-line transfer per contending core
@@ -37,13 +37,18 @@ fn modeled_mops(cores: usize, write_frac: f64, shared: bool) -> f64 {
 }
 
 /// Real-thread measurement (only meaningful with enough hardware cores).
-fn measured_mops(backend: &dyn SessionBackend, cores: usize, ops_per_core: u64, write_every: u64) -> f64 {
+fn measured_mops(
+    backend: &dyn SessionBackend,
+    cores: usize,
+    ops_per_core: u64,
+    write_every: u64,
+) -> f64 {
     let total_ops = AtomicU64::new(0);
     let start = Instant::now();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for core in 0..cores {
             let total_ops = &total_ops;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..ops_per_core {
                     if i % write_every == 0 {
                         backend.record(core, i % 64, 100);
@@ -54,8 +59,7 @@ fn measured_mops(backend: &dyn SessionBackend, cores: usize, ops_per_core: u64, 
                 total_ops.fetch_add(ops_per_core, Ordering::Relaxed);
             });
         }
-    })
-    .expect("threads join");
+    });
     total_ops.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64() / 1e6
 }
 
@@ -68,9 +72,7 @@ fn main() {
         if use_threads {
             format!("Stateful NF scaling (real threads on {hw_cores} hardware cores)")
         } else {
-            format!(
-                "Stateful NF scaling (coherence cost model; host has only {hw_cores} core(s))"
-            )
+            format!("Stateful NF scaling (coherence cost model; host has only {hw_cores} core(s))")
         },
     );
     let mut heavy_series = Vec::new();
@@ -110,7 +112,11 @@ fn main() {
         "write-heavy (shared state) 8-core speedup",
         "degrades or flat — lock + coherence contention",
         format!("{heavy_scaling:.2}x"),
-        if heavy_scaling < 2.0 { "shape match" } else { "SHAPE MISMATCH" },
+        if heavy_scaling < 2.0 {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.row(
         "write-light 8-core speedup",
@@ -126,7 +132,11 @@ fn main() {
         "write-heavy with per-core shards, 8-core speedup",
         "restored by making state local (§7 optimization 1)",
         format!("{sharded_scaling:.2}x"),
-        if sharded_scaling > 2.0 * heavy_scaling { "shape match" } else { "SHAPE MISMATCH" },
+        if sharded_scaling > 2.0 * heavy_scaling {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.series("write_heavy_locked_mops_vs_cores", heavy_series);
     rep.series("write_light_locked_mops_vs_cores", light_series);

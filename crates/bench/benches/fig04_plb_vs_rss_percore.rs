@@ -43,7 +43,11 @@ fn main() {
                 rates[1] / 1e6,
                 diff * 100.0
             ),
-            if diff < 0.03 { "shape match" } else { "SHAPE MISMATCH" },
+            if diff < 0.03 {
+                "shape match"
+            } else {
+                "SHAPE MISMATCH"
+            },
         );
     }
     rep.series("plb_per_core_mpps_vs_cores", series_plb);

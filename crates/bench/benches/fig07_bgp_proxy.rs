@@ -6,8 +6,8 @@
 //! proxy sessions: 64 peers, fast convergence, full pod density.
 
 use albatross_bench::ExperimentReport;
-use albatross_bgp::proxy::{switch_peers_direct, switch_peers_with_proxy, BgpProxy};
 use albatross_bgp::msg::NlriPrefix;
+use albatross_bgp::proxy::{switch_peers_direct, switch_peers_with_proxy, BgpProxy};
 use albatross_bgp::switchcp::{SwitchControlPlane, MAX_SERVERS_PER_SWITCH, SAFE_PEER_LIMIT};
 
 fn convergence(peers: usize, routes_per_peer: usize) -> f64 {
@@ -41,9 +41,7 @@ fn main() {
                 "within limit"
             },
             format!("{direct} vs {proxied}"),
-            format!(
-                "restart convergence {t_direct:.0} s vs {t_proxy:.0} s"
-            ),
+            format!("restart convergence {t_direct:.0} s vs {t_proxy:.0} s"),
         );
     }
     rep.row(
@@ -57,7 +55,11 @@ fn main() {
         "convergence at 128 direct peers",
         "up to tens of minutes",
         format!("{:.1} min", t128 / 60.0),
-        if t128 > 600.0 { "shape match" } else { "SHAPE MISMATCH" },
+        if t128 > 600.0 {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
 
     // Functional check: a proxy carrying 4 pods forwards all their VIPs

@@ -46,13 +46,8 @@ fn run_point(mode: LbMode, hh_pps: u64, core_cap_pps: f64) -> (f64, f64) {
     let r = PodSimulation::new(cfg).run(&mut src, duration);
     let delivered = r.transmitted as f64 / r.offered.max(1) as f64;
     let total: u64 = r.per_core_processed.iter().sum();
-    let max_share = r
-        .per_core_processed
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(0) as f64
-        / total.max(1) as f64;
+    let max_share =
+        r.per_core_processed.iter().copied().max().unwrap_or(0) as f64 / total.max(1) as f64;
     (delivered, max_share)
 }
 
@@ -114,7 +109,11 @@ fn main() {
         "RSS overloads at >100% HH",
         "significant packet loss",
         format!("loss at 130% = {:.1}%", rss_loss.last().unwrap().1 * 100.0),
-        if rss_overloaded { "shape match" } else { "SHAPE MISMATCH" },
+        if rss_overloaded {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.row(
         "PLB spreads the hitter",
@@ -123,7 +122,11 @@ fn main() {
             "max PLB loss over ramp = {:.2}%",
             plb_loss.iter().map(|&(_, l)| l).fold(0.0, f64::max) * 100.0
         ),
-        if plb_survives { "shape match" } else { "SHAPE MISMATCH" },
+        if plb_survives {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.series("rss_loss_vs_hh_fraction", rss_loss);
     rep.series("plb_loss_vs_hh_fraction", plb_loss);

@@ -46,8 +46,8 @@ fn main() {
     cal.data_cores = 1;
     cal.ordqs = 1;
     cal.warmup = SimTime::from_millis(10);
-    let core_cap =
-        albatross_bench::run_saturated(cal, 7, 4_000_000, SimTime::from_millis(40)).throughput_pps();
+    let core_cap = albatross_bench::run_saturated(cal, 7, 4_000_000, SimTime::from_millis(40))
+        .throughput_pps();
 
     let cores = 8;
     let mut rep = ExperimentReport::new(
@@ -77,7 +77,11 @@ fn main() {
         "crossover",
         "PLB wins above ~75% load",
         format!("RSS - PLB at 95% load = {high_load_gap:.1} us"),
-        if high_load_gap > 0.0 { "shape match" } else { "SHAPE MISMATCH" },
+        if high_load_gap > 0.0 {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.series("plb_p99_us_vs_load", plb_series);
     rep.series("rss_p99_us_vs_load", rss_series);

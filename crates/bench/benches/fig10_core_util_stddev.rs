@@ -29,12 +29,8 @@ fn dispersion(mode: LbMode, core_cap: f64) -> (f64, f64, Vec<(f64, f64)>) {
     burst.burst_pps = (capacity * 0.5) as u64;
     burst.mean_gap = SimTime::from_millis(40);
     burst.burst_len = SimTime::from_millis(4);
-    let mut src = MicroburstSource::new(
-        burst,
-        FlowSet::generate(200_000, Some(1), 31),
-        duration,
-        55,
-    );
+    let mut src =
+        MicroburstSource::new(burst, FlowSet::generate(200_000, Some(1), 31), duration, 55);
     let r = PodSimulation::new(cfg).run(&mut src, duration);
     let disp = r.core_util.dispersion();
     let series: Vec<(f64, f64)> = disp
@@ -50,8 +46,8 @@ fn main() {
     cal.data_cores = 1;
     cal.ordqs = 1;
     cal.warmup = SimTime::from_millis(10);
-    let core_cap =
-        albatross_bench::run_saturated(cal, 7, 4_000_000, SimTime::from_millis(40)).throughput_pps();
+    let core_cap = albatross_bench::run_saturated(cal, 7, 4_000_000, SimTime::from_millis(40))
+        .throughput_pps();
 
     let (plb_mean, plb_max, plb_series) = dispersion(LbMode::Plb, core_cap);
     let (rss_mean, rss_max, rss_series) = dispersion(LbMode::Rss, core_cap);
@@ -75,8 +71,16 @@ fn main() {
     rep.row(
         "RSS/PLB dispersion ratio",
         ">> 1",
-        format!("{:.1}x (mean), {:.1}x (max)", rss_mean / plb_mean.max(1e-9), rss_max / plb_max.max(1e-9)),
-        if rss_mean > 2.0 * plb_mean { "shape match" } else { "SHAPE MISMATCH" },
+        format!(
+            "{:.1}x (mean), {:.1}x (max)",
+            rss_mean / plb_mean.max(1e-9),
+            rss_max / plb_max.max(1e-9)
+        ),
+        if rss_mean > 2.0 * plb_mean {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.series("plb_stddev_pct_vs_time_s", plb_series);
     rep.series("rss_stddev_pct_vs_time_s", rss_series);

@@ -68,8 +68,8 @@ fn main() {
     cal.data_cores = 1;
     cal.ordqs = 1;
     cal.warmup = SimTime::from_millis(10);
-    let core_cap =
-        albatross_bench::run_saturated(cal, 7, 4_000_000, SimTime::from_millis(40)).throughput_pps();
+    let core_cap = albatross_bench::run_saturated(cal, 7, 4_000_000, SimTime::from_millis(40))
+        .throughput_pps();
 
     let pods = [
         ("A", 0.20, 61u64),
@@ -88,7 +88,11 @@ fn main() {
             format!("pod {name} ({:.0}% load): <=30 us fraction", load * 100.0),
             ">99%",
             format!("{:.3}%", r.under_30us * 100.0),
-            if r.under_30us > 0.99 { "shape match" } else { "SHAPE MISMATCH" },
+            if r.under_30us > 0.99 {
+                "shape match"
+            } else {
+                "SHAPE MISMATCH"
+            },
         );
         rep.row(
             format!("pod {name}: 30-100 us band"),
@@ -111,7 +115,11 @@ fn main() {
         "30-100 us mass: pod A vs pod D",
         "higher-load pods have more",
         format!("A {:.4}% vs D {:.4}%", a_band * 100.0, d_band * 100.0),
-        if a_band >= d_band { "shape match" } else { "SHAPE MISMATCH" },
+        if a_band >= d_band {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     for r in &results {
         rep.series(format!("pod_{}_latency_cdf", r.name), r.cdf.clone());

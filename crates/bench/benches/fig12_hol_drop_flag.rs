@@ -63,7 +63,11 @@ fn main() {
         format!("{hol_on:.0}/s"),
         format!("{releases_on:.0} drop-flag releases/s instead"),
     );
-    let reduction = if hol_on > 0.0 { hol_off / hol_on } else { f64::INFINITY };
+    let reduction = if hol_on > 0.0 {
+        hol_off / hol_on
+    } else {
+        f64::INFINITY
+    };
     rep.row(
         "HoL reduction",
         "several dozen to hundreds of times per second",
@@ -72,7 +76,11 @@ fn main() {
         } else {
             format!("{hol_off:.0}/s -> 0/s (eliminated)")
         },
-        if hol_off > 50.0 && hol_on < hol_off / 10.0 { "shape match" } else { "SHAPE MISMATCH" },
+        if hol_off > 50.0 && hol_on < hol_off / 10.0 {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.print();
 }

@@ -56,7 +56,11 @@ fn main() {
             "t2..t4 delivered {:.2}/{:.2}/{:.2} of 3/2/1 Mpps; total {total_after:.1} Mpps",
             after_rates[1], after_rates[2], after_rates[3]
         ),
-        if innocents_hurt { "shape match" } else { "SHAPE MISMATCH" },
+        if innocents_hurt {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.print();
 }

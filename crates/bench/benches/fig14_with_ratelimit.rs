@@ -36,7 +36,11 @@ fn main() {
             format!("{} delivered after burst", labels[i]),
             format!("{:.0} Mpps", paper_after[i]),
             format!("{mean_after:.2} Mpps"),
-            if i == 0 { "clamped in the NIC pipeline" } else { "unaffected" },
+            if i == 0 {
+                "clamped in the NIC pipeline"
+            } else {
+                "unaffected"
+            },
         );
         rep.series(
             format!("tenant{}_delivered_mpps", i + 1),
@@ -65,7 +69,11 @@ fn main() {
             after_rates[2] / 2.0 * 100.0,
             after_rates[3] / 1.0 * 100.0
         ),
-        if t1_clamped && innocents_ok { "shape match" } else { "SHAPE MISMATCH" },
+        if t1_clamped && innocents_ok {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.print();
 }

@@ -38,7 +38,11 @@ fn main() {
         "pods placed on 8 servers",
         "32 (4 per server)",
         format!("{placed} placed, {} cores left", orch.free_cores()),
-        if placed == 32 { "placement feasible" } else { "PLACEMENT FAILED" },
+        if placed == 32 {
+            "placement feasible"
+        } else {
+            "PLACEMENT FAILED"
+        },
     );
     rep.row(
         "physical boxes",

@@ -55,7 +55,11 @@ fn main() {
         "service amplifies the penalty",
         "14% vs 3%",
         format!("{:.1}% vs {:.1}%", svc_deg * 100.0, raw_deg * 100.0),
-        if svc_deg > raw_deg + 0.04 { "shape match" } else { "SHAPE MISMATCH" },
+        if svc_deg > raw_deg + 0.04 {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.print();
 }

@@ -42,8 +42,8 @@ fn main() {
     cal.data_cores = 1;
     cal.ordqs = 1;
     cal.warmup = SimTime::from_millis(10);
-    let core_cap =
-        albatross_bench::run_saturated(cal, 7, 4_000_000, SimTime::from_millis(40)).throughput_pps();
+    let core_cap = albatross_bench::run_saturated(cal, 7, 4_000_000, SimTime::from_millis(40))
+        .throughput_pps();
 
     let (p999_on, max_on, mean_on) = run(true, core_cap);
     let (p999_off, max_off, mean_off) = run(false, core_cap);
@@ -67,7 +67,11 @@ fn main() {
         "max-latency reduction from disabling",
         "significant (bursts gone)",
         format!("{:.0}x lower max", max_on / max_off.max(1e-9)),
-        if max_on > 4.0 * max_off { "shape match" } else { "SHAPE MISMATCH" },
+        if max_on > 4.0 * max_off {
+            "shape match"
+        } else {
+            "SHAPE MISMATCH"
+        },
     );
     rep.print();
 }

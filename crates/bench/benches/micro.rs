@@ -1,12 +1,12 @@
-//! Criterion microbenchmarks of the hot-path primitives.
+//! Wall-clock microbenchmarks of the hot-path primitives.
 //!
 //! These complement the table/figure harnesses: they measure the *real*
 //! (wall-clock) cost of the data structures the simulation exercises in
 //! virtual time — LPM lookup, Toeplitz hashing, the reorder
 //! admit/return/poll cycle, the two-stage meter decision, and full-frame
-//! parsing.
+//! parsing. Timing is [`albatross_testkit::BenchTimer`] (warm-up +
+//! calibrated samples, median/p99 report).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 
@@ -18,8 +18,9 @@ use albatross_packet::flow::parse_frame;
 use albatross_packet::meta::PlbMeta;
 use albatross_packet::{FiveTuple, PacketBuilder, ToeplitzHasher};
 use albatross_sim::{SimRng, SimTime};
+use albatross_testkit::BenchTimer;
 
-fn bench_lpm(c: &mut Criterion) {
+fn bench_lpm(timer: &BenchTimer) {
     let mut table = LpmTable::new();
     for i in 0..1_000_000u32 {
         table.insert(Prefix::new(Ipv4Addr::from(i << 8), 24), i);
@@ -28,15 +29,13 @@ fn bench_lpm(c: &mut Criterion) {
         .map(|i| Ipv4Addr::from(((i * 977) << 8) | 0x33))
         .collect();
     let mut i = 0;
-    c.bench_function("lpm_lookup_1M_routes", |b| {
-        b.iter(|| {
-            i = (i + 1) & 1023;
-            black_box(table.lookup(probes[i]))
-        })
+    timer.bench("lpm_lookup_1M_routes", || {
+        i = (i + 1) & 1023;
+        black_box(table.lookup(probes[i]))
     });
 }
 
-fn bench_toeplitz(c: &mut Criterion) {
+fn bench_toeplitz(timer: &BenchTimer) {
     let h = ToeplitzHasher::default();
     let tuple = FiveTuple {
         src_ip: "66.9.149.187".parse().unwrap(),
@@ -45,12 +44,12 @@ fn bench_toeplitz(c: &mut Criterion) {
         dst_port: 1766,
         protocol: albatross_packet::flow::IpProtocol::Udp,
     };
-    c.bench_function("toeplitz_hash_tuple", |b| {
-        b.iter(|| black_box(h.hash_tuple(black_box(&tuple))))
+    timer.bench("toeplitz_hash_tuple", || {
+        black_box(h.hash_tuple(black_box(&tuple)))
     });
 }
 
-fn bench_reorder_cycle(c: &mut Criterion) {
+fn bench_reorder_cycle(timer: &BenchTimer) {
     let tuple = FiveTuple {
         src_ip: "10.0.0.1".parse().unwrap(),
         dst_ip: "10.0.0.2".parse().unwrap(),
@@ -58,34 +57,34 @@ fn bench_reorder_cycle(c: &mut Criterion) {
         dst_port: 2,
         protocol: albatross_packet::flow::IpProtocol::Udp,
     };
-    c.bench_function("reorder_admit_return_poll", |b| {
-        let mut q = ReorderQueue::new(ReorderConfig::default());
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 100;
-            let now = SimTime::from_nanos(t);
-            let psn = q.admit(now).expect("never full at depth 4096");
-            let mut pkt = NicPacket::data(t, tuple, Some(1), 256, now);
-            pkt.meta = Some(PlbMeta::new(psn, 0, t));
-            q.cpu_return(pkt, true);
-            black_box(q.poll(now).len())
-        })
+    let mut q = ReorderQueue::new(ReorderConfig::default());
+    let mut t = 0u64;
+    timer.bench("reorder_admit_return_poll", || {
+        t += 100;
+        let now = SimTime::from_nanos(t);
+        let psn = q.admit(now).expect("never full at depth 4096");
+        let mut pkt = NicPacket::data(t, tuple, Some(1), 256, now);
+        pkt.meta = Some(PlbMeta::new(psn, 0, t));
+        q.cpu_return(pkt, true);
+        black_box(q.poll(now).len())
     });
 }
 
-fn bench_rate_limiter(c: &mut Criterion) {
+fn bench_rate_limiter(timer: &BenchTimer) {
     let mut rl = TwoStageRateLimiter::new(RateLimiterConfig::production());
     let mut rng = SimRng::seed_from(1);
     let mut t = 0u64;
-    c.bench_function("two_stage_meter_decision", |b| {
-        b.iter(|| {
-            t += 50;
-            black_box(rl.process(black_box((t % 4096) as u32), SimTime::from_nanos(t), &mut rng))
-        })
+    timer.bench("two_stage_meter_decision", || {
+        t += 50;
+        black_box(rl.process(
+            black_box((t % 4096) as u32),
+            SimTime::from_nanos(t),
+            &mut rng,
+        ))
     });
 }
 
-fn bench_parse(c: &mut Criterion) {
+fn bench_parse(timer: &BenchTimer) {
     let frame = PacketBuilder::udp(
         "10.1.0.1".parse().unwrap(),
         "10.2.0.2".parse().unwrap(),
@@ -95,30 +94,29 @@ fn bench_parse(c: &mut Criterion) {
     .vlan(7)
     .vxlan(0x1234, 128)
     .build();
-    c.bench_function("parse_frame_vlan_vxlan", |b| {
-        b.iter(|| black_box(parse_frame(black_box(&frame)).unwrap()))
+    timer.bench("parse_frame_vlan_vxlan", || {
+        black_box(parse_frame(black_box(&frame)).unwrap())
     });
 }
 
-fn bench_meta(c: &mut Criterion) {
+fn bench_meta(timer: &BenchTimer) {
     let meta = PlbMeta::new(77, 3, 12345);
-    let frame = vec![0u8; 256];
-    c.bench_function("meta_attach_detach_tail", |b| {
-        let mut buf = frame.clone();
-        buf.reserve(32);
-        b.iter(|| {
-            meta.attach_in_place(&mut buf, albatross_packet::MetaPlacement::Tail);
-            black_box(
-                PlbMeta::detach_in_place(&mut buf, albatross_packet::MetaPlacement::Tail)
-                    .unwrap(),
-            )
-        })
+    let mut buf = vec![0u8; 256];
+    buf.reserve(32);
+    timer.bench("meta_attach_detach_tail", || {
+        meta.attach_in_place(&mut buf, albatross_packet::MetaPlacement::Tail);
+        black_box(
+            PlbMeta::detach_in_place(&mut buf, albatross_packet::MetaPlacement::Tail).unwrap(),
+        )
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_lpm, bench_toeplitz, bench_reorder_cycle, bench_rate_limiter, bench_parse, bench_meta
+fn main() {
+    let timer = BenchTimer::new();
+    bench_lpm(&timer);
+    bench_toeplitz(&timer);
+    bench_reorder_cycle(&timer);
+    bench_rate_limiter(&timer);
+    bench_parse(&timer);
+    bench_meta(&timer);
 }
-criterion_main!(benches);

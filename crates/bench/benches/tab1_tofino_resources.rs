@@ -21,8 +21,18 @@ fn main() {
     let pc = |x: f64| format!("{:.1}%", x * 100.0);
     rep.row("Pipeline0,2 SRAM", "69.2%", pc(sram02), "");
     rep.row("Pipeline0,2 TCAM", "40.3%", pc(tcam02), "");
-    rep.row("Pipeline0,2 PHV", "97.0%", pc(phv02), "entry pair: parsing-heavy");
-    rep.row("Pipeline1,3 SRAM", "96.4%", pc(sram13), "VM-NC mapping tables");
+    rep.row(
+        "Pipeline0,2 PHV",
+        "97.0%",
+        pc(phv02),
+        "entry pair: parsing-heavy",
+    );
+    rep.row(
+        "Pipeline1,3 SRAM",
+        "96.4%",
+        pc(sram13),
+        "VM-NC mapping tables",
+    );
     rep.row("Pipeline1,3 TCAM", "66.7%", pc(tcam13), "");
     rep.row("Pipeline1,3 PHV", "82.3%", pc(phv13), "");
 
@@ -46,9 +56,7 @@ fn main() {
         "blocker 2: large table capacity",
     );
     let mut p = SailfishProgram::production();
-    let chain = p
-        .pair13
-        .try_add(Feature::new("long_chain_fn", 8, 4, 0, 6));
+    let chain = p.pair13.try_add(Feature::new("long_chain_fn", 8, 4, 0, 6));
     rep.row(
         "add long-chained function",
         "compilation error (stages)",

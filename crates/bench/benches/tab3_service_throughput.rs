@@ -6,7 +6,9 @@
 //! are independent — each owns a NUMA node) and double the measured pod
 //! rate for the server figure.
 
-use albatross_bench::{eval_pod_config, mpps, run_saturated, ExperimentReport, EVAL_PODS_PER_SERVER};
+use albatross_bench::{
+    eval_pod_config, mpps, run_saturated, ExperimentReport, EVAL_PODS_PER_SERVER,
+};
 use albatross_gateway::services::ServiceKind;
 use albatross_sim::SimTime;
 
@@ -34,7 +36,10 @@ fn main() {
             format!("{} packet rate", service.name()),
             mpps(paper_pps),
             mpps(server_pps),
-            format!("L3 hit {:.1}% (rate measured at saturation)", r.cache_hit_rate * 100.0),
+            format!(
+                "L3 hit {:.1}% (rate measured at saturation)",
+                r.cache_hit_rate * 100.0
+            ),
         );
     }
     // Shape checks the paper's analysis relies on.

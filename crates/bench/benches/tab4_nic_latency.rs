@@ -15,8 +15,18 @@ fn main() {
     // Measure over many transits (they are deterministic; the averaging
     // guards against future stochastic stage models).
     for i in 0..10_000u64 {
-        transit(&lat, Direction::Rx, SimTime::from_nanos(i * 10_000), &mut bd);
-        transit(&lat, Direction::Tx, SimTime::from_nanos(i * 10_000), &mut bd);
+        transit(
+            &lat,
+            Direction::Rx,
+            SimTime::from_nanos(i * 10_000),
+            &mut bd,
+        );
+        transit(
+            &lat,
+            Direction::Tx,
+            SimTime::from_nanos(i * 10_000),
+            &mut bd,
+        );
     }
 
     let paper: [(Stage, f64, f64); 4] = [

@@ -49,14 +49,9 @@ pub fn run_saturated(
     duration: SimTime,
 ) -> SimReport {
     let flows = FlowSet::generate(EVAL_FLOWS, Some(1000 + service_seed as u32), service_seed);
-    let mut src = ConstantRateSource::new(
-        flows,
-        offered_pps,
-        EVAL_PKT_BYTES,
-        SimTime::ZERO,
-        duration,
-    )
-    .with_random_flows(service_seed ^ 0x5EED);
+    let mut src =
+        ConstantRateSource::new(flows, offered_pps, EVAL_PKT_BYTES, SimTime::ZERO, duration)
+            .with_random_flows(service_seed ^ 0x5EED);
     PodSimulation::new(cfg).run(&mut src, duration)
 }
 
@@ -100,10 +95,7 @@ pub fn tenant_overload_scenario(
     for (i, (&vni, &mpps)) in vnis.iter().zip(&base_mpps).enumerate() {
         let flows = FlowSet::generate(1_000, Some(vni), 90 + i as u64);
         let steps = if i == 0 {
-            vec![
-                (SimTime::ZERO, mpps * 1_000_000),
-                (step_at, 34_000_000),
-            ]
+            vec![(SimTime::ZERO, mpps * 1_000_000), (step_at, 34_000_000)]
         } else {
             vec![(SimTime::ZERO, mpps * 1_000_000)]
         };

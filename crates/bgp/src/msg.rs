@@ -8,7 +8,28 @@
 
 use std::net::Ipv4Addr;
 
-use bytes::{BufMut, BytesMut};
+/// Big-endian append helpers over a plain `Vec<u8>` (the former `bytes`
+/// dependency's `put_*` surface, which is all this codec ever used).
+trait PutBuf {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl PutBuf for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    #[inline]
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    #[inline]
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
 
 /// Error decoding a BGP message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +91,7 @@ impl NlriPrefix {
         1 + self.len.div_ceil(8) as usize
     }
 
-    fn encode(&self, out: &mut BytesMut) {
+    fn encode(&self, out: &mut Vec<u8>) {
         out.put_u8(self.len);
         let octets = self.addr.octets();
         out.put_slice(&octets[..self.len.div_ceil(8) as usize]);
@@ -133,7 +154,7 @@ const HEADER_LEN: usize = 19;
 impl BgpMessage {
     /// Encodes to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = BytesMut::new();
+        let mut body = Vec::new();
         let msg_type = match self {
             BgpMessage::Open {
                 asn,
@@ -152,13 +173,13 @@ impl BgpMessage {
                 next_hop,
                 nlri,
             } => {
-                let mut w = BytesMut::new();
+                let mut w = Vec::new();
                 for p in withdrawn {
                     p.encode(&mut w);
                 }
                 body.put_u16(w.len() as u16);
                 body.put_slice(&w);
-                let mut attrs = BytesMut::new();
+                let mut attrs = Vec::new();
                 if let Some(nh) = next_hop {
                     // ORIGIN (well-known mandatory): IGP.
                     attrs.put_slice(&[0x40, 1, 1, 0]);
@@ -182,12 +203,12 @@ impl BgpMessage {
             }
             BgpMessage::Keepalive => 4,
         };
-        let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
         out.put_slice(&MARKER);
         out.put_u16((HEADER_LEN + body.len()) as u16);
         out.put_u8(msg_type);
         out.put_slice(&body);
-        out.to_vec()
+        out
     }
 
     /// Decodes one message from `buf`, returning it and the bytes consumed.
@@ -233,8 +254,7 @@ impl BgpMessage {
                     withdrawn.push(p);
                     off += used;
                 }
-                let alen =
-                    u16::from_be_bytes([body[wend], body[wend + 1]]) as usize;
+                let alen = u16::from_be_bytes([body[wend], body[wend + 1]]) as usize;
                 let attrs_start = wend + 2;
                 if body.len() < attrs_start + alen {
                     return Err(BgpError::Truncated);
@@ -381,7 +401,10 @@ mod tests {
     fn unknown_type_rejected() {
         let mut bytes = BgpMessage::Keepalive.encode();
         bytes[18] = 9;
-        assert_eq!(BgpMessage::decode(&bytes).unwrap_err(), BgpError::BadType(9));
+        assert_eq!(
+            BgpMessage::decode(&bytes).unwrap_err(),
+            BgpError::BadType(9)
+        );
     }
 
     #[test]

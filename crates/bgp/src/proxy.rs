@@ -118,7 +118,7 @@ pub fn switch_peers_with_proxy(servers: usize, proxies_per_server: usize) -> usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::switchcp::{SAFE_PEER_LIMIT, MAX_SERVERS_PER_SWITCH};
+    use crate::switchcp::{MAX_SERVERS_PER_SWITCH, SAFE_PEER_LIMIT};
 
     fn vip(n: u8) -> NlriPrefix {
         NlriPrefix::new(Ipv4Addr::new(203, 0, 113, n), 32)

@@ -85,10 +85,7 @@ impl Rib {
 
     /// All best routes (one per prefix), unordered.
     pub fn best_routes(&self) -> Vec<Route> {
-        self.routes
-            .keys()
-            .filter_map(|&p| self.best(p))
-            .collect()
+        self.routes.keys().filter_map(|&p| self.best(p)).collect()
     }
 
     /// Total routes (all peers).

@@ -68,8 +68,7 @@ impl SwitchControlPlane {
     pub fn convergence_after_restart(&self) -> SimTime {
         let peers = self.peer_count();
         let total_routes: usize = self.peer_routes.iter().sum();
-        let base_ns =
-            peers as u64 * self.per_peer_ns + total_routes as u64 * self.per_route_ns;
+        let base_ns = peers as u64 * self.per_peer_ns + total_routes as u64 * self.per_route_ns;
         let penalty = if peers > SAFE_PEER_LIMIT {
             let excess = (peers - SAFE_PEER_LIMIT) as f64 / SAFE_PEER_LIMIT as f64;
             1.0 + excess * excess * self.overload_gain

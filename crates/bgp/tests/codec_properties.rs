@@ -5,15 +5,15 @@
 use std::net::Ipv4Addr;
 
 use albatross_bgp::msg::{BgpMessage, NlriPrefix};
-use proptest::prelude::*;
+use albatross_testkit::prelude::*;
 
 fn arb_prefix() -> impl Strategy<Value = NlriPrefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| NlriPrefix::new(Ipv4Addr::from(bits), len))
+    (any::<u32>(), 0u8..=32).map(|(bits, len)| NlriPrefix::new(Ipv4Addr::from(bits), len))
 }
 
 fn arb_message() -> impl Strategy<Value = BgpMessage> {
-    prop_oneof![
-        (any::<u16>(), any::<u16>(), any::<u32>()).prop_map(|(asn, hold_time, id)| {
+    one_of![
+        (any::<u16>(), any::<u16>(), any::<u32>()).map(|(asn, hold_time, id)| {
             BgpMessage::Open {
                 asn,
                 hold_time,
@@ -21,11 +21,11 @@ fn arb_message() -> impl Strategy<Value = BgpMessage> {
             }
         }),
         (
-            prop::collection::vec(arb_prefix(), 0..12),
-            proptest::option::of(any::<u32>()),
-            prop::collection::vec(arb_prefix(), 0..12),
+            vec_of(arb_prefix(), 0..12),
+            option_of(any::<u32>()),
+            vec_of(arb_prefix(), 0..12),
         )
-            .prop_map(|(withdrawn, nh, nlri)| {
+            .map(|(withdrawn, nh, nlri)| {
                 // The codec only emits path attributes when advertising.
                 let next_hop = if nlri.is_empty() {
                     None
@@ -38,32 +38,27 @@ fn arb_message() -> impl Strategy<Value = BgpMessage> {
                     nlri,
                 }
             }),
-        Just(BgpMessage::Keepalive),
-        (any::<u8>(), any::<u8>()).prop_map(|(code, subcode)| BgpMessage::Notification {
-            code,
-            subcode
-        }),
+        just(BgpMessage::Keepalive),
+        (any::<u8>(), any::<u8>())
+            .map(|(code, subcode)| BgpMessage::Notification { code, subcode }),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    #![cases(256)]
 
-    #[test]
     fn encode_decode_roundtrip(msg in arb_message()) {
         let bytes = msg.encode();
         let (decoded, used) = BgpMessage::decode(&bytes).expect("own encoding decodes");
-        prop_assert_eq!(used, bytes.len());
+        assert_eq!(used, bytes.len());
         // NLRI-less updates normalize next_hop to None on the wire.
-        prop_assert_eq!(decoded, msg);
+        assert_eq!(decoded, msg);
     }
 
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+    fn decoder_never_panics_on_garbage(bytes in vec_of(any::<u8>(), 0..128)) {
         let _ = BgpMessage::decode(&bytes);
     }
 
-    #[test]
     fn decoder_never_panics_on_mutated_messages(
         msg in arb_message(),
         pos_frac in 0.0f64..1.0,
@@ -75,16 +70,14 @@ proptest! {
         let _ = BgpMessage::decode(&bytes);
     }
 
-    #[test]
     fn any_truncation_is_rejected(msg in arb_message(), keep_frac in 0.0f64..1.0) {
         let bytes = msg.encode();
         let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
-        prop_assert!(BgpMessage::decode(&bytes[..keep]).is_err());
+        assert!(BgpMessage::decode(&bytes[..keep]).is_err());
     }
 
-    #[test]
     fn back_to_back_messages_parse_independently(
-        msgs in prop::collection::vec(arb_message(), 1..8),
+        msgs in vec_of(arb_message(), 1..8),
     ) {
         let mut stream = Vec::new();
         for m in &msgs {
@@ -93,9 +86,9 @@ proptest! {
         let mut off = 0;
         for expected in &msgs {
             let (got, used) = BgpMessage::decode(&stream[off..]).expect("stream decodes");
-            prop_assert_eq!(&got, expected);
+            assert_eq!(&got, expected);
             off += used;
         }
-        prop_assert_eq!(off, stream.len());
+        assert_eq!(off, stream.len());
     }
 }

@@ -8,10 +8,8 @@
 //! mix (three 1st-gen clusters, five 2nd-gen clusters) draws 12,000 W vs
 //! 7,200 W for Albatross — a 40% reduction.
 
-use serde::{Deserialize, Serialize};
-
 /// The three gateway generations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GatewayGeneration {
     /// x86 clusters.
     Gen1X86,
@@ -42,7 +40,7 @@ impl GatewayGeneration {
 }
 
 /// The AZ buildout model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AzCostModel {
     /// Gateway cluster types per AZ (XGW, IGW, …: 8).
     pub cluster_types: usize,

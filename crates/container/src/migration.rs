@@ -97,9 +97,7 @@ impl Migration {
                 let elapsed = now.saturating_since(started);
                 if elapsed < VALIDATION_PERIOD.as_nanos() {
                     return Err(MigrationError::ValidationIncomplete {
-                        remaining: SimTime::from_nanos(
-                            VALIDATION_PERIOD.as_nanos() - elapsed,
-                        ),
+                        remaining: SimTime::from_nanos(VALIDATION_PERIOD.as_nanos() - elapsed),
                     });
                 }
                 proxy.pod_withdraw(self.old_pod, self.vip);

@@ -6,11 +6,10 @@
 //! 4 VFs, one queue pair per data core).
 
 use albatross_gateway::services::ServiceKind;
-use serde::{Deserialize, Serialize};
 
 /// The eight gateway cluster roles an AZ deploys (§6: "XGW, IGW, VGW,
 /// etc."), mapped onto the service kinds the data plane implements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GwRole {
     /// Cross-VPC gateway.
     Xgw,
@@ -55,7 +54,7 @@ impl GwRole {
 }
 
 /// A pod's resource request.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GwPodSpec {
     /// Role (determines the service pipeline).
     pub role: GwRole,

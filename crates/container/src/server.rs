@@ -157,10 +157,18 @@ mod tests {
         // §6: "we allocate two 46-core GW pods. Each pod is within a NUMA
         // node" — one per node; a third cannot fit.
         let mut s = AlbatrossServer::production();
-        let a = s.place(&GwPodSpec::evaluation_standard(GwRole::Igw)).unwrap().numa_node;
-        let b = s.place(&GwPodSpec::evaluation_standard(GwRole::Igw)).unwrap().numa_node;
+        let a = s
+            .place(&GwPodSpec::evaluation_standard(GwRole::Igw))
+            .unwrap()
+            .numa_node;
+        let b = s
+            .place(&GwPodSpec::evaluation_standard(GwRole::Igw))
+            .unwrap()
+            .numa_node;
         assert_ne!(a, b);
-        assert!(s.place(&GwPodSpec::evaluation_standard(GwRole::Igw)).is_err());
+        assert!(s
+            .place(&GwPodSpec::evaluation_standard(GwRole::Igw))
+            .is_err());
     }
 
     #[test]
@@ -172,11 +180,7 @@ mod tests {
             s.place(&spec(23)).unwrap();
         }
         assert_eq!(s.placements().len(), 4);
-        let on_node0 = s
-            .placements()
-            .iter()
-            .filter(|p| p.numa_node == 0)
-            .count();
+        let on_node0 = s.placements().iter().filter(|p| p.numa_node == 0).count();
         assert_eq!(on_node0, 2, "two pods per NUMA node");
     }
 
@@ -224,7 +228,9 @@ mod tests {
     #[test]
     fn reorder_queue_grant_follows_spec() {
         let mut s = AlbatrossServer::production();
-        let p = s.place(&GwPodSpec::evaluation_standard(GwRole::Igw)).unwrap();
+        let p = s
+            .place(&GwPodSpec::evaluation_standard(GwRole::Igw))
+            .unwrap();
         assert_eq!(p.reorder_queues, 7); // 44/6 = 7
         assert_eq!(p.vfs.len(), 4);
         assert_eq!(p.vfs[0].queue_pairs, 44);

@@ -203,7 +203,10 @@ enum Ev {
     /// A processed packet reaches the NIC's TX path. Separate from
     /// `CoreDone` because software-stack jitter (driver batching, deferred
     /// TX) delays the packet without occupying the data core.
-    CpuReturn { pkt: NicPacket, action: PacketAction },
+    CpuReturn {
+        pkt: NicPacket,
+        action: PacketAction,
+    },
     /// Timeout-driven reorder check.
     ReorderPoll,
     /// Periodic core-utilization sample.
@@ -338,8 +341,7 @@ impl PodSimulation {
         if self.cfg.warmup > SimTime::ZERO {
             self.engine.schedule(self.cfg.warmup, Ev::WarmupReset);
         }
-        self.engine
-            .schedule(self.cfg.sample_window, Ev::Sample);
+        self.engine.schedule(self.cfg.sample_window, Ev::Sample);
 
         while let Some((now, ev)) = self.engine.pop_until(duration) {
             match ev {
@@ -635,13 +637,8 @@ mod tests {
 
     fn run_simple(mode: LbMode, pps: u64) -> SimReport {
         let flows = FlowSet::generate(100, Some(7), 3);
-        let mut src = ConstantRateSource::new(
-            flows,
-            pps,
-            256,
-            SimTime::ZERO,
-            SimTime::from_millis(50),
-        );
+        let mut src =
+            ConstantRateSource::new(flows, pps, 256, SimTime::ZERO, SimTime::from_millis(50));
         PodSimulation::new(small_cfg(mode, 4)).run(&mut src, SimTime::from_millis(60))
     }
 
@@ -704,13 +701,8 @@ mod tests {
         cfg.acl_drop_modulus = Some(4);
         cfg.use_drop_flag = true;
         let flows = FlowSet::generate(64, Some(7), 5);
-        let mut src = ConstantRateSource::new(
-            flows,
-            100_000,
-            256,
-            SimTime::ZERO,
-            SimTime::from_millis(20),
-        );
+        let mut src =
+            ConstantRateSource::new(flows, 100_000, 256, SimTime::ZERO, SimTime::from_millis(20));
         let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(30));
         assert!(r.dropped_acl > 0);
         assert!(r.drop_flag_releases > 0);
@@ -724,13 +716,8 @@ mod tests {
         cfg.acl_drop_modulus = Some(4);
         cfg.use_drop_flag = false;
         let flows = FlowSet::generate(64, Some(7), 5);
-        let mut src = ConstantRateSource::new(
-            flows,
-            100_000,
-            256,
-            SimTime::ZERO,
-            SimTime::from_millis(20),
-        );
+        let mut src =
+            ConstantRateSource::new(flows, 100_000, 256, SimTime::ZERO, SimTime::from_millis(20));
         let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(30));
         assert!(r.dropped_acl > 0);
         assert!(r.hol_timeouts > 0, "silent drops must strand FIFO heads");
@@ -767,13 +754,8 @@ mod tests {
         let mut cfg = small_cfg(LbMode::Plb, 2);
         cfg.warmup = SimTime::from_millis(25);
         let flows = FlowSet::generate(100, Some(7), 3);
-        let mut src = ConstantRateSource::new(
-            flows,
-            100_000,
-            256,
-            SimTime::ZERO,
-            SimTime::from_millis(50),
-        );
+        let mut src =
+            ConstantRateSource::new(flows, 100_000, 256, SimTime::ZERO, SimTime::from_millis(50));
         let r = PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(50));
         // Only the second half is counted.
         assert!(r.offered <= 2_600, "offered={}", r.offered);

@@ -141,8 +141,12 @@ impl TwoStageRateLimiter {
         );
         let bucket = |pps: f64| TokenBucket::new(pps, (pps * cfg.burst_secs).max(32.0));
         Self {
-            color: (0..cfg.color_entries).map(|_| bucket(cfg.stage1_pps)).collect(),
-            meter: (0..cfg.meter_entries).map(|_| bucket(cfg.stage2_pps)).collect(),
+            color: (0..cfg.color_entries)
+                .map(|_| bucket(cfg.stage1_pps))
+                .collect(),
+            meter: (0..cfg.meter_entries)
+                .map(|_| bucket(cfg.stage2_pps))
+                .collect(),
             pre_check: HashMap::new(),
             pre_meter: (0..cfg.pre_entries)
                 .map(|_| bucket(cfg.tenant_limit_pps))
@@ -408,7 +412,7 @@ mod tests {
             }
         }
         let p1_rate = innocent_passed_p1 as f64 / 5.0; // 5 s of traffic
-        // The innocent tenant is collateral damage at first…
+                                                       // The innocent tenant is collateral damage at first…
         assert!(
             rl.is_promoted(dominant),
             "dominant tenant must get promoted"

@@ -333,9 +333,7 @@ impl ReorderQueue {
 
     /// When the current head will time out, if a head exists.
     pub fn next_timeout(&self) -> Option<SimTime> {
-        self.fifo
-            .front()
-            .map(|h| h.enqueued + self.timeout_ns + 1)
+        self.fifo.front().map(|h| h.enqueued + self.timeout_ns + 1)
     }
 }
 
@@ -472,7 +470,11 @@ mod tests {
         assert!(matches!(rel[0], ReorderRelease::Dropped { psn } if psn == psn0));
         assert!(matches!(rel[1], ReorderRelease::InOrder(ref p) if p.id == 1));
         assert_eq!(rq.stats().drop_flag_releases, 1);
-        assert_eq!(rq.stats().hol_timeouts, 0, "no HOL event — that's the point");
+        assert_eq!(
+            rq.stats().hol_timeouts,
+            0,
+            "no HOL event — that's the point"
+        );
     }
 
     #[test]
@@ -507,7 +509,7 @@ mod tests {
         let mut rq = q();
         let t = SimTime::ZERO;
         let psn0 = rq.admit(t).unwrap(); // psn 0
-        // Head times out; psn0's slot is freed.
+                                         // Head times out; psn0's slot is freed.
         rq.poll(t + 200_000);
         // 16 more admissions: psn 16 (the last) reuses slot 0.
         let t2 = SimTime::from_micros(300);

@@ -1,0 +1,308 @@
+//! Golden-sequence tests: two scenarios whose *exact* event traces are
+//! pinned.
+//!
+//! These exist because the subtle paths — the reorder queue's case-3 PSN
+//! aliasing and the rate limiter's sampling-driven promotion — are easy to
+//! perturb silently: an off-by-one in the legal-check window or a changed
+//! RNG draw order still passes the statistical property tests while
+//! shifting *when* things happen. The traces below were captured from the
+//! current implementation under the in-tree xoshiro256++ stream (which
+//! `albatross-sim` pins forever); any diff is a behaviour change that must
+//! be reviewed, not an environmental flake.
+
+use albatross_core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter, Verdict};
+use albatross_core::reorder::{CpuReturnOutcome, ReorderConfig, ReorderQueue, ReorderRelease};
+use albatross_fpga::pkt::NicPacket;
+use albatross_packet::flow::IpProtocol;
+use albatross_packet::meta::PlbMeta;
+use albatross_packet::FiveTuple;
+use albatross_sim::{SimRng, SimTime};
+
+fn tuple() -> FiveTuple {
+    FiveTuple {
+        src_ip: "10.0.0.1".parse().unwrap(),
+        dst_ip: "10.0.0.2".parse().unwrap(),
+        src_port: 1,
+        dst_port: 2,
+        protocol: IpProtocol::Udp,
+    }
+}
+
+fn pkt(id: u64, psn: u32, at: SimTime) -> NicPacket {
+    let mut p = NicPacket::data(id, tuple(), None, 256, at);
+    p.meta = Some(PlbMeta::new(psn, 0, at.as_nanos()));
+    p
+}
+
+fn fmt_releases(rel: &[ReorderRelease]) -> Vec<String> {
+    rel.iter()
+        .map(|r| match r {
+            ReorderRelease::InOrder(p) => format!("InOrder({})", p.id),
+            ReorderRelease::BestEffortAlias(p) => format!("Alias({})", p.id),
+            ReorderRelease::TimedOut { psn } => format!("TimedOut(psn {psn})"),
+            ReorderRelease::Dropped { psn } => format!("Dropped(psn {psn})"),
+        })
+        .collect()
+}
+
+/// The paper's low-probability hazard (§4.1): the legal check sees only
+/// `psn[11:0]` (here `psn[3:0]` at depth 16), so a packet that timed out
+/// exactly one window ago aliases back *into* the live window, mis-passes
+/// the legal check, and must be caught by the reorder check as a case-3
+/// PSN mismatch. The full release trace is pinned.
+#[test]
+fn golden_case3_psn_alias_sequence() {
+    let mut q = ReorderQueue::new(ReorderConfig {
+        depth: 16,
+        timeout_ns: 100_000,
+    });
+    let mut trace: Vec<String> = Vec::new();
+
+    // t=0: packet 0 admitted as psn 0, then stuck in its GW pod.
+    let t0 = SimTime::ZERO;
+    let psn0 = q.admit(t0).unwrap();
+    assert_eq!(psn0, 0);
+
+    // t=200 µs: the head times out — exactly one TimedOut release.
+    trace.extend(fmt_releases(&q.poll(t0 + 200_000)));
+
+    // t=300 µs: a fresh window of 16 admissions. psn 16 (the last) maps to
+    // BUF slot 0 — the slot the ancient packet will alias into.
+    let t2 = SimTime::from_micros(300);
+    let psns: Vec<u32> = (0..16).map(|_| q.admit(t2).unwrap()).collect();
+    assert_eq!(psns, (1..=16).collect::<Vec<u32>>());
+    assert_eq!(psns[15] & 15, psn0 & 15, "slot-aliasing precondition");
+
+    // The ancient packet 0 returns: psn_low 0 is inside [1, 16]'s window →
+    // the 12-bit legal check MIS-PASSES it (this is the hazard).
+    match q.cpu_return(pkt(0, psn0, t0), true) {
+        CpuReturnOutcome::Accepted => trace.push("legal-check mis-pass (psn 0)".into()),
+        other => panic!("expected the alias to pass the legal check, got {other:?}"),
+    }
+
+    // Pods return psns 1..=15 (ids 1000..1014); psn 16 is still out.
+    for (i, &psn) in psns[..15].iter().enumerate() {
+        assert!(matches!(
+            q.cpu_return(pkt(1000 + i as u64, psn, t2), true),
+            CpuReturnOutcome::Accepted
+        ));
+    }
+
+    // The reorder check drains 15 in order, then finds slot 0 valid but
+    // with the WRONG psn (0, not 16): case 3 → best-effort alias release.
+    trace.extend(fmt_releases(&q.poll(t2 + 1)));
+
+    // The real psn-16 packet (id 100) returns and egresses in order.
+    assert!(matches!(
+        q.cpu_return(pkt(100, psns[15], t2), true),
+        CpuReturnOutcome::Accepted
+    ));
+    trace.extend(fmt_releases(&q.poll(t2 + 2)));
+
+    let expected: Vec<String> = [
+        "TimedOut(psn 0)",
+        "legal-check mis-pass (psn 0)",
+        "InOrder(1000)",
+        "InOrder(1001)",
+        "InOrder(1002)",
+        "InOrder(1003)",
+        "InOrder(1004)",
+        "InOrder(1005)",
+        "InOrder(1006)",
+        "InOrder(1007)",
+        "InOrder(1008)",
+        "InOrder(1009)",
+        "InOrder(1010)",
+        "InOrder(1011)",
+        "InOrder(1012)",
+        "InOrder(1013)",
+        "InOrder(1014)",
+        "Alias(0)",
+        "InOrder(100)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    assert_eq!(trace, expected);
+
+    let s = q.stats();
+    assert_eq!(s.admitted, 17);
+    assert_eq!(s.in_order, 16);
+    assert_eq!(s.hol_timeouts, 1);
+    assert_eq!(s.alias_best_effort, 1);
+    assert_eq!(s.late_best_effort, 0);
+    assert_eq!(s.drop_flag_releases, 0);
+    assert_eq!(q.occupancy(), 0);
+}
+
+fn rescue_cfg() -> RateLimiterConfig {
+    RateLimiterConfig {
+        color_entries: 64,
+        meter_entries: 64,
+        pre_entries: 8,
+        stage1_pps: 8_000.0,
+        stage2_pps: 2_000.0,
+        tenant_limit_pps: 10_000.0,
+        burst_secs: 0.002,
+        sample_prob: 0.25,
+        promote_threshold: 16,
+        window: SimTime::from_secs(1),
+        entry_bytes: 200,
+    }
+}
+
+fn verdict_name(v: Verdict) -> &'static str {
+    match v {
+        Verdict::PassBypass => "PassBypass",
+        Verdict::PassPreMeter => "PassPreMeter",
+        Verdict::PassColor => "PassColor",
+        Verdict::PassMeter => "PassMeter",
+        Verdict::DropPreMeter => "DropPreMeter",
+        Verdict::DropMeter => "DropMeter",
+    }
+}
+
+/// The §4.3 heavy-hitter lifecycle, event by event: a dominant tenant at
+/// 40 kpps burns through its stage-1 burst, starts marking, exhausts
+/// stage 2, gets sampled (p = 1/4, threshold 16) and promoted into
+/// pre_check/pre_meter — while an innocent tenant sharing BOTH its color
+/// and meter entries takes exactly two collateral drops before the
+/// promotion rescues it completely.
+///
+/// The trace records every packet index where the dominant tenant's
+/// verdict *changes* (plus the promotion instant), up to the first
+/// pre-meter drop. Every number below depends on the pinned RNG stream:
+/// sampling decides when the 16th sample lands, hence when promotion
+/// flips the verdict family from Color/Meter to PreMeter.
+#[test]
+fn golden_heavy_hitter_promotion_and_collision_rescue() {
+    let cfg = rescue_cfg();
+    let mut rl = TwoStageRateLimiter::new(cfg.clone());
+    let dominant = 5u32;
+    // An innocent tenant colliding on the color entry (vni ≡ 5 mod 64)
+    // AND the stage-2 meter entry — the false-limiting scenario.
+    let m = rl.meter_idx(dominant);
+    let innocent = (1..10_000u32)
+        .map(|k| dominant + k * cfg.color_entries as u32)
+        .find(|&v| rl.meter_idx(v) == m)
+        .expect("some colliding VNI exists");
+    assert_eq!(innocent, 7109, "collision search is deterministic");
+
+    let mut rng = SimRng::seed_from(0xA1BA);
+    let mut trace: Vec<String> = Vec::new();
+    let mut last: Option<Verdict> = None;
+    let mut promotion_logged = false;
+    let mut innocent_drops_p1 = 0u64;
+
+    // Phase 1: dominant floods at 40 kpps for 1 s; innocent sends every
+    // 40th tick (1 kpps), interleaved.
+    for i in 0..40_000u64 {
+        let now = SimTime::from_nanos(i * 25_000);
+        let v = rl.process(dominant, now, &mut rng);
+        if last != Some(v) {
+            if trace.len() < 54 {
+                trace.push(format!("{i}:{}", verdict_name(v)));
+            }
+            last = Some(v);
+        }
+        if !promotion_logged && rl.is_promoted(dominant) {
+            trace.push(format!("{i}:promoted"));
+            promotion_logged = true;
+        }
+        if i % 40 == 0 && !rl.process(innocent, now, &mut rng).passed() {
+            innocent_drops_p1 += 1;
+        }
+    }
+
+    let expected: Vec<String> = [
+        // Stage-1 burst (16 tokens at this rate) and the interleaved
+        // stage-2 burst pass first…
+        "0:PassColor",
+        "38:PassMeter",
+        "41:PassColor",
+        "42:PassMeter",
+        "46:PassColor",
+        "47:PassMeter",
+        "51:PassColor",
+        "52:PassMeter",
+        "56:PassColor",
+        "57:PassMeter",
+        "61:PassColor",
+        "62:PassMeter",
+        "66:PassColor",
+        "67:PassMeter",
+        "71:PassColor",
+        "72:PassMeter",
+        "76:PassColor",
+        "77:PassMeter",
+        // …then stage 2 runs dry: the first marked-and-dropped packet.
+        "79:DropMeter",
+        "81:PassColor",
+        "82:DropMeter",
+        "86:PassColor",
+        "87:DropMeter",
+        "91:PassColor",
+        "92:DropMeter",
+        "96:PassColor",
+        "97:DropMeter",
+        "98:PassMeter",
+        "99:DropMeter",
+        "101:PassColor",
+        "102:DropMeter",
+        "106:PassColor",
+        "107:DropMeter",
+        "111:PassColor",
+        "112:DropMeter",
+        "116:PassColor",
+        "117:DropMeter",
+        "118:PassMeter",
+        "119:DropMeter",
+        "121:PassColor",
+        "122:DropMeter",
+        "126:PassColor",
+        "127:DropMeter",
+        "131:PassColor",
+        "132:DropMeter",
+        "136:PassColor",
+        "137:DropMeter",
+        "138:PassMeter",
+        "139:DropMeter",
+        "141:PassColor",
+        "142:DropMeter",
+        // The 16th sampled drop lands at packet 145: promotion.
+        "145:promoted",
+        "146:PassPreMeter",
+        // The pre-meter's own burst lasts until packet 188.
+        "188:DropPreMeter",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    assert_eq!(trace, expected);
+
+    // Collateral damage while the dominant tenant polluted the shared
+    // entries: exactly two innocent drops, then promotion rescues it.
+    assert_eq!(innocent_drops_p1, 2);
+    assert_eq!(rl.promotions(), 1);
+    assert_eq!(rl.count(Verdict::PassColor), 1056);
+    assert_eq!(rl.count(Verdict::PassMeter), 37);
+    assert_eq!(rl.count(Verdict::DropMeter), 53);
+    assert_eq!(rl.count(Verdict::PassPreMeter), 9995);
+    assert_eq!(rl.count(Verdict::DropPreMeter), 29859);
+
+    // Phase 2: with the dominant tenant early-limited, the innocent tenant
+    // never loses another packet.
+    let t2 = SimTime::from_secs(10);
+    let mut innocent_drops_p2 = 0u64;
+    for i in 0..40_000u64 {
+        let now = t2 + i * 25_000;
+        rl.process(dominant, now, &mut rng);
+        if i % 40 == 0 && !rl.process(innocent, now, &mut rng).passed() {
+            innocent_drops_p2 += 1;
+        }
+    }
+    assert_eq!(
+        innocent_drops_p2, 0,
+        "promotion must fully rescue the innocent tenant"
+    );
+}

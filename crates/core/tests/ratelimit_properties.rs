@@ -2,7 +2,7 @@
 
 use albatross_core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter};
 use albatross_sim::{SimRng, SimTime};
-use proptest::prelude::*;
+use albatross_testkit::prelude::*;
 
 fn cfg(stage1: f64, stage2: f64) -> RateLimiterConfig {
     RateLimiterConfig {
@@ -20,45 +20,50 @@ fn cfg(stage1: f64, stage2: f64) -> RateLimiterConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// One tenant can never push more than stage1 + stage2 (plus bursts) past
+/// the limiter over any horizon, at any offered rate or pattern.
+fn assert_single_tenant_within_allowance(offered_pps: u64, secs: u64, vni: u32, seed: u64) {
+    let c = cfg(8_000.0, 2_000.0);
+    let mut rl = TwoStageRateLimiter::new(c.clone());
+    let mut rng = SimRng::seed_from(seed);
+    let total = offered_pps * secs;
+    let mut passed = 0u64;
+    for i in 0..total {
+        let now = SimTime::from_nanos(i * 1_000_000_000 / offered_pps);
+        if rl.process(vni, now, &mut rng).passed() {
+            passed += 1;
+        }
+    }
+    // Each bucket's burst is rate×burst_secs floored at 32 tokens
+    // (see TwoStageRateLimiter::new); a promoted tenant can draw the
+    // pre_meter burst on top of the stage-1/2 bursts it already spent.
+    let burst_of = |pps: f64| (pps * c.burst_secs).max(32.0);
+    let burst_allowance =
+        burst_of(c.stage1_pps) + burst_of(c.stage2_pps) + burst_of(c.tenant_limit_pps);
+    let allowance = (c.stage1_pps + c.stage2_pps) * secs as f64 + burst_allowance + 1.0;
+    assert!(
+        (passed as f64) <= allowance,
+        "passed {} > allowance {:.0} at {} pps",
+        passed,
+        allowance,
+        offered_pps
+    );
+}
 
-    /// One tenant can never push more than stage1 + stage2 (plus bursts)
-    /// past the limiter over any horizon, at any offered rate or pattern.
-    #[test]
+props! {
+    #![cases(48)]
+
     fn single_tenant_never_exceeds_allowance(
         offered_pps in 1_000u64..200_000,
         secs in 1u64..5,
         vni in any::<u32>(),
         seed in any::<u64>(),
     ) {
-        let c = cfg(8_000.0, 2_000.0);
-        let mut rl = TwoStageRateLimiter::new(c.clone());
-        let mut rng = SimRng::seed_from(seed);
-        let total = offered_pps * secs;
-        let mut passed = 0u64;
-        for i in 0..total {
-            let now = SimTime::from_nanos(i * 1_000_000_000 / offered_pps);
-            if rl.process(vni, now, &mut rng).passed() {
-                passed += 1;
-            }
-        }
-        // Each bucket's burst is rate×burst_secs floored at 32 tokens
-        // (see TwoStageRateLimiter::new); a promoted tenant can draw the
-        // pre_meter burst on top of the stage-1/2 bursts it already spent.
-        let burst_of = |pps: f64| (pps * c.burst_secs).max(32.0);
-        let burst_allowance =
-            burst_of(c.stage1_pps) + burst_of(c.stage2_pps) + burst_of(c.tenant_limit_pps);
-        let allowance = (c.stage1_pps + c.stage2_pps) * secs as f64 + burst_allowance + 1.0;
-        prop_assert!(
-            (passed as f64) <= allowance,
-            "passed {} > allowance {:.0} at {} pps", passed, allowance, offered_pps
-        );
+        assert_single_tenant_within_allowance(offered_pps, secs, vni, seed);
     }
 
     /// A tenant under its color-entry share, alone on its entries, is
     /// never dropped.
-    #[test]
     fn under_limit_lone_tenant_is_never_dropped(
         offered_pps in 100u64..6_000, // well under the 8k stage-1 rate
         vni in any::<u32>(),
@@ -68,7 +73,7 @@ proptest! {
         let mut rng = SimRng::seed_from(seed);
         for i in 0..(offered_pps * 2) {
             let now = SimTime::from_nanos(i * 1_000_000_000 / offered_pps);
-            prop_assert!(
+            assert!(
                 rl.process(vni, now, &mut rng).passed(),
                 "packet {} of under-limit tenant dropped", i
             );
@@ -77,9 +82,8 @@ proptest! {
 
     /// Counters always balance: every processed packet is exactly one
     /// pass or one drop.
-    #[test]
     fn verdict_accounting_balances(
-        vnis in prop::collection::vec(any::<u32>(), 1..6),
+        vnis in vec_of(any::<u32>(), 1..6),
         packets in 100u64..5_000,
         seed in any::<u64>(),
     ) {
@@ -90,18 +94,25 @@ proptest! {
             let now = SimTime::from_nanos(i * 10_000);
             let _ = rl.process(vni, now, &mut rng);
         }
-        prop_assert_eq!(rl.total_passed() + rl.total_dropped(), packets);
+        assert_eq!(rl.total_passed() + rl.total_dropped(), packets);
     }
 
     /// Bypass tenants are never limited regardless of rate.
-    #[test]
     fn bypass_is_absolute(offered_pps in 10_000u64..500_000, vni in any::<u32>()) {
         let mut rl = TwoStageRateLimiter::new(cfg(1_000.0, 100.0));
         rl.add_bypass(vni);
         let mut rng = SimRng::seed_from(7);
         for i in 0..offered_pps {
             let now = SimTime::from_nanos(i * 1_000_000_000 / offered_pps);
-            prop_assert!(rl.process(vni, now, &mut rng).passed());
+            assert!(rl.process(vni, now, &mut rng).passed());
         }
     }
+}
+
+/// Historical proptest counterexample (from the deleted
+/// `.proptest-regressions` file): 10126 pps over one second with this
+/// exact sampling stream once slipped past the allowance.
+#[test]
+fn regression_allowance_at_10126_pps() {
+    assert_single_tenant_within_allowance(10126, 1, 0, 5321855844406509337);
 }

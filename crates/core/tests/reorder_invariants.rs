@@ -8,7 +8,7 @@ use albatross_packet::flow::IpProtocol;
 use albatross_packet::meta::PlbMeta;
 use albatross_packet::FiveTuple;
 use albatross_sim::SimTime;
-use proptest::prelude::*;
+use albatross_testkit::prelude::*;
 
 fn tuple() -> FiveTuple {
     FiveTuple {
@@ -35,24 +35,26 @@ fn pkt(id: u64, psn: u32, drop: bool, t: SimTime) -> NicPacket {
 enum Op {
     Admit,
     /// Return the i-th oldest outstanding packet (modulo outstanding).
-    Return { which: usize, drop: bool },
+    Return {
+        which: usize,
+        drop: bool,
+    },
     /// Advance the clock by this many ns and poll.
     Advance(u64),
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Admit),
-        3 => (any::<usize>(), any::<bool>()).prop_map(|(which, drop)| Op::Return { which, drop }),
-        1 => (0u64..150_000).prop_map(Op::Advance),
+    one_of![
+        3 => just(Op::Admit),
+        3 => (any::<usize>(), any::<bool>()).map(|(which, drop)| Op::Return { which, drop }),
+        1 => StrategyExt::map(0u64..150_000, Op::Advance),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    #![cases(128)]
 
-    #[test]
-    fn no_duplication_no_invention_no_stuck_heads(ops in prop::collection::vec(arb_op(), 1..200)) {
+    fn no_duplication_no_invention_no_stuck_heads(ops in vec_of(arb_op(), 1..200)) {
         let depth = 32;
         let mut q = ReorderQueue::new(ReorderConfig { depth, timeout_ns: 100_000 });
         let mut now = SimTime::from_micros(1);
@@ -63,7 +65,7 @@ proptest! {
         let mut total_released = 0u64;
         let mut admitted = 0u64;
 
-        let mut handle = |rel: Vec<ReorderRelease>, egressed: &mut std::collections::HashSet<u64>, total: &mut u64| {
+        let handle = |rel: Vec<ReorderRelease>, egressed: &mut std::collections::HashSet<u64>, total: &mut u64| {
             for r in rel {
                 *total += 1;
                 match r {
@@ -89,11 +91,8 @@ proptest! {
                         continue;
                     }
                     let (id, psn) = outstanding.remove(which % outstanding.len());
-                    match q.cpu_return(pkt(id, psn, drop, now), true) {
-                        CpuReturnOutcome::BestEffort(p) => {
-                            prop_assert!(egressed.insert(p.id), "dup best-effort {}", p.id);
-                        }
-                        _ => {}
+                    if let CpuReturnOutcome::BestEffort(p) = q.cpu_return(pkt(id, psn, drop, now), true) {
+                        assert!(egressed.insert(p.id), "dup best-effort {}", p.id);
                     }
                     handle(q.poll(now), &mut egressed, &mut total_released);
                 }
@@ -103,19 +102,19 @@ proptest! {
                 }
             }
             // INVARIANT: occupancy never exceeds depth.
-            prop_assert!(q.occupancy() <= depth);
+            assert!(q.occupancy() <= depth);
         }
         // Drain: everything still queued must release by timeout.
         now += 200_000;
         handle(q.poll(now), &mut egressed, &mut total_released);
-        prop_assert_eq!(q.occupancy(), 0, "heads stuck after full timeout");
+        assert_eq!(q.occupancy(), 0, "heads stuck after full timeout");
         // INVARIANT: nothing was invented.
-        prop_assert!(egressed.len() as u64 <= admitted);
+        assert!(egressed.len() as u64 <= admitted);
         let s = q.stats();
         // INVARIANT: every admission is accounted exactly once at release
         // time (in-order + timeout + drop-flag), aliases excepted (they
         // also consumed an admission via their own timeout).
-        prop_assert_eq!(
+        assert_eq!(
             s.in_order + s.hol_timeouts + s.drop_flag_releases,
             admitted,
             "admissions must balance releases: {:?}", s

@@ -48,7 +48,13 @@ pub struct NicPacket {
 impl NicPacket {
     /// Creates a data packet descriptor with full-packet delivery and a
     /// 64-byte header estimate.
-    pub fn data(id: u64, tuple: FiveTuple, vni: Option<u32>, len_bytes: u32, arrival: SimTime) -> Self {
+    pub fn data(
+        id: u64,
+        tuple: FiveTuple,
+        vni: Option<u32>,
+        len_bytes: u32,
+        arrival: SimTime,
+    ) -> Self {
         Self {
             id,
             tuple,

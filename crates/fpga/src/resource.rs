@@ -52,7 +52,11 @@ pub struct ResourceExhausted {
 
 impl std::fmt::Display for ResourceExhausted {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "FPGA resources exhausted by {}: {}", self.module, self.detail)
+        write!(
+            f,
+            "FPGA resources exhausted by {}: {}",
+            self.module, self.detail
+        )
     }
 }
 
@@ -191,8 +195,16 @@ mod tests {
     fn production_totals_match_tab5() {
         let l = production_pipeline_ledger();
         // Tab. 5 sums: 60.0% LUT, 44.5% BRAM.
-        assert!((l.lut_utilization() - 0.600).abs() < 0.002, "{}", l.lut_utilization());
-        assert!((l.bram_utilization() - 0.445).abs() < 0.002, "{}", l.bram_utilization());
+        assert!(
+            (l.lut_utilization() - 0.600).abs() < 0.002,
+            "{}",
+            l.lut_utilization()
+        );
+        assert!(
+            (l.bram_utilization() - 0.445).abs() < 0.002,
+            "{}",
+            l.bram_utilization()
+        );
         assert_eq!(l.modules().len(), 4);
     }
 

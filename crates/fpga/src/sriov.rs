@@ -81,11 +81,7 @@ impl SriovAllocator {
 
     /// Allocates the pod's 4 VFs — one per port, across both NICs — each
     /// with `data_cores` queue pairs. Returns the VF configs.
-    pub fn allocate_pod(
-        &mut self,
-        pod: u32,
-        data_cores: u16,
-    ) -> Result<Vec<VfConfig>, SriovError> {
+    pub fn allocate_pod(&mut self, pod: u32, data_cores: u16) -> Result<Vec<VfConfig>, SriovError> {
         // One VF on each of the four (nic, port) combinations of this NUMA
         // node: NICs 0-1, ports 0-1.
         let targets = [(0u8, 0u8), (0, 1), (1, 0), (1, 1)];
@@ -185,7 +181,10 @@ mod tests {
         alloc.allocate_pod(1, 10).unwrap();
         alloc.allocate_pod(2, 10).unwrap();
         assert_eq!(alloc.remaining_pod_capacity(), 0);
-        assert_eq!(alloc.allocate_pod(3, 10).unwrap_err(), SriovError::NoVfSlots);
+        assert_eq!(
+            alloc.allocate_pod(3, 10).unwrap_err(),
+            SriovError::NoVfSlots
+        );
         // Failed allocation must not leak slots.
         assert_eq!(alloc.vfs().len(), 8);
     }

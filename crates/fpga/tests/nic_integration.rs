@@ -98,7 +98,10 @@ fn vf_steering_and_dma_accounting_compose() {
     assert_eq!(vf, vfs_a[0].id);
 
     let mut dma = DmaEngine::production();
-    let mut full = NicPacket::data(1, tuple(80, IpProtocol::Udp), Some(1), 8_542, SimTime::ZERO);
+    let full = NicPacket::data(1, tuple(80, IpProtocol::Udp), Some(1), 8_542, SimTime::ZERO);
+    // The full-packet path must be the default, or the comparison below
+    // silently measures two header-only transfers.
+    assert_eq!(full.delivery, DeliveryMode::FullPacket);
     let mut split = full.clone();
     split.id = 2;
     split.delivery = DeliveryMode::HeaderOnly;
@@ -106,7 +109,6 @@ fn vf_steering_and_dma_accounting_compose() {
     let lat_split = dma.transfer_rx(&split);
     assert!(lat_split < lat_full, "header-only DMA must be faster");
     assert_eq!(dma.bytes_rx(), 8_542 + 64);
-    full.delivery = DeliveryMode::FullPacket;
 }
 
 #[test]

@@ -25,7 +25,11 @@ impl Prefix {
     pub fn new(addr: Ipv4Addr, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} > 32");
         let raw = u32::from(addr);
-        let bits = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+        let bits = if len == 0 {
+            0
+        } else {
+            raw & (u32::MAX << (32 - len))
+        };
         Self { bits, len }
     }
 

@@ -248,7 +248,8 @@ mod tests {
     fn active_sessions_survive_expiry_sweeps() {
         let mut t = table();
         for p in 0..100 {
-            t.translate_outbound(&tuple(p), SimTime::from_secs(10)).unwrap();
+            t.translate_outbound(&tuple(p), SimTime::from_secs(10))
+                .unwrap();
         }
         assert_eq!(t.expire(SimTime::from_secs(30)), 0);
         assert_eq!(t.len(), 100);

@@ -16,10 +16,16 @@
 //!   write-heavy anti-pattern.
 //! * [`ShardedSessionTable`] — per-core shards (the "transform shared-states
 //!   into local-states" optimization); aggregation sums shards on read.
+//!
+//! Locks are `std::sync::Mutex` (the former `parking_lot` dependency was
+//! dropped for a hermetic build). The §7 lesson survives the swap: the
+//! write-heavy collapse comes from serializing on one lock *and* from the
+//! cache-coherence traffic on its line, both of which std's futex-based
+//! mutex exhibits identically; the sharded fix removes the sharing either
+//! way.
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Per-flow session state (a session counter NF: bytes + packets).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,18 +62,23 @@ impl LockedSessionTable {
 
 impl SessionBackend for LockedSessionTable {
     fn record(&self, _core: usize, flow: u64, bytes: u64) {
-        let mut map = self.inner.lock();
+        let mut map = self.inner.lock().unwrap();
         let e = map.entry(flow).or_default();
         e.packets += 1;
         e.bytes += bytes;
     }
 
     fn get(&self, flow: u64) -> SessionCounters {
-        self.inner.lock().get(&flow).copied().unwrap_or_default()
+        self.inner
+            .lock()
+            .unwrap()
+            .get(&flow)
+            .copied()
+            .unwrap_or_default()
     }
 
     fn flows(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().unwrap().len()
     }
 }
 
@@ -106,7 +117,7 @@ impl ShardedSessionTable {
 impl SessionBackend for ShardedSessionTable {
     fn record(&self, core: usize, flow: u64, bytes: u64) {
         let shard = &self.shards[core % self.shards.len()];
-        let mut map = shard.map.lock();
+        let mut map = shard.map.lock().unwrap();
         let e = map.entry(flow).or_default();
         e.packets += 1;
         e.bytes += bytes;
@@ -115,7 +126,7 @@ impl SessionBackend for ShardedSessionTable {
     fn get(&self, flow: u64) -> SessionCounters {
         let mut total = SessionCounters::default();
         for shard in &self.shards {
-            if let Some(c) = shard.map.lock().get(&flow) {
+            if let Some(c) = shard.map.lock().unwrap().get(&flow) {
                 total.packets += c.packets;
                 total.bytes += c.bytes;
             }
@@ -126,7 +137,7 @@ impl SessionBackend for ShardedSessionTable {
     fn flows(&self) -> usize {
         let mut flows = std::collections::HashSet::new();
         for shard in &self.shards {
-            flows.extend(shard.map.lock().keys().copied());
+            flows.extend(shard.map.lock().unwrap().keys().copied());
         }
         flows.len()
     }

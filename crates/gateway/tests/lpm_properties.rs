@@ -4,7 +4,7 @@
 use std::net::Ipv4Addr;
 
 use albatross_gateway::lpm::{LpmTable, Prefix};
-use proptest::prelude::*;
+use albatross_testkit::prelude::*;
 
 /// Naive reference: linear scan for the longest matching prefix.
 fn reference_lookup(routes: &[(Prefix, u32)], addr: Ipv4Addr) -> Option<u32> {
@@ -16,16 +16,15 @@ fn reference_lookup(routes: &[(Prefix, u32)], addr: Ipv4Addr) -> Option<u32> {
 }
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(Ipv4Addr::from(bits), len))
+    (any::<u32>(), 0u8..=32).map(|(bits, len)| Prefix::new(Ipv4Addr::from(bits), len))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    #![cases(128)]
 
-    #[test]
     fn lpm_matches_naive_reference(
-        routes in prop::collection::vec((arb_prefix(), any::<u32>()), 0..64),
-        probes in prop::collection::vec(any::<u32>(), 1..32),
+        routes in vec_of((arb_prefix(), any::<u32>()), 0..64),
+        probes in vec_of(any::<u32>(), 1..32),
     ) {
         let mut table = LpmTable::new();
         // Last write wins for duplicate prefixes — mirror that in the
@@ -36,10 +35,10 @@ proptest! {
             dedup.retain(|(q, _)| *q != p);
             dedup.push((p, nh));
         }
-        prop_assert_eq!(table.len(), dedup.len());
+        assert_eq!(table.len(), dedup.len());
         for &probe in &probes {
             let addr = Ipv4Addr::from(probe);
-            prop_assert_eq!(
+            assert_eq!(
                 table.lookup(addr),
                 reference_lookup(&dedup, addr),
                 "probe {}", addr
@@ -47,13 +46,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn remove_restores_previous_behaviour(
         keep in arb_prefix(),
         remove in arb_prefix(),
-        probes in prop::collection::vec(any::<u32>(), 1..16),
+        probes in vec_of(any::<u32>(), 1..16),
     ) {
-        prop_assume!(keep != remove);
+        assume!(keep != remove);
         let mut with_both = LpmTable::new();
         with_both.insert(keep, 1);
         with_both.insert(remove, 2);
@@ -62,15 +60,14 @@ proptest! {
         only_keep.insert(keep, 1);
         for &probe in &probes {
             let addr = Ipv4Addr::from(probe);
-            prop_assert_eq!(with_both.lookup(addr), only_keep.lookup(addr));
+            assert_eq!(with_both.lookup(addr), only_keep.lookup(addr));
         }
     }
 
-    #[test]
     fn prefix_contains_iff_masked_equal(bits in any::<u32>(), len in 0u8..=32, probe in any::<u32>()) {
         let p = Prefix::new(Ipv4Addr::from(bits), len);
         let mask = if len == 0 { 0u32 } else { u32::MAX << (32 - len) };
         let expected = (probe & mask) == (bits & mask);
-        prop_assert_eq!(p.contains(Ipv4Addr::from(probe)), expected);
+        assert_eq!(p.contains(Ipv4Addr::from(probe)), expected);
     }
 }

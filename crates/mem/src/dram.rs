@@ -56,8 +56,7 @@ impl DramModel {
     /// Latency of an L3 miss served by local DRAM, scaled by frequency:
     /// higher frequency, proportionally lower access time.
     pub fn miss_ns(&self) -> u64 {
-        (self.base_miss_ns as f64 * self.reference_mhz as f64 / self.freq_mhz as f64).round()
-            as u64
+        (self.base_miss_ns as f64 * self.reference_mhz as f64 / self.freq_mhz as f64).round() as u64
     }
 }
 

@@ -123,13 +123,7 @@ impl NumaBalancing {
 
     /// Returns the stall (ns) that hits `core` for a packet at `now` given
     /// the node's current `load` (0.0–1.0), advancing the per-core schedule.
-    pub fn stall_before(
-        &mut self,
-        core: usize,
-        now: SimTime,
-        load: f64,
-        rng: &mut SimRng,
-    ) -> u64 {
+    pub fn stall_before(&mut self, core: usize, now: SimTime, load: f64, rng: &mut SimRng) -> u64 {
         if !self.enabled || load < self.load_threshold {
             return 0;
         }
@@ -143,8 +137,7 @@ impl NumaBalancing {
             return 0;
         }
         // A scan burst is due: charge one stall, schedule the next.
-        let stall =
-            self.stall_min_ns + rng.below(self.stall_max_ns - self.stall_min_ns + 1);
+        let stall = self.stall_min_ns + rng.below(self.stall_max_ns - self.stall_min_ns + 1);
         *slot = now + rng.exponential(self.mean_interval_ns) as u64;
         stall
     }

@@ -271,12 +271,8 @@ mod tests {
 
     #[test]
     fn vlan_adds_four_bytes() {
-        let plain = PacketBuilder::udp(
-            "1.1.1.1".parse().unwrap(),
-            "2.2.2.2".parse().unwrap(),
-            1,
-            2,
-        );
+        let plain =
+            PacketBuilder::udp("1.1.1.1".parse().unwrap(), "2.2.2.2".parse().unwrap(), 1, 2);
         let tagged = plain.clone().vlan(100);
         assert_eq!(tagged.frame_len(), plain.frame_len() + 4);
         let p = parse_frame(&tagged.build()).unwrap();
@@ -285,14 +281,10 @@ mod tests {
 
     #[test]
     fn ttl_is_configurable() {
-        let frame = PacketBuilder::udp(
-            "1.1.1.1".parse().unwrap(),
-            "2.2.2.2".parse().unwrap(),
-            1,
-            2,
-        )
-        .ttl(3)
-        .build();
+        let frame =
+            PacketBuilder::udp("1.1.1.1".parse().unwrap(), "2.2.2.2".parse().unwrap(), 1, 2)
+                .ttl(3)
+                .build();
         let ip = Ipv4Packet::new_checked(&frame[ether::HEADER_LEN..]).unwrap();
         assert_eq!(ip.ttl(), 3);
     }

@@ -145,7 +145,9 @@ pub fn parse_frame(frame: &[u8]) -> Result<ParsedPacket> {
             let udp = UdpDatagram::new_checked(&frame[l4_offset..])?;
             let payload_offset = l4_offset + crate::udp::HEADER_LEN;
             let vni = if udp.dst_port() == vxlan::UDP_PORT {
-                VxlanHeader::new_checked(udp.payload()).ok().map(|v| v.vni())
+                VxlanHeader::new_checked(udp.payload())
+                    .ok()
+                    .map(|v| v.vni())
             } else {
                 None
             };
@@ -231,13 +233,9 @@ mod tests {
 
     #[test]
     fn rejects_non_ip() {
-        let mut frame = PacketBuilder::udp(
-            "1.1.1.1".parse().unwrap(),
-            "2.2.2.2".parse().unwrap(),
-            1,
-            2,
-        )
-        .build();
+        let mut frame =
+            PacketBuilder::udp("1.1.1.1".parse().unwrap(), "2.2.2.2".parse().unwrap(), 1, 2)
+                .build();
         frame[12] = 0x08;
         frame[13] = 0x06; // ARP
         assert_eq!(parse_frame(&frame).unwrap_err(), ParseError::Malformed);

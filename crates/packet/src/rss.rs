@@ -14,9 +14,9 @@ use crate::flow::FiveTuple;
 /// The de-facto standard 40-byte RSS key from Microsoft's verification
 /// suite (also the default in many NIC drivers).
 pub const MICROSOFT_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// A Toeplitz hasher over a fixed key.
@@ -67,13 +67,7 @@ impl ToeplitzHasher {
 
     /// Hashes the RSS IPv4+TCP/UDP input: src addr, dst addr, src port,
     /// dst port (network byte order).
-    pub fn hash_v4_ports(
-        &self,
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-        src_port: u16,
-        dst_port: u16,
-    ) -> u32 {
+    pub fn hash_v4_ports(&self, src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16) -> u32 {
         let mut input = [0u8; 12];
         input[0..4].copy_from_slice(&src.octets());
         input[4..8].copy_from_slice(&dst.octets());

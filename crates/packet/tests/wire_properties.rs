@@ -7,19 +7,18 @@ use std::net::Ipv4Addr;
 use albatross_packet::flow::parse_frame;
 use albatross_packet::meta::{MetaPlacement, PlbMeta};
 use albatross_packet::{ether, Ipv4Packet, PacketBuilder, UdpDatagram};
-use proptest::prelude::*;
+use albatross_testkit::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    #![cases(256)]
 
-    #[test]
     fn udp_builder_parse_roundtrip(
         src in any::<u32>(),
         dst in any::<u32>(),
         sport in 1u16..,
         dport in 1u16..,
         payload in 0usize..1400,
-        vlan in proptest::option::of(1u16..4095),
+        vlan in option_of(1u16..4095),
     ) {
         let mut b = PacketBuilder::udp(
             Ipv4Addr::from(src),
@@ -33,15 +32,14 @@ proptest! {
         }
         let frame = b.build();
         let p = parse_frame(&frame).unwrap();
-        prop_assert_eq!(p.tuple.src_ip, Ipv4Addr::from(src));
-        prop_assert_eq!(p.tuple.dst_ip, Ipv4Addr::from(dst));
-        prop_assert_eq!(p.tuple.src_port, sport);
-        prop_assert_eq!(p.tuple.dst_port, dport);
-        prop_assert_eq!(p.vlan, vlan);
-        prop_assert_eq!(p.frame_len, frame.len());
+        assert_eq!(p.tuple.src_ip, Ipv4Addr::from(src));
+        assert_eq!(p.tuple.dst_ip, Ipv4Addr::from(dst));
+        assert_eq!(p.tuple.src_port, sport);
+        assert_eq!(p.tuple.dst_port, dport);
+        assert_eq!(p.vlan, vlan);
+        assert_eq!(p.frame_len, frame.len());
     }
 
-    #[test]
     fn vxlan_vni_roundtrip(vni in 0u32..(1 << 24), inner in 14usize..600) {
         let frame = PacketBuilder::udp(
             "10.0.0.1".parse().unwrap(),
@@ -52,30 +50,17 @@ proptest! {
         .vxlan(vni, inner)
         .build();
         let p = parse_frame(&frame).unwrap();
-        prop_assert_eq!(p.vni, Some(vni));
+        assert_eq!(p.vni, Some(vni));
     }
 
-    #[test]
     fn ipv4_checksum_catches_any_single_byte_flip(
         payload in 0usize..64,
         corrupt_at in 0usize..20,
         flip in 1u8..,
     ) {
-        let frame = PacketBuilder::udp(
-            "192.0.2.1".parse().unwrap(),
-            "198.51.100.2".parse().unwrap(),
-            1,
-            2,
-        )
-        .payload_len(payload)
-        .build();
-        let mut corrupted = frame.clone();
-        corrupted[ether::HEADER_LEN + corrupt_at] ^= flip;
-        let ip = Ipv4Packet::new_unchecked(&corrupted[ether::HEADER_LEN..]);
-        prop_assert!(!ip.verify_checksum(), "flip of {flip:#x} at {corrupt_at} undetected");
+        assert_ipv4_flip_detected(payload, corrupt_at, flip);
     }
 
-    #[test]
     fn udp_checksum_catches_payload_corruption(
         payload in 1usize..200,
         pos_frac in 0.0f64..1.0,
@@ -97,16 +82,15 @@ proptest! {
         corrupted[pos] ^= flip;
         let ip = Ipv4Packet::new_checked(&corrupted[ip_off..]).unwrap();
         let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
-        prop_assert!(!udp.verify_checksum(ip.src(), ip.dst()));
+        assert!(!udp.verify_checksum(ip.src(), ip.dst()));
     }
 
-    #[test]
     fn meta_roundtrips_any_fields_and_frame(
         psn in any::<u32>(),
         ordq in any::<u8>(),
         ts in any::<u64>(),
         set_drop in any::<bool>(),
-        frame in prop::collection::vec(any::<u8>(), 14..512),
+        frame in vec_of(any::<u8>(), 14..512),
         tail in any::<bool>(),
     ) {
         let mut meta = PlbMeta::new(psn, ordq, ts);
@@ -116,16 +100,14 @@ proptest! {
         let placement = if tail { MetaPlacement::Tail } else { MetaPlacement::Head };
         let tagged = meta.attach(&frame, placement);
         let (got, body) = PlbMeta::detach(&tagged, placement).unwrap();
-        prop_assert_eq!(got, meta);
-        prop_assert_eq!(body, &frame[..]);
+        assert_eq!(got, meta);
+        assert_eq!(body, &frame[..]);
     }
 
-    #[test]
-    fn parser_never_panics_on_random_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+    fn parser_never_panics_on_random_bytes(bytes in vec_of(any::<u8>(), 0..256)) {
         let _ = parse_frame(&bytes); // must return Err, never panic
     }
 
-    #[test]
     fn parser_never_panics_on_mutated_valid_frames(
         payload in 0usize..100,
         pos_frac in 0.0f64..1.0,
@@ -143,4 +125,30 @@ proptest! {
         frame[pos] ^= flip;
         let _ = parse_frame(&frame);
     }
+}
+
+fn assert_ipv4_flip_detected(payload: usize, corrupt_at: usize, flip: u8) {
+    let frame = PacketBuilder::udp(
+        "192.0.2.1".parse().unwrap(),
+        "198.51.100.2".parse().unwrap(),
+        1,
+        2,
+    )
+    .payload_len(payload)
+    .build();
+    let mut corrupted = frame;
+    corrupted[ether::HEADER_LEN + corrupt_at] ^= flip;
+    let ip = Ipv4Packet::new_unchecked(&corrupted[ether::HEADER_LEN..]);
+    assert!(
+        !ip.verify_checksum(),
+        "flip of {flip:#x} at {corrupt_at} undetected"
+    );
+}
+
+/// Historical proptest counterexample (from the deleted
+/// `.proptest-regressions` file): flipping bit pattern 0xb8 in the very
+/// first IPv4 header byte must still be caught.
+#[test]
+fn regression_ipv4_flip_in_version_ihl_byte_detected() {
+    assert_ipv4_flip_detected(0, 0, 184);
 }

@@ -1,15 +1,14 @@
 //! Property tests over the simulation substrate.
 
 use albatross_sim::{BoundedQueue, Engine, SimTime, TokenBucket};
-use proptest::prelude::*;
+use albatross_testkit::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    #![cases(128)]
 
     /// The engine pops events in (time, insertion) order no matter the
     /// insertion order of timestamps.
-    #[test]
-    fn engine_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+    fn engine_pops_sorted(times in vec_of(0u64..1_000_000, 1..200)) {
         let mut e = Engine::new();
         for (i, &t) in times.iter().enumerate() {
             e.schedule(SimTime::from_nanos(t), i);
@@ -18,17 +17,16 @@ proptest! {
         while let Some((t, i)) = e.pop() {
             popped.push((t.as_nanos(), i));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         // Sorted by time; ties by insertion index.
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
         }
     }
 
     /// A bounded queue conserves items: everything pushed is either
     /// popped, still queued, or counted as dropped.
-    #[test]
-    fn queue_conserves_items(ops in prop::collection::vec(any::<bool>(), 1..300), cap in 1usize..32) {
+    fn queue_conserves_items(ops in vec_of(any::<bool>(), 1..300), cap in 1usize..32) {
         let mut q = BoundedQueue::new(cap);
         let mut pushed = 0u64;
         let mut popped = 0u64;
@@ -39,17 +37,16 @@ proptest! {
             } else if q.pop().is_some() {
                 popped += 1;
             }
-            prop_assert!(q.len() <= cap);
+            assert!(q.len() <= cap);
         }
-        prop_assert_eq!(pushed, popped + q.len() as u64 + q.total_dropped());
-        prop_assert_eq!(q.total_enqueued() + q.total_dropped(), pushed);
+        assert_eq!(pushed, popped + q.len() as u64 + q.total_dropped());
+        assert_eq!(q.total_enqueued() + q.total_dropped(), pushed);
     }
 
     /// A token bucket never passes more than rate·t + burst packets over
     /// any horizon, for any offered pattern.
-    #[test]
     fn token_bucket_never_exceeds_allowance(
-        gaps in prop::collection::vec(1u64..200_000, 1..400),
+        gaps in vec_of(1u64..200_000, 1..400),
         rate in 1_000.0f64..1_000_000.0,
         burst in 1.0f64..500.0,
     ) {
@@ -63,14 +60,13 @@ proptest! {
             }
         }
         let allowance = rate * now.as_secs_f64() + burst;
-        prop_assert!(
+        assert!(
             (passed as f64) <= allowance + 1.0,
             "passed {} > allowance {:.1}", passed, allowance
         );
     }
 
     /// Conversely, traffic offered strictly below the rate always passes.
-    #[test]
     fn token_bucket_passes_conforming_traffic(
         n in 1u64..500,
         rate in 1_000.0f64..100_000.0,
@@ -80,20 +76,20 @@ proptest! {
         let gap_ns = (2e9 / rate) as u64;
         for i in 0..n {
             let now = SimTime::from_nanos(i * gap_ns);
-            prop_assert!(b.allow_packet(now), "conforming packet {} dropped", i);
+            assert!(b.allow_packet(now), "conforming packet {} dropped", i);
         }
     }
 
     /// Cancelling a subset of events removes exactly those events.
-    #[test]
     fn engine_cancellation_is_exact(
         n in 1usize..100,
-        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+        cancel_mask in vec_of(any::<bool>(), 100),
     ) {
         let mut e = Engine::new();
-        let ids: Vec<_> = (0..n)
-            .map(|i| e.schedule(SimTime::from_nanos(i as u64), i))
-            .collect();
+        // `Iterator::map` spelled out: ranges are also testkit strategies,
+        // whose blanket `map` makes the plain call ambiguous.
+        let ids: Vec<_> =
+            Iterator::map(0..n, |i| e.schedule(SimTime::from_nanos(i as u64), i)).collect();
         let mut expected = Vec::new();
         for (i, id) in ids.iter().enumerate() {
             if cancel_mask[i] {
@@ -106,6 +102,6 @@ proptest! {
         while let Some((_, i)) = e.pop() {
             got.push(i);
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }

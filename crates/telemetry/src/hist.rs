@@ -250,7 +250,18 @@ mod tests {
 
     #[test]
     fn bucket_low_below_bucket_value() {
-        for v in [0u64, 1, 63, 64, 65, 100, 1000, 4096, 123_456, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            100,
+            1000,
+            4096,
+            123_456,
+            u32::MAX as u64,
+        ] {
             let idx = LatencyHistogram::bucket_index(v);
             let low = LatencyHistogram::bucket_low(idx);
             assert!(low <= v, "v={v} low={low}");

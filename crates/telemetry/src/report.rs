@@ -14,10 +14,8 @@
 //! µs, %, "days"); the harness is responsible for formatting numbers, this
 //! module only aligns them.
 
-use serde::Serialize;
-
 /// A single row of a paper-vs-measured table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// What is being compared (e.g. "VPC-Internet packet rate").
     pub metric: String,
@@ -48,7 +46,7 @@ impl Row {
 
 /// A named experiment report: a header, comparison rows, and optional
 /// free-form series dumps (for figures, where the deliverable is a curve).
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExperimentReport {
     /// Experiment identifier, e.g. "Fig. 8" or "Tab. 3".
     pub id: String,
@@ -159,6 +157,78 @@ impl ExperimentReport {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+
+    /// Renders the report as a JSON object (hand-rolled: the former `serde`
+    /// dependency was dropped for a hermetic build). Field order is fixed,
+    /// so the output is byte-stable for a given report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"id\":{},\"title\":{},\"rows\":[",
+            json_str(&self.id),
+            json_str(&self.title)
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"metric\":{},\"paper\":{},\"measured\":{},\"note\":{}}}",
+                json_str(&r.metric),
+                json_str(&r.paper),
+                json_str(&r.measured),
+                json_str(&r.note)
+            ));
+        }
+        out.push_str("],\"series\":[");
+        for (i, (name, pts)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":{},\"points\":[", json_str(name)));
+            for (j, (x, y)) in pts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", json_num(*x), json_num(*y)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an f64 as a JSON number (JSON has no NaN/Infinity; map to null).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{:.1}", v)
+        } else {
+            format!("{}", v)
+        }
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Formats a rate in packets/second as Mpps with two decimals.
@@ -207,6 +277,28 @@ mod tests {
         assert_eq!(mpps(81_600_000.0), "81.60 Mpps");
         assert_eq!(us(20_000), "20.00 us");
         assert_eq!(pct(0.356), "35.6%");
+    }
+
+    #[test]
+    fn json_escapes_and_orders_fields() {
+        let mut rep = ExperimentReport::new("Fig. 9", "P99 \"tail\" latency\n");
+        rep.row("p99", "25 us", "24.8 us", "path\\note");
+        rep.series("plb", vec![(0.5, 20.0), (0.9, 25.125)]);
+        let j = rep.to_json();
+        assert_eq!(
+            j,
+            "{\"id\":\"Fig. 9\",\"title\":\"P99 \\\"tail\\\" latency\\n\",\
+             \"rows\":[{\"metric\":\"p99\",\"paper\":\"25 us\",\
+             \"measured\":\"24.8 us\",\"note\":\"path\\\\note\"}],\
+             \"series\":[{\"name\":\"plb\",\"points\":[[0.5,20.0],[0.9,25.125]]}]}"
+        );
+    }
+
+    #[test]
+    fn json_nonfinite_points_become_null() {
+        let mut rep = ExperimentReport::new("X", "nan");
+        rep.series("s", vec![(f64::NAN, f64::INFINITY)]);
+        assert!(rep.to_json().contains("[null,null]"));
     }
 
     #[test]

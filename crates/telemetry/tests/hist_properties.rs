@@ -2,16 +2,16 @@
 //! quantization error of exact order statistics.
 
 use albatross_telemetry::LatencyHistogram;
-use proptest::prelude::*;
+use albatross_testkit::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    #![cases(128)]
 
-    #[test]
     fn percentile_within_quantization_of_exact(
-        mut values in prop::collection::vec(0u64..10_000_000, 1..500),
+        values in vec_of(0u64..10_000_000, 1..500),
         q in 0.0f64..1.0,
     ) {
+        let mut values = values;
         let mut h = LatencyHistogram::new();
         for &v in &values {
             h.record(v);
@@ -22,31 +22,29 @@ proptest! {
         let approx = h.percentile(q);
         // Bucket lower bound: approx ≤ exact always; relative error ≤ 2/64
         // plus one-off small-value slack.
-        prop_assert!(approx <= exact.max(h.min()), "approx {} exact {}", approx, exact);
+        assert!(approx <= exact.max(h.min()), "approx {} exact {}", approx, exact);
         let tolerance = (exact as f64 * (2.0 / 64.0)).max(1.0);
-        prop_assert!(
+        assert!(
             exact as f64 - approx as f64 <= tolerance,
             "approx {} too far below exact {}", approx, exact
         );
     }
 
-    #[test]
-    fn count_mean_min_max_are_exact(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+    fn count_mean_min_max_are_exact(values in vec_of(0u64..1_000_000, 1..300)) {
         let mut h = LatencyHistogram::new();
         for &v in &values {
             h.record(v);
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
-        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
-        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.min(), *values.iter().min().unwrap());
+        assert_eq!(h.max(), *values.iter().max().unwrap());
         let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
-        prop_assert!((h.mean() - mean).abs() < 1e-6);
+        assert!((h.mean() - mean).abs() < 1e-6);
     }
 
-    #[test]
     fn merge_commutes_with_concatenation(
-        a in prop::collection::vec(0u64..1_000_000, 0..200),
-        b in prop::collection::vec(0u64..1_000_000, 0..200),
+        a in vec_of(0u64..1_000_000, 0..200),
+        b in vec_of(0u64..1_000_000, 0..200),
     ) {
         let mut ha = LatencyHistogram::new();
         a.iter().for_each(|&v| ha.record(v));
@@ -55,20 +53,19 @@ proptest! {
         let mut hcat = LatencyHistogram::new();
         a.iter().chain(b.iter()).for_each(|&v| hcat.record(v));
         ha.merge(&hb);
-        prop_assert_eq!(ha.count(), hcat.count());
+        assert_eq!(ha.count(), hcat.count());
         for q in [0.1, 0.5, 0.9, 0.99] {
-            prop_assert_eq!(ha.percentile(q), hcat.percentile(q));
+            assert_eq!(ha.percentile(q), hcat.percentile(q));
         }
     }
 
-    #[test]
     fn fraction_above_plus_at_or_below_is_one(
-        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        values in vec_of(0u64..1_000_000, 1..200),
         threshold in 0u64..1_000_000,
     ) {
         let mut h = LatencyHistogram::new();
         values.iter().for_each(|&v| h.record(v));
         let total = h.fraction_above(threshold) + h.fraction_at_or_below(threshold);
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,146 @@
+//! A small wall-clock bench timer (the in-tree `criterion` replacement).
+//!
+//! Criterion's statistical machinery is overkill for this repo's needs:
+//! the microbenches exist to show the *order of magnitude* of the hot-path
+//! primitives next to the simulated numbers. [`BenchTimer`] warms the code
+//! up, calibrates an iteration count so each sample runs long enough for
+//! the clock to resolve, times a fixed number of samples, and reports the
+//! median and p99 per-iteration cost.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark: per-iteration nanoseconds across samples.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per timed sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median per-iteration cost in nanoseconds.
+    pub median_ns: f64,
+    /// 99th-percentile per-iteration cost in nanoseconds.
+    pub p99_ns: f64,
+    /// Fastest sample's per-iteration cost in nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration cost in nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl BenchStats {
+    /// One aligned report line, e.g.
+    /// `lpm_lookup_1M_routes                 median      92.1 ns  p99     101.3 ns`.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<36} median {:>10.1} ns  p99 {:>10.1} ns  min {:>10.1} ns  ({} x {} iters)",
+            self.name,
+            self.median_ns,
+            self.p99_ns,
+            self.min_ns,
+            self.samples,
+            self.iters_per_sample
+        )
+    }
+}
+
+/// The timer harness: `warmup`, then `samples` timed batches of a
+/// calibrated iteration count.
+#[derive(Debug, Clone)]
+pub struct BenchTimer {
+    /// Warm-up budget (also used to calibrate the iteration count).
+    pub warmup: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Target wall-clock length of one sample.
+    pub target_sample: Duration,
+}
+
+impl Default for BenchTimer {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(200),
+            samples: 50,
+            target_sample: Duration::from_millis(2),
+        }
+    }
+}
+
+impl BenchTimer {
+    /// A timer with the default budget (200 ms warm-up, 50 × 2 ms samples).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` under the timer and prints one [`BenchStats::render`] line.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchStats {
+        // Warm up and calibrate: how many iterations fill one sample?
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let iters = ((self.target_sample.as_nanos() as f64 / per_iter_ns).ceil() as u64).max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let idx =
+            |q: f64| ((per_iter.len() as f64 * q).ceil() as usize).clamp(1, per_iter.len()) - 1;
+        let stats = BenchStats {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples: per_iter.len(),
+            median_ns: per_iter[idx(0.5)],
+            p99_ns: per_iter[idx(0.99)],
+            min_ns: per_iter[0],
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+        };
+        println!("{}", stats.render());
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_timer() -> BenchTimer {
+        BenchTimer {
+            warmup: Duration::from_millis(5),
+            samples: 11,
+            target_sample: Duration::from_micros(200),
+        }
+    }
+
+    #[test]
+    fn stats_are_ordered_and_positive() {
+        let mut acc = 0u64;
+        let s = fast_timer().bench("spin", || {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p99_ns);
+        assert_eq!(s.samples, 11);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn render_contains_name_and_median() {
+        let s = fast_timer().bench("render_check", || 1 + 1);
+        let line = s.render();
+        assert!(line.contains("render_check"));
+        assert!(line.contains("median"));
+    }
+}

@@ -1,0 +1,814 @@
+//! A minimal seeded property-testing harness (the in-tree `proptest`
+//! replacement).
+//!
+//! Design goals, in order:
+//!
+//! 1. **Hermetic** — no registry dependencies; randomness comes from
+//!    [`albatross_sim::SimRng`] (in-tree xoshiro256++), so the exact case
+//!    sequence of every property test is pinned forever.
+//! 2. **Deterministic by default** — every test derives its stream from a
+//!    fixed base seed XOR a hash of the test's name. A failure report
+//!    always prints the seed; set `TESTKIT_SEED` to explore other streams.
+//! 3. **Debuggable failures** — on failure the input is greedily shrunk
+//!    (integers toward their lower bound, vectors by removal then by
+//!    element, tuples componentwise) and the report carries the minimal
+//!    input, the original input, the seed and the panic message.
+//!
+//! The entry point is the [`props!`](crate::props) macro; see the crate
+//! docs for a full example.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use albatross_sim::SimRng;
+
+/// Base seed when `TESTKIT_SEED` is not set. Fixed so CI runs are
+/// reproducible; the per-test stream also mixes in the test's name.
+pub const DEFAULT_BASE_SEED: u64 = 0xA1BA_7055_0000_2025;
+
+/// How many generated inputs each property runs by default.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Hard cap on greedy shrink steps (each step strictly reduces the input,
+/// so this is a safety net, not a tuning knob).
+const MAX_SHRINK_STEPS: u32 = 4096;
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of test inputs with optional greedy shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Clone + Debug;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut SimRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, each strictly "smaller" than
+    /// the input (the runner keeps the first candidate that still fails).
+    /// Default: no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Combinators available on every strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Transforms generated values. The mapped strategy does not shrink
+    /// (the transform is not invertible in general).
+    fn map<T: Clone + Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed to mix differently-typed arms in
+    /// [`one_of`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// See [`StrategyExt::map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Clone + Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut SimRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SimRng) -> T {
+        self.0.generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+/// Full-range generation for the primitive types `any::<T>()` supports.
+pub trait Arbitrary: Clone + Debug {
+    /// Draws a uniformly distributed value.
+    fn arbitrary(rng: &mut SimRng) -> Self;
+    /// Simplification candidates (see [`Strategy::shrink`]).
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+/// Uniform over `T`'s whole domain: `any::<u32>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SimRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
+}
+
+/// Shrink candidates for an integer already known to exceed `lo`, ordered
+/// boldest first: the bound itself, the midpoint, a quarter-step back, and
+/// the predecessor. The geometric middle candidates make greedy shrinking
+/// converge in O(log) steps instead of crawling by one.
+fn shrink_toward(v: u64, lo: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        for cand in [lo + (v - lo) / 2, v - (v - lo) / 4, v - 1] {
+            if cand != v && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SimRng) -> Self {
+                rng.next_u64() as $t
+            }
+            fn shrink_value(&self) -> Vec<Self> {
+                shrink_toward(*self as u64, 0)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*value as u64, self.start as u64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*value as u64, *self.start() as u64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SimRng) -> $t {
+                (self.start..=<$t>::MAX).generate(rng)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                (self.start..=<$t>::MAX).shrink(value)
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink_value(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit() * (self.end - self.start)
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        if *value > self.start {
+            vec![self.start, self.start + (value - self.start) / 2.0]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Always produces `value` (the `proptest::Just` equivalent).
+pub fn just<T: Clone + Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+/// See [`just`].
+#[derive(Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SimRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections and combinators
+// ---------------------------------------------------------------------------
+
+/// A length specification for [`vec_of`]: a fixed size or a range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// `Vec` of values from `elem`, with a length drawn from `len`.
+pub fn vec_of<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        len: len.into(),
+    }
+}
+
+/// See [`vec_of`].
+pub struct VecStrategy<S> {
+    elem: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SimRng) -> Vec<S::Value> {
+        let n = self.len.lo + rng.below((self.len.hi - self.len.lo + 1) as u64) as usize;
+        // `Iterator::map` spelled out: ranges are also `Strategy`, so the
+        // blanket `StrategyExt::map` makes plain `.map` ambiguous here.
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.elem.generate(rng));
+        }
+        v
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // First try to make the vector shorter…
+        if value.len() > self.len.lo {
+            let half = self.len.lo.max(value.len() / 2);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+            if value.len() > 1 {
+                out.push(value[1..].to_vec());
+            }
+        }
+        // …then to shrink individual elements in place.
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.elem.shrink(v) {
+                let mut copy = value.clone();
+                copy[i] = cand;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+/// `Option` of values from `inner`: `None` one time in four, like
+/// `proptest::option::of`'s default bias toward `Some`.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`option_of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut SimRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+
+    fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match value {
+            None => Vec::new(),
+            Some(v) => std::iter::once(None)
+                .chain(self.inner.shrink(v).into_iter().map(Some))
+                .collect(),
+        }
+    }
+}
+
+/// Weighted choice between type-erased arms (the `prop_oneof!`
+/// equivalent); use through the [`one_of!`](crate::one_of) macro.
+pub fn one_of<T: Clone + Debug>(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+    assert!(!arms.is_empty(), "one_of needs at least one arm");
+    assert!(arms.iter().any(|(w, _)| *w > 0), "one_of needs weight > 0");
+    OneOf { arms }
+}
+
+/// See [`one_of`].
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: Clone + Debug> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SimRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            if pick < u64::from(*w) {
+                return s.generate(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weights sum covered above")
+    }
+    // No shrinking: a value cannot be attributed back to the arm that
+    // produced it, and cross-arm shrink candidates may leave the domain.
+}
+
+macro_rules! impl_tuple {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut SimRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Panic payload distinguishing "this input doesn't apply" from failure.
+struct DiscardToken;
+
+/// Rejects the current input without failing the property (the
+/// `prop_assume!` escape hatch; use through [`assume!`](crate::assume)).
+pub fn discard() -> ! {
+    panic::panic_any(DiscardToken)
+}
+
+thread_local! {
+    /// True while the runner executes a test body: the panic hook stays
+    /// silent so shrinking doesn't spray hundreds of backtraces.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// The base seed: `TESTKIT_SEED` (decimal or 0x-hex) when set, else
+/// [`DEFAULT_BASE_SEED`].
+pub fn base_seed() -> u64 {
+    match std::env::var("TESTKIT_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                s.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("TESTKIT_SEED {s:?} is not a u64"))
+        }
+        Err(_) => DEFAULT_BASE_SEED,
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+enum CaseResult {
+    Pass,
+    Discard,
+    Fail(String),
+}
+
+fn run_case<V>(test: &dyn Fn(V), value: V) -> CaseResult {
+    QUIET.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| test(value)));
+    QUIET.with(|q| q.set(false));
+    match result {
+        Ok(()) => CaseResult::Pass,
+        Err(payload) if payload.is::<DiscardToken>() => CaseResult::Discard,
+        Err(payload) => CaseResult::Fail(payload_message(&payload)),
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Greedily minimizes a failing input: repeatedly takes the first shrink
+/// candidate that still fails until none does.
+fn minimize<S: Strategy>(
+    strat: &S,
+    test: &dyn Fn(S::Value),
+    mut current: S::Value,
+) -> (S::Value, u32) {
+    let mut steps = 0u32;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for cand in strat.shrink(&current) {
+            if let CaseResult::Fail(_) = run_case(test, cand.clone()) {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+/// Runs `cases` generated inputs of `strat` through `test`, shrinking and
+/// reporting on the first failure. The entry point the
+/// [`props!`](crate::props) macro expands to.
+///
+/// # Panics
+/// Panics (failing the enclosing `#[test]`) when a case fails or when too
+/// many inputs are discarded via [`discard`].
+pub fn run_property<S: Strategy>(name: &str, cases: u32, strat: &S, test: &dyn Fn(S::Value)) {
+    install_quiet_hook();
+    let seed = base_seed() ^ fnv1a(name);
+    let mut rng = SimRng::seed_from(seed);
+    let max_discards = cases.saturating_mul(16).max(1024);
+    let mut discards = 0u32;
+    let mut case = 0u32;
+    while case < cases {
+        let value = strat.generate(&mut rng);
+        match run_case(test, value.clone()) {
+            CaseResult::Pass => case += 1,
+            CaseResult::Discard => {
+                discards += 1;
+                assert!(
+                    discards <= max_discards,
+                    "property '{name}': {discards} inputs discarded before \
+                     reaching {cases} cases — loosen the generator or the assume!"
+                );
+            }
+            CaseResult::Fail(first_message) => {
+                let (minimal, steps) = minimize(strat, test, value.clone());
+                let message = match run_case(test, minimal.clone()) {
+                    CaseResult::Fail(m) => m,
+                    _ => first_message,
+                };
+                panic!(
+                    "property '{name}' failed at case {case} \
+                     (seed {seed:#018x}, {steps} shrink steps)\n\
+                     minimal input: {minimal:?}\n\
+                     original input: {value:?}\n\
+                     failure: {message}\n\
+                     rerun with TESTKIT_SEED={base} to reproduce",
+                    base = base_seed(),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares seeded property tests.
+///
+/// ```ignore
+/// albatross_testkit::props! {
+///     #![cases(128)]   // optional; default 256
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in any::<u64>()) {
+///         assert_eq!(a + (b % 10), (b % 10) + a);
+///     }
+/// }
+/// ```
+///
+/// Each argument is `name in strategy`; the body receives the generated
+/// values by value and uses plain `assert!`/`assert_eq!`. Use
+/// [`assume!`](crate::assume) to reject inapplicable inputs.
+#[macro_export]
+macro_rules! props {
+    (#![cases($cases:expr)] $($rest:tt)*) => {
+        $crate::__props_impl! { $cases; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__props_impl! { $crate::prop::DEFAULT_CASES; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __props_impl {
+    ($cases:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __strategy = ( $($strat,)+ );
+            $crate::prop::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cases,
+                &__strategy,
+                &|__input| {
+                    let ( $($arg,)+ ) = __input;
+                    $body
+                },
+            );
+        }
+    )*};
+}
+
+/// Rejects the current generated input without failing the test (the
+/// `prop_assume!` equivalent).
+#[macro_export]
+macro_rules! assume {
+    ($cond:expr) => {
+        if !$cond {
+            $crate::prop::discard();
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type (the `prop_oneof!` equivalent).
+#[macro_export]
+macro_rules! one_of {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::prop::one_of(vec![
+            $(($weight, $crate::prop::StrategyExt::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop::one_of(vec![
+            $((1u32, $crate::prop::StrategyExt::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(1)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let v = (10u32..20).generate(&mut r);
+            assert!((10..20).contains(&v));
+            let v = (0u8..=32).generate(&mut r);
+            assert!(v <= 32);
+            let v = (1u16..).generate(&mut r);
+            assert!(v >= 1);
+            let f = (0.25f64..0.75).generate(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_range_inclusive_covers_extremes_without_panicking() {
+        let mut r = rng();
+        for _ in 0..64 {
+            let _ = (0u64..=u64::MAX).generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn vec_of_respects_length_spec() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = vec_of(any::<u8>(), 3..7).generate(&mut r);
+            assert!((3..7).contains(&v.len()));
+            let fixed = vec_of(any::<bool>(), 5usize).generate(&mut r);
+            assert_eq!(fixed.len(), 5);
+        }
+    }
+
+    #[test]
+    fn integer_shrinking_reaches_lower_bound() {
+        let strat = 5u32..1000;
+        let mut v = 700u32;
+        loop {
+            match strat.shrink(&v).first() {
+                Some(&c) => {
+                    assert!(c < v, "shrink must strictly decrease");
+                    v = c;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn vec_shrinking_strictly_simplifies() {
+        let strat = vec_of(0u32..100, 1..10);
+        let v = vec![50u32, 60, 70];
+        for cand in strat.shrink(&v) {
+            let shorter = cand.len() < v.len();
+            let elementwise_smaller = cand.len() == v.len()
+                && cand.iter().zip(&v).any(|(a, b)| a < b)
+                && cand.iter().zip(&v).all(|(a, b)| a <= b);
+            assert!(shorter || elementwise_smaller, "{cand:?} vs {v:?}");
+        }
+    }
+
+    #[test]
+    fn same_name_same_cases() {
+        let strat = (any::<u64>(), 0u32..100);
+        let seed = base_seed() ^ fnv1a("x");
+        let a: Vec<_> = {
+            let mut r = SimRng::seed_from(seed);
+            Iterator::map(0..10, |_| strat.generate(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = SimRng::seed_from(seed);
+            Iterator::map(0..10, |_| strat.generate(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        // Property "v < 500" fails for v >= 500; the minimal
+        // counterexample under shrinking must be exactly 500.
+        let strat = (0u32..1000,);
+        let failing = 987u32;
+        let test = |(v,): (u32,)| assert!(v < 500, "too big: {v}");
+        let (minimal, steps) = minimize(&strat, &test, (failing,));
+        assert_eq!(minimal.0, 500);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn discarded_inputs_do_not_count_as_cases() {
+        let seen = std::cell::Cell::new(0u32);
+        run_property("discard_smoke", 16, &(0u32..100,), &|(v,)| {
+            if v % 2 == 1 {
+                discard();
+            }
+            seen.set(seen.get() + 1);
+            assert_eq!(v % 2, 0);
+        });
+        assert_eq!(seen.get(), 16, "exactly `cases` even inputs must run");
+    }
+
+    props! {
+        #![cases(32)]
+
+        fn macro_smoke(a in 1u8.., flag in any::<bool>(), v in vec_of(0u64..9, 0..4)) {
+            assert!(a >= 1);
+            assert!(v.len() < 4);
+            assert!(v.iter().all(|&x| x < 9));
+            let _ = flag;
+        }
+
+        fn macro_one_of_and_map(
+            op in one_of![
+                3 => just(0u32),
+                1 => StrategyExt::map(10u32..20, |v| v * 2),
+            ],
+        ) {
+            assert!(op == 0 || (20..40).contains(&op));
+        }
+
+        fn macro_assume(v in 0u32..100) {
+            crate::assume!(v % 3 == 0);
+            assert_eq!(v % 3, 0);
+        }
+    }
+}

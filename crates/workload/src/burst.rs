@@ -64,9 +64,8 @@ impl MicroburstSource {
     /// Creates the source over `flows`, running until `end`.
     pub fn new(cfg: MicroburstConfig, flows: FlowSet, end: SimTime, seed: u64) -> Self {
         let mut rng = SimRng::seed_from(seed);
-        let first_burst = SimTime::from_nanos(
-            rng.exponential(cfg.mean_gap.as_nanos() as f64) as u64
-        );
+        let first_burst =
+            SimTime::from_nanos(rng.exponential(cfg.mean_gap.as_nanos() as f64) as u64);
         Self {
             cfg,
             flows,
@@ -100,19 +99,15 @@ impl TrafficSource for MicroburstSource {
         if !self.in_burst() && self.now >= self.next_burst {
             self.burst_until = self.now + self.cfg.burst_len.as_nanos();
             self.burst_flow = self.rng.below(self.flows.len() as u64) as usize;
-            self.next_burst = self.burst_until
-                + self
-                    .rng
-                    .exponential(self.cfg.mean_gap.as_nanos() as f64) as u64;
+            self.next_burst =
+                self.burst_until + self.rng.exponential(self.cfg.mean_gap.as_nanos() as f64) as u64;
             self.bursts_emitted += 1;
         }
         let (pps, tuple) = if self.in_burst() {
             // Burst packets interleave with background; the burst flow
             // dominates the instantaneous rate.
             let total = self.cfg.background_pps + self.cfg.burst_pps;
-            let from_burst = self
-                .rng
-                .chance(self.cfg.burst_pps as f64 / total as f64);
+            let from_burst = self.rng.chance(self.cfg.burst_pps as f64 / total as f64);
             let tuple = if from_burst {
                 self.flows.flow(self.burst_flow)
             } else {

@@ -83,14 +83,18 @@ impl FlowSet {
             Some(vni) => {
                 let overhead = 14 + 20 + 8 + 8; // eth+ip+udp+vxlan
                 let inner = len_bytes.saturating_sub(overhead).max(14);
-                PacketBuilder::udp(t.src_ip, t.dst_ip, t.src_port, albatross_packet::vxlan::UDP_PORT)
-                    .vxlan(vni, inner)
+                PacketBuilder::udp(
+                    t.src_ip,
+                    t.dst_ip,
+                    t.src_port,
+                    albatross_packet::vxlan::UDP_PORT,
+                )
+                .vxlan(vni, inner)
             }
             None => {
                 let overhead = 14 + 20 + 8;
                 let payload = len_bytes.saturating_sub(overhead);
-                PacketBuilder::udp(t.src_ip, t.dst_ip, t.src_port, t.dst_port)
-                    .payload_len(payload)
+                PacketBuilder::udp(t.src_ip, t.dst_ip, t.src_port, t.dst_port).payload_len(payload)
             }
         };
         builder.build()

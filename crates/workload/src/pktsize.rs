@@ -6,10 +6,9 @@
 //! story (appendix A).
 
 use albatross_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A frame-size distribution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum PacketSize {
     /// Every frame the same size.
     Fixed(u32),

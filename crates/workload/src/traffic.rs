@@ -184,7 +184,10 @@ impl RampSource {
 
     /// Next step boundary strictly after `t`.
     fn next_boundary(&self, t: SimTime) -> Option<SimTime> {
-        self.steps.iter().map(|&(from, _)| from).find(|&from| from > t)
+        self.steps
+            .iter()
+            .map(|&(from, _)| from)
+            .find(|&from| from > t)
     }
 }
 
@@ -309,10 +312,7 @@ mod tests {
     fn ramp_changes_rate_at_boundaries() {
         let mut s = RampSource::new(
             flows(1, 1),
-            vec![
-                (SimTime::ZERO, 1_000),
-                (SimTime::from_secs(1), 10_000),
-            ],
+            vec![(SimTime::ZERO, 1_000), (SimTime::from_secs(1), 10_000)],
             256,
             SimTime::from_secs(2),
         );
@@ -330,10 +330,7 @@ mod tests {
     fn ramp_with_zero_rate_pauses() {
         let mut s = RampSource::new(
             flows(1, 1),
-            vec![
-                (SimTime::ZERO, 0),
-                (SimTime::from_secs(1), 1_000),
-            ],
+            vec![(SimTime::ZERO, 0), (SimTime::from_secs(1), 1_000)],
             256,
             SimTime::from_secs(2),
         );

@@ -93,9 +93,7 @@ fn main() {
     migration
         .advertise_new(&mut proxy, Ipv4Addr::new(10, 0, 0, 2), ready_at)
         .expect("new pod advertises first");
-    println!(
-        "t={ready_at}: new pod advertises {vip:?}; validating for {VALIDATION_PERIOD}"
-    );
+    println!("t={ready_at}: new pod advertises {vip:?}; validating for {VALIDATION_PERIOD}");
     // Too early: the protocol refuses.
     let early = ready_at + SimTime::from_secs(5).as_nanos();
     assert!(migration.withdraw_old(&mut proxy, early).is_err());

@@ -53,14 +53,18 @@ fn run(mode: LbMode) -> (f64, Vec<u64>, u64) {
 
 fn main() {
     println!("== Heavy hitter: one 6 Mpps flow + 1 Mpps background on 4 cores ==\n");
-    for (label, mode) in [("RSS (flow-level)", LbMode::Rss), ("PLB (packet-level)", LbMode::Plb)] {
+    for (label, mode) in [
+        ("RSS (flow-level)", LbMode::Rss),
+        ("PLB (packet-level)", LbMode::Plb),
+    ] {
         let (loss, per_core, ooo) = run(mode);
         println!("{label}:");
         println!("  packet loss      : {:.1}%", loss * 100.0);
         println!(
             "  per-core work    : {:?} (max/min = {:.1}x)",
             per_core,
-            *per_core.iter().max().unwrap() as f64 / (*per_core.iter().min().unwrap()).max(1) as f64
+            *per_core.iter().max().unwrap() as f64
+                / (*per_core.iter().min().unwrap()).max(1) as f64
         );
         println!("  out-of-order tx  : {ooo}\n");
     }

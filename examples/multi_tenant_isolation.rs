@@ -49,11 +49,8 @@ fn run(limiter: Option<RateLimiterConfig>) -> Vec<(u32, f64, f64)> {
         .iter()
         .zip(&TENANT_PPS)
         .map(|(&vni, &pps)| {
-            let delivered = report
-                .tenant_delivered
-                .get(&vni)
-                .map_or(0, |m| m.total()) as f64
-                / DURATION_SECS;
+            let delivered =
+                report.tenant_delivered.get(&vni).map_or(0, |m| m.total()) as f64 / DURATION_SECS;
             (vni, pps as f64, delivered)
         })
         .collect()

@@ -31,11 +31,17 @@ fn main() {
     .vxlan(0x4151, 512)
     .vlan(102)
     .build();
-    println!("wire frame: {} bytes (VLAN + IPv4 + UDP + VXLAN + inner)", frame.len());
+    println!(
+        "wire frame: {} bytes (VLAN + IPv4 + UDP + VXLAN + inner)",
+        frame.len()
+    );
 
     // Basic pipeline, ingress: strip the VF-steering VLAN.
     let (vid, inner) = vlan_decap(&frame).expect("switch tagged it");
-    println!("basic pipeline: VLAN {vid} decapped -> {} bytes", inner.len());
+    println!(
+        "basic pipeline: VLAN {vid} decapped -> {} bytes",
+        inner.len()
+    );
 
     // Parse: one pass down to the tenant identity.
     let parsed = parse_frame(&inner).expect("well-formed");
@@ -54,7 +60,10 @@ fn main() {
     let mut nic_pkt = NicPacket::data(1, parsed.tuple, parsed.vni, inner.len() as u32, now);
     let class = dir.classify(&mut nic_pkt);
     assert_eq!(class, PacketClass::Plb);
-    println!("pkt_dir: classified {class:?}, delivery {:?}", nic_pkt.delivery);
+    println!(
+        "pkt_dir: classified {class:?}, delivery {:?}",
+        nic_pkt.delivery
+    );
 
     // plb_dispatch: ordq from the Toeplitz hash, PSN assigned, meta at the
     // packet TAIL (§7: head placement costs 33.6%).
@@ -65,7 +74,9 @@ fn main() {
     meta.attach_in_place(&mut tagged, MetaPlacement::Tail);
     println!(
         "plb_dispatch: ordq {} (5-tuple Toeplitz), PSN {:#x}, meta appended -> {} bytes",
-        ordq, meta.psn, tagged.len()
+        ordq,
+        meta.psn,
+        tagged.len()
     );
     // The frame head is untouched: encap/decap can proceed in place.
     assert_eq!(&tagged[..inner.len()], &inner[..]);
@@ -75,7 +86,10 @@ fn main() {
     let recovered = PlbMeta::detach_in_place(&mut tagged, MetaPlacement::Tail).expect("tagged");
     assert_eq!(recovered, meta);
     assert_eq!(tagged, inner);
-    println!("plb_reorder: meta stripped (PSN {:#x} verified), packet in order", recovered.psn);
+    println!(
+        "plb_reorder: meta stripped (PSN {:#x} verified), packet in order",
+        recovered.psn
+    );
 
     // Egress: re-apply the VLAN for the return trip through the switch.
     let out = vlan_encap(&tagged, vid).expect("valid frame");

@@ -50,10 +50,7 @@ fn main() {
         report.latency.percentile(0.99) as f64 / 1e3,
         report.latency.max() as f64 / 1e3
     );
-    println!(
-        "L3 hit rate       : {:.1}%",
-        report.cache_hit_rate * 100.0
-    );
+    println!("L3 hit rate       : {:.1}%", report.cache_hit_rate * 100.0);
     println!(
         "HOL timeouts      : {}, drop-flag releases: {}",
         report.hol_timeouts, report.drop_flag_releases

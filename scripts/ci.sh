@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Offline CI gate. Everything here must pass with NO network and NO
+# crates-io registry: the workspace is hermetic by policy (DESIGN.md §5).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> guard: no registry dependencies"
+# Every [dependencies]/[dev-dependencies] entry in the workspace must be a
+# path dependency. A `version = "..."` (or bare `foo = "1.2"`) line in any
+# crate manifest means someone reintroduced a crates-io dep.
+if grep -rn 'version\s*=' crates/*/Cargo.toml; then
+    echo "ERROR: registry dependency found in a crate manifest" >&2
+    exit 1
+fi
+# Same check for bare `foo = "1.2"` shorthand, scoped to dependency
+# sections so [package] metadata (edition, rust-version) doesn't trip it.
+if awk '
+    /^\[/ { dep = ($0 ~ /dependencies\]$/) }
+    dep && /^[ \t]*[A-Za-z0-9_-]+[ \t]*=[ \t]*"/ { print FILENAME ":" FNR ": " $0; bad = 1 }
+    END { exit bad }
+' Cargo.toml crates/*/Cargo.toml; then :; else
+    echo "ERROR: bare-version registry dependency found" >&2
+    exit 1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build (release, offline, all targets)"
+cargo build --release --offline --workspace --benches
+
+echo "==> cargo test (offline)"
+cargo test -q --offline --release --workspace
+
+echo "==> CI green"

@@ -119,8 +119,11 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 args.ratelimit = Some(value("--ratelimit")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--acl-drop-mod" => {
-                args.acl_drop_mod =
-                    Some(value("--acl-drop-mod")?.parse().map_err(|e| format!("{e}"))?)
+                args.acl_drop_mod = Some(
+                    value("--acl-drop-mod")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
             }
             "--no-drop-flag" => args.drop_flag = false,
             "--header-only" => args.header_only = true,

@@ -33,7 +33,11 @@ fn fig4_invariant_plb_and_rss_capacity_agree_within_3_percent() {
     let plb = capacity(LbMode::Plb, ServiceKind::VpcVpc, 8, 5);
     let rss = capacity(LbMode::Rss, ServiceKind::VpcVpc, 8, 6);
     let gap = (plb - rss).abs() / rss;
-    assert!(gap < 0.03, "PLB {plb} vs RSS {rss}: {:.1}% apart", gap * 100.0);
+    assert!(
+        gap < 0.03,
+        "PLB {plb} vs RSS {rss}: {:.1}% apart",
+        gap * 100.0
+    );
 }
 
 #[test]

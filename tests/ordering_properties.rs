@@ -11,7 +11,7 @@ use albatross::fpga::pkt::NicPacket;
 use albatross::packet::flow::IpProtocol;
 use albatross::packet::FiveTuple;
 use albatross::sim::SimTime;
-use proptest::prelude::*;
+use albatross_testkit::prelude::*;
 
 fn tuple(flow: u16) -> FiveTuple {
     FiveTuple {
@@ -36,15 +36,14 @@ fn engine(ordqs: usize) -> PlbEngine {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![cases(64)]
 
     /// Random flows, random CPU completion permutation, no losses:
     /// per-flow egress order must equal per-flow arrival order, and
     /// nothing may leave best-effort.
-    #[test]
     fn per_flow_order_is_preserved_under_any_completion_order(
-        flows in prop::collection::vec(0u16..8, 1..120),
+        flows in vec_of(0u16..8, 1..120),
         shuffle_seed in any::<u64>(),
         ordqs in 1usize..4,
     ) {
@@ -71,11 +70,11 @@ proptest! {
             for eg in eng.cpu_return(inflight[idx].clone(), true, t1) {
                 match eg {
                     Egress::InOrder(p) => egress_ids.push(p.id),
-                    Egress::OutOfOrder(p) => prop_assert!(false, "unexpected OOO {}", p.id),
+                    Egress::OutOfOrder(p) => panic!("unexpected OOO {}", p.id),
                 }
             }
         }
-        prop_assert_eq!(egress_ids.len(), flows.len(), "every packet egresses");
+        assert_eq!(egress_ids.len(), flows.len(), "every packet egresses");
         // Per-flow order check.
         for f in 0u16..8 {
             let arrived: Vec<u64> = flows
@@ -89,17 +88,16 @@ proptest! {
                 .copied()
                 .filter(|id| flows[*id as usize] == f)
                 .collect();
-            prop_assert_eq!(arrived, egressed, "flow {} out of order", f);
+            assert_eq!(arrived, egressed, "flow {} out of order", f);
         }
     }
 
     /// Random drop patterns with the drop flag: dropped packets never
     /// egress, survivors stay in per-flow order, and no HOL timeout is
     /// needed.
-    #[test]
     fn drop_flag_releases_keep_survivors_ordered(
-        flows in prop::collection::vec(0u16..4, 1..80),
-        drops in prop::collection::vec(any::<bool>(), 80),
+        flows in vec_of(0u16..4, 1..80),
+        drops in vec_of(any::<bool>(), 80),
     ) {
         let mut eng = engine(2);
         let t0 = SimTime::from_micros(1);
@@ -119,17 +117,16 @@ proptest! {
                 if let Egress::InOrder(p) = eg {
                     egress_ids.push(p.id);
                 } else {
-                    prop_assert!(false, "no best-effort expected");
+                    panic!("no best-effort expected");
                 }
             }
         }
-        prop_assert_eq!(eng.total_hol_timeouts(), 0);
+        assert_eq!(eng.total_hol_timeouts(), 0);
         let expected: Vec<u64> = (0..flows.len() as u64).filter(|&i| !drops[i as usize]).collect();
-        prop_assert_eq!(egress_ids, expected, "survivors must egress in global arrival order per queue");
+        assert_eq!(egress_ids, expected, "survivors must egress in global arrival order per queue");
     }
 
     /// PSN wraparound: order survives across the u32 boundary.
-    #[test]
     fn order_survives_psn_wraparound(count in 1usize..100) {
         let mut eng = engine(1);
         // Note: the engine starts PSNs at 0; run enough packets through a
@@ -157,7 +154,7 @@ proptest! {
             ReorderRelease::InOrder(p) => p.id,
             other => panic!("unexpected {other:?}"),
         }).collect();
-        prop_assert_eq!(ids, (0..count as u64).collect::<Vec<_>>());
+        assert_eq!(ids, (0..count as u64).collect::<Vec<_>>());
         let _ = &mut eng;
     }
 }

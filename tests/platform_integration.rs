@@ -34,10 +34,7 @@ fn az_buildout_fits_and_respects_bgp_limits() {
         }
     }
     assert_eq!(orch.pods().len(), 32);
-    assert_eq!(
-        orch.ready_pods(SimTime::ZERO + POD_BRINGUP.as_nanos()),
-        32
-    );
+    assert_eq!(orch.ready_pods(SimTime::ZERO + POD_BRINGUP.as_nanos()), 32);
 
     let mut switch = SwitchControlPlane::new();
     let peers = switch_peers_with_proxy(model.albatross_servers(), 2);
@@ -69,12 +66,7 @@ fn nic_failure_never_silences_a_pod() {
             .placements()
             .iter()
             .filter(|p| node0_pods.contains(&p.pod_id))
-            .map(|p| {
-                p.vfs
-                    .iter()
-                    .filter(|vf| vf.id.nic != nic)
-                    .count()
-            })
+            .map(|p| p.vfs.iter().filter(|vf| vf.id.nic != nic).count())
             .min()
             .unwrap_or(4);
         assert_eq!(surviving, 2, "NIC {nic} failure must leave 2 of 4 VFs");

@@ -22,7 +22,10 @@ fn workload_frames_parse_and_checksum() {
         let ip = Ipv4Packet::new_checked(&frame[ether::HEADER_LEN..]).unwrap();
         assert!(ip.verify_checksum(), "frame {i} IPv4 checksum");
         let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
-        assert!(udp.verify_checksum(ip.src(), ip.dst()), "frame {i} UDP checksum");
+        assert!(
+            udp.verify_checksum(ip.src(), ip.dst()),
+            "frame {i} UDP checksum"
+        );
     }
 }
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/albatross-232142d8c48e5943.d: src/bin/albatross.rs
+
+/root/repo/target/debug/deps/albatross-232142d8c48e5943: src/bin/albatross.rs
+
+src/bin/albatross.rs:

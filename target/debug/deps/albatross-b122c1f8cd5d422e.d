@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/albatross-b122c1f8cd5d422e.d: src/lib.rs
+
+/root/repo/target/debug/deps/albatross-b122c1f8cd5d422e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/albatross-b5d4ee91b3589e41.d: src/lib.rs
+
+/root/repo/target/debug/deps/libalbatross-b5d4ee91b3589e41.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libalbatross-b5d4ee91b3589e41.rmeta: src/lib.rs
+
+src/lib.rs:

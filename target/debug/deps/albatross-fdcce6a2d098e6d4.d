@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/albatross-fdcce6a2d098e6d4.d: src/bin/albatross.rs
+
+/root/repo/target/debug/deps/albatross-fdcce6a2d098e6d4: src/bin/albatross.rs
+
+src/bin/albatross.rs:

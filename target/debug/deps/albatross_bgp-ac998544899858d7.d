@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/albatross_bgp-ac998544899858d7.d: crates/bgp/src/lib.rs crates/bgp/src/bfd.rs crates/bgp/src/fsm.rs crates/bgp/src/msg.rs crates/bgp/src/proxy.rs crates/bgp/src/rib.rs crates/bgp/src/switchcp.rs
+
+/root/repo/target/debug/deps/libalbatross_bgp-ac998544899858d7.rlib: crates/bgp/src/lib.rs crates/bgp/src/bfd.rs crates/bgp/src/fsm.rs crates/bgp/src/msg.rs crates/bgp/src/proxy.rs crates/bgp/src/rib.rs crates/bgp/src/switchcp.rs
+
+/root/repo/target/debug/deps/libalbatross_bgp-ac998544899858d7.rmeta: crates/bgp/src/lib.rs crates/bgp/src/bfd.rs crates/bgp/src/fsm.rs crates/bgp/src/msg.rs crates/bgp/src/proxy.rs crates/bgp/src/rib.rs crates/bgp/src/switchcp.rs
+
+crates/bgp/src/lib.rs:
+crates/bgp/src/bfd.rs:
+crates/bgp/src/fsm.rs:
+crates/bgp/src/msg.rs:
+crates/bgp/src/proxy.rs:
+crates/bgp/src/rib.rs:
+crates/bgp/src/switchcp.rs:

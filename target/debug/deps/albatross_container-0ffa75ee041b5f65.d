@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/albatross_container-0ffa75ee041b5f65.d: crates/container/src/lib.rs crates/container/src/cost.rs crates/container/src/migration.rs crates/container/src/orchestrator.rs crates/container/src/pod.rs crates/container/src/server.rs crates/container/src/simrun.rs
+
+/root/repo/target/debug/deps/libalbatross_container-0ffa75ee041b5f65.rlib: crates/container/src/lib.rs crates/container/src/cost.rs crates/container/src/migration.rs crates/container/src/orchestrator.rs crates/container/src/pod.rs crates/container/src/server.rs crates/container/src/simrun.rs
+
+/root/repo/target/debug/deps/libalbatross_container-0ffa75ee041b5f65.rmeta: crates/container/src/lib.rs crates/container/src/cost.rs crates/container/src/migration.rs crates/container/src/orchestrator.rs crates/container/src/pod.rs crates/container/src/server.rs crates/container/src/simrun.rs
+
+crates/container/src/lib.rs:
+crates/container/src/cost.rs:
+crates/container/src/migration.rs:
+crates/container/src/orchestrator.rs:
+crates/container/src/pod.rs:
+crates/container/src/server.rs:
+crates/container/src/simrun.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/albatross_core-031cea58ff591d46.d: crates/core/src/lib.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/ratelimit.rs crates/core/src/reorder.rs crates/core/src/rss.rs
+
+/root/repo/target/debug/deps/libalbatross_core-031cea58ff591d46.rlib: crates/core/src/lib.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/ratelimit.rs crates/core/src/reorder.rs crates/core/src/rss.rs
+
+/root/repo/target/debug/deps/libalbatross_core-031cea58ff591d46.rmeta: crates/core/src/lib.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/ratelimit.rs crates/core/src/reorder.rs crates/core/src/rss.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/engine.rs:
+crates/core/src/ratelimit.rs:
+crates/core/src/reorder.rs:
+crates/core/src/rss.rs:

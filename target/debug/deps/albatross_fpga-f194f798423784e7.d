@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/albatross_fpga-f194f798423784e7.d: crates/fpga/src/lib.rs crates/fpga/src/basic.rs crates/fpga/src/dma.rs crates/fpga/src/offload.rs crates/fpga/src/pipeline.rs crates/fpga/src/pkt.rs crates/fpga/src/pktdir.rs crates/fpga/src/prio.rs crates/fpga/src/resource.rs crates/fpga/src/sriov.rs crates/fpga/src/tofino.rs
+
+/root/repo/target/debug/deps/libalbatross_fpga-f194f798423784e7.rlib: crates/fpga/src/lib.rs crates/fpga/src/basic.rs crates/fpga/src/dma.rs crates/fpga/src/offload.rs crates/fpga/src/pipeline.rs crates/fpga/src/pkt.rs crates/fpga/src/pktdir.rs crates/fpga/src/prio.rs crates/fpga/src/resource.rs crates/fpga/src/sriov.rs crates/fpga/src/tofino.rs
+
+/root/repo/target/debug/deps/libalbatross_fpga-f194f798423784e7.rmeta: crates/fpga/src/lib.rs crates/fpga/src/basic.rs crates/fpga/src/dma.rs crates/fpga/src/offload.rs crates/fpga/src/pipeline.rs crates/fpga/src/pkt.rs crates/fpga/src/pktdir.rs crates/fpga/src/prio.rs crates/fpga/src/resource.rs crates/fpga/src/sriov.rs crates/fpga/src/tofino.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/basic.rs:
+crates/fpga/src/dma.rs:
+crates/fpga/src/offload.rs:
+crates/fpga/src/pipeline.rs:
+crates/fpga/src/pkt.rs:
+crates/fpga/src/pktdir.rs:
+crates/fpga/src/prio.rs:
+crates/fpga/src/resource.rs:
+crates/fpga/src/sriov.rs:
+crates/fpga/src/tofino.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/albatross_gateway-db44ee3bd81e57ef.d: crates/gateway/src/lib.rs crates/gateway/src/acl.rs crates/gateway/src/lpm.rs crates/gateway/src/nat.rs crates/gateway/src/services.rs crates/gateway/src/session.rs crates/gateway/src/vmnc.rs crates/gateway/src/worker.rs
+
+/root/repo/target/debug/deps/libalbatross_gateway-db44ee3bd81e57ef.rlib: crates/gateway/src/lib.rs crates/gateway/src/acl.rs crates/gateway/src/lpm.rs crates/gateway/src/nat.rs crates/gateway/src/services.rs crates/gateway/src/session.rs crates/gateway/src/vmnc.rs crates/gateway/src/worker.rs
+
+/root/repo/target/debug/deps/libalbatross_gateway-db44ee3bd81e57ef.rmeta: crates/gateway/src/lib.rs crates/gateway/src/acl.rs crates/gateway/src/lpm.rs crates/gateway/src/nat.rs crates/gateway/src/services.rs crates/gateway/src/session.rs crates/gateway/src/vmnc.rs crates/gateway/src/worker.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/acl.rs:
+crates/gateway/src/lpm.rs:
+crates/gateway/src/nat.rs:
+crates/gateway/src/services.rs:
+crates/gateway/src/session.rs:
+crates/gateway/src/vmnc.rs:
+crates/gateway/src/worker.rs:

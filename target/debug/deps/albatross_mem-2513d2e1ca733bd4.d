@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/albatross_mem-2513d2e1ca733bd4.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/numa.rs crates/mem/src/tables.rs
+
+/root/repo/target/debug/deps/libalbatross_mem-2513d2e1ca733bd4.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/numa.rs crates/mem/src/tables.rs
+
+/root/repo/target/debug/deps/libalbatross_mem-2513d2e1ca733bd4.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/numa.rs crates/mem/src/tables.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/numa.rs:
+crates/mem/src/tables.rs:

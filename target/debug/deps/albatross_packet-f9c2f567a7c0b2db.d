@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/albatross_packet-f9c2f567a7c0b2db.d: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/ether.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/meta.rs crates/packet/src/rss.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+/root/repo/target/debug/deps/libalbatross_packet-f9c2f567a7c0b2db.rlib: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/ether.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/meta.rs crates/packet/src/rss.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+/root/repo/target/debug/deps/libalbatross_packet-f9c2f567a7c0b2db.rmeta: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/ether.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/meta.rs crates/packet/src/rss.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/ether.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/meta.rs:
+crates/packet/src/rss.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/vlan.rs:
+crates/packet/src/vxlan.rs:

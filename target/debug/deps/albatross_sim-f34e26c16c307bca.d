@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/albatross_sim-f34e26c16c307bca.d: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/queue.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libalbatross_sim-f34e26c16c307bca.rlib: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/queue.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libalbatross_sim-f34e26c16c307bca.rmeta: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/queue.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

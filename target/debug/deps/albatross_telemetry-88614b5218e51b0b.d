@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/albatross_telemetry-88614b5218e51b0b.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/hist.rs crates/telemetry/src/report.rs crates/telemetry/src/series.rs
+
+/root/repo/target/debug/deps/libalbatross_telemetry-88614b5218e51b0b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/hist.rs crates/telemetry/src/report.rs crates/telemetry/src/series.rs
+
+/root/repo/target/debug/deps/libalbatross_telemetry-88614b5218e51b0b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/hist.rs crates/telemetry/src/report.rs crates/telemetry/src/series.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/series.rs:

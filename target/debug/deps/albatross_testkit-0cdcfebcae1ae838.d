@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/albatross_testkit-0cdcfebcae1ae838.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/debug/deps/libalbatross_testkit-0cdcfebcae1ae838.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/debug/deps/libalbatross_testkit-0cdcfebcae1ae838.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:

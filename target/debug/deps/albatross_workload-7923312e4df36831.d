@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/albatross_workload-7923312e4df36831.d: crates/workload/src/lib.rs crates/workload/src/burst.rs crates/workload/src/flowgen.rs crates/workload/src/pktsize.rs crates/workload/src/tenant.rs crates/workload/src/traffic.rs
+
+/root/repo/target/debug/deps/libalbatross_workload-7923312e4df36831.rlib: crates/workload/src/lib.rs crates/workload/src/burst.rs crates/workload/src/flowgen.rs crates/workload/src/pktsize.rs crates/workload/src/tenant.rs crates/workload/src/traffic.rs
+
+/root/repo/target/debug/deps/libalbatross_workload-7923312e4df36831.rmeta: crates/workload/src/lib.rs crates/workload/src/burst.rs crates/workload/src/flowgen.rs crates/workload/src/pktsize.rs crates/workload/src/tenant.rs crates/workload/src/traffic.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/burst.rs:
+crates/workload/src/flowgen.rs:
+crates/workload/src/pktsize.rs:
+crates/workload/src/tenant.rs:
+crates/workload/src/traffic.rs:

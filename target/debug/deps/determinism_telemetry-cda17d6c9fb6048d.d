@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_telemetry-cda17d6c9fb6048d.d: tests/determinism_telemetry.rs
+
+/root/repo/target/debug/deps/determinism_telemetry-cda17d6c9fb6048d: tests/determinism_telemetry.rs
+
+tests/determinism_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_dataplane-10f3c3e5c4bdbdd9.d: tests/end_to_end_dataplane.rs
+
+/root/repo/target/debug/deps/end_to_end_dataplane-10f3c3e5c4bdbdd9: tests/end_to_end_dataplane.rs
+
+tests/end_to_end_dataplane.rs:

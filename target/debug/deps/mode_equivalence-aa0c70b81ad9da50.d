@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mode_equivalence-aa0c70b81ad9da50.d: tests/mode_equivalence.rs
+
+/root/repo/target/debug/deps/mode_equivalence-aa0c70b81ad9da50: tests/mode_equivalence.rs
+
+tests/mode_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering_properties-e281a8676e84faf7.d: tests/ordering_properties.rs
+
+/root/repo/target/debug/deps/ordering_properties-e281a8676e84faf7: tests/ordering_properties.rs
+
+tests/ordering_properties.rs:

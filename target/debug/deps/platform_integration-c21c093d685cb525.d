@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platform_integration-c21c093d685cb525.d: tests/platform_integration.rs
+
+/root/repo/target/debug/deps/platform_integration-c21c093d685cb525: tests/platform_integration.rs
+
+tests/platform_integration.rs:

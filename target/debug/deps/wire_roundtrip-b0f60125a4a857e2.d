@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_roundtrip-b0f60125a4a857e2.d: tests/wire_roundtrip.rs
+
+/root/repo/target/debug/deps/wire_roundtrip-b0f60125a4a857e2: tests/wire_roundtrip.rs
+
+tests/wire_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/containerized_az-5dbbe599336786b0.d: examples/containerized_az.rs
+
+/root/repo/target/debug/examples/containerized_az-5dbbe599336786b0: examples/containerized_az.rs
+
+examples/containerized_az.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-88d9908b80943642.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-88d9908b80943642: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heavy_hitter-edf8d239263bbd4a.d: examples/heavy_hitter.rs
+
+/root/repo/target/debug/examples/heavy_hitter-edf8d239263bbd4a: examples/heavy_hitter.rs
+
+examples/heavy_hitter.rs:

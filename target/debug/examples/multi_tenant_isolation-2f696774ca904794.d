@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant_isolation-2f696774ca904794.d: examples/multi_tenant_isolation.rs
+
+/root/repo/target/debug/examples/multi_tenant_isolation-2f696774ca904794: examples/multi_tenant_isolation.rs
+
+examples/multi_tenant_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_walkthrough-f76745fc9330fdf9.d: examples/packet_walkthrough.rs
+
+/root/repo/target/debug/examples/packet_walkthrough-f76745fc9330fdf9: examples/packet_walkthrough.rs
+
+examples/packet_walkthrough.rs:

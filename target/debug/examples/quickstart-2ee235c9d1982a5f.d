@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2ee235c9d1982a5f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2ee235c9d1982a5f: examples/quickstart.rs
+
+examples/quickstart.rs:

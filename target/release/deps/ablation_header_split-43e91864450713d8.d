@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_header_split-43e91864450713d8.d: crates/bench/benches/ablation_header_split.rs
+
+/root/repo/target/release/deps/ablation_header_split-43e91864450713d8: crates/bench/benches/ablation_header_split.rs
+
+crates/bench/benches/ablation_header_split.rs:

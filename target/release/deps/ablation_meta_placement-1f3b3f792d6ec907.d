@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_meta_placement-1f3b3f792d6ec907.d: crates/bench/benches/ablation_meta_placement.rs
+
+/root/repo/target/release/deps/ablation_meta_placement-1f3b3f792d6ec907: crates/bench/benches/ablation_meta_placement.rs
+
+crates/bench/benches/ablation_meta_placement.rs:

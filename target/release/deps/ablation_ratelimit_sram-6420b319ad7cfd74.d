@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ratelimit_sram-6420b319ad7cfd74.d: crates/bench/benches/ablation_ratelimit_sram.rs
+
+/root/repo/target/release/deps/ablation_ratelimit_sram-6420b319ad7cfd74: crates/bench/benches/ablation_ratelimit_sram.rs
+
+crates/bench/benches/ablation_ratelimit_sram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_reorder_queues-0a6d109fe66e1573.d: crates/bench/benches/ablation_reorder_queues.rs
+
+/root/repo/target/release/deps/ablation_reorder_queues-0a6d109fe66e1573: crates/bench/benches/ablation_reorder_queues.rs
+
+crates/bench/benches/ablation_reorder_queues.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_session_offload-6220c3c8141f86df.d: crates/bench/benches/ablation_session_offload.rs
+
+/root/repo/target/release/deps/ablation_session_offload-6220c3c8141f86df: crates/bench/benches/ablation_session_offload.rs
+
+crates/bench/benches/ablation_session_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stateful_nf-33379a2a0d9bf1c4.d: crates/bench/benches/ablation_stateful_nf.rs
+
+/root/repo/target/release/deps/ablation_stateful_nf-33379a2a0d9bf1c4: crates/bench/benches/ablation_stateful_nf.rs
+
+crates/bench/benches/ablation_stateful_nf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/albatross-814814ad423ed426.d: src/bin/albatross.rs
+
+/root/repo/target/release/deps/albatross-814814ad423ed426: src/bin/albatross.rs
+
+src/bin/albatross.rs:

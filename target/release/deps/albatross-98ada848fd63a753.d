@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/albatross-98ada848fd63a753.d: src/lib.rs
+
+/root/repo/target/release/deps/albatross-98ada848fd63a753: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/albatross-cf6d73a0de4ab61f.d: src/bin/albatross.rs
+
+/root/repo/target/release/deps/albatross-cf6d73a0de4ab61f: src/bin/albatross.rs
+
+src/bin/albatross.rs:

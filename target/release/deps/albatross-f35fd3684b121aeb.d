@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/albatross-f35fd3684b121aeb.d: src/lib.rs
+
+/root/repo/target/release/deps/libalbatross-f35fd3684b121aeb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libalbatross-f35fd3684b121aeb.rmeta: src/lib.rs
+
+src/lib.rs:

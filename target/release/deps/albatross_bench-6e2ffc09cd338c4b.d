@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/albatross_bench-6e2ffc09cd338c4b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/albatross_bench-6e2ffc09cd338c4b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

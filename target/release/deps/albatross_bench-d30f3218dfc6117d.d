@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/albatross_bench-d30f3218dfc6117d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libalbatross_bench-d30f3218dfc6117d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libalbatross_bench-d30f3218dfc6117d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/albatross_bgp-3a9571bac759de18.d: crates/bgp/src/lib.rs crates/bgp/src/bfd.rs crates/bgp/src/fsm.rs crates/bgp/src/msg.rs crates/bgp/src/proxy.rs crates/bgp/src/rib.rs crates/bgp/src/switchcp.rs
+
+/root/repo/target/release/deps/libalbatross_bgp-3a9571bac759de18.rlib: crates/bgp/src/lib.rs crates/bgp/src/bfd.rs crates/bgp/src/fsm.rs crates/bgp/src/msg.rs crates/bgp/src/proxy.rs crates/bgp/src/rib.rs crates/bgp/src/switchcp.rs
+
+/root/repo/target/release/deps/libalbatross_bgp-3a9571bac759de18.rmeta: crates/bgp/src/lib.rs crates/bgp/src/bfd.rs crates/bgp/src/fsm.rs crates/bgp/src/msg.rs crates/bgp/src/proxy.rs crates/bgp/src/rib.rs crates/bgp/src/switchcp.rs
+
+crates/bgp/src/lib.rs:
+crates/bgp/src/bfd.rs:
+crates/bgp/src/fsm.rs:
+crates/bgp/src/msg.rs:
+crates/bgp/src/proxy.rs:
+crates/bgp/src/rib.rs:
+crates/bgp/src/switchcp.rs:

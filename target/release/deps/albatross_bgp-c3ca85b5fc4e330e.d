@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/albatross_bgp-c3ca85b5fc4e330e.d: crates/bgp/src/lib.rs crates/bgp/src/bfd.rs crates/bgp/src/fsm.rs crates/bgp/src/msg.rs crates/bgp/src/proxy.rs crates/bgp/src/rib.rs crates/bgp/src/switchcp.rs
+
+/root/repo/target/release/deps/albatross_bgp-c3ca85b5fc4e330e: crates/bgp/src/lib.rs crates/bgp/src/bfd.rs crates/bgp/src/fsm.rs crates/bgp/src/msg.rs crates/bgp/src/proxy.rs crates/bgp/src/rib.rs crates/bgp/src/switchcp.rs
+
+crates/bgp/src/lib.rs:
+crates/bgp/src/bfd.rs:
+crates/bgp/src/fsm.rs:
+crates/bgp/src/msg.rs:
+crates/bgp/src/proxy.rs:
+crates/bgp/src/rib.rs:
+crates/bgp/src/switchcp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/albatross_container-7bca327775003d49.d: crates/container/src/lib.rs crates/container/src/cost.rs crates/container/src/migration.rs crates/container/src/orchestrator.rs crates/container/src/pod.rs crates/container/src/server.rs crates/container/src/simrun.rs
+
+/root/repo/target/release/deps/libalbatross_container-7bca327775003d49.rlib: crates/container/src/lib.rs crates/container/src/cost.rs crates/container/src/migration.rs crates/container/src/orchestrator.rs crates/container/src/pod.rs crates/container/src/server.rs crates/container/src/simrun.rs
+
+/root/repo/target/release/deps/libalbatross_container-7bca327775003d49.rmeta: crates/container/src/lib.rs crates/container/src/cost.rs crates/container/src/migration.rs crates/container/src/orchestrator.rs crates/container/src/pod.rs crates/container/src/server.rs crates/container/src/simrun.rs
+
+crates/container/src/lib.rs:
+crates/container/src/cost.rs:
+crates/container/src/migration.rs:
+crates/container/src/orchestrator.rs:
+crates/container/src/pod.rs:
+crates/container/src/server.rs:
+crates/container/src/simrun.rs:

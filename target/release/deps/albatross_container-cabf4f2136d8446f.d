@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/albatross_container-cabf4f2136d8446f.d: crates/container/src/lib.rs crates/container/src/cost.rs crates/container/src/migration.rs crates/container/src/orchestrator.rs crates/container/src/pod.rs crates/container/src/server.rs crates/container/src/simrun.rs
+
+/root/repo/target/release/deps/albatross_container-cabf4f2136d8446f: crates/container/src/lib.rs crates/container/src/cost.rs crates/container/src/migration.rs crates/container/src/orchestrator.rs crates/container/src/pod.rs crates/container/src/server.rs crates/container/src/simrun.rs
+
+crates/container/src/lib.rs:
+crates/container/src/cost.rs:
+crates/container/src/migration.rs:
+crates/container/src/orchestrator.rs:
+crates/container/src/pod.rs:
+crates/container/src/server.rs:
+crates/container/src/simrun.rs:

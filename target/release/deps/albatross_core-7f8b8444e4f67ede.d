@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/albatross_core-7f8b8444e4f67ede.d: crates/core/src/lib.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/ratelimit.rs crates/core/src/reorder.rs crates/core/src/rss.rs
+
+/root/repo/target/release/deps/albatross_core-7f8b8444e4f67ede: crates/core/src/lib.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/ratelimit.rs crates/core/src/reorder.rs crates/core/src/rss.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/engine.rs:
+crates/core/src/ratelimit.rs:
+crates/core/src/reorder.rs:
+crates/core/src/rss.rs:

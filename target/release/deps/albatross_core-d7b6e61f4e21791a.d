@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/albatross_core-d7b6e61f4e21791a.d: crates/core/src/lib.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/ratelimit.rs crates/core/src/reorder.rs crates/core/src/rss.rs
+
+/root/repo/target/release/deps/libalbatross_core-d7b6e61f4e21791a.rlib: crates/core/src/lib.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/ratelimit.rs crates/core/src/reorder.rs crates/core/src/rss.rs
+
+/root/repo/target/release/deps/libalbatross_core-d7b6e61f4e21791a.rmeta: crates/core/src/lib.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/ratelimit.rs crates/core/src/reorder.rs crates/core/src/rss.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/engine.rs:
+crates/core/src/ratelimit.rs:
+crates/core/src/reorder.rs:
+crates/core/src/rss.rs:

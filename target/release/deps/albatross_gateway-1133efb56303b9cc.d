@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/albatross_gateway-1133efb56303b9cc.d: crates/gateway/src/lib.rs crates/gateway/src/acl.rs crates/gateway/src/lpm.rs crates/gateway/src/nat.rs crates/gateway/src/services.rs crates/gateway/src/session.rs crates/gateway/src/vmnc.rs crates/gateway/src/worker.rs
+
+/root/repo/target/release/deps/albatross_gateway-1133efb56303b9cc: crates/gateway/src/lib.rs crates/gateway/src/acl.rs crates/gateway/src/lpm.rs crates/gateway/src/nat.rs crates/gateway/src/services.rs crates/gateway/src/session.rs crates/gateway/src/vmnc.rs crates/gateway/src/worker.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/acl.rs:
+crates/gateway/src/lpm.rs:
+crates/gateway/src/nat.rs:
+crates/gateway/src/services.rs:
+crates/gateway/src/session.rs:
+crates/gateway/src/vmnc.rs:
+crates/gateway/src/worker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/albatross_gateway-190177800caa5a19.d: crates/gateway/src/lib.rs crates/gateway/src/acl.rs crates/gateway/src/lpm.rs crates/gateway/src/nat.rs crates/gateway/src/services.rs crates/gateway/src/session.rs crates/gateway/src/vmnc.rs crates/gateway/src/worker.rs
+
+/root/repo/target/release/deps/libalbatross_gateway-190177800caa5a19.rlib: crates/gateway/src/lib.rs crates/gateway/src/acl.rs crates/gateway/src/lpm.rs crates/gateway/src/nat.rs crates/gateway/src/services.rs crates/gateway/src/session.rs crates/gateway/src/vmnc.rs crates/gateway/src/worker.rs
+
+/root/repo/target/release/deps/libalbatross_gateway-190177800caa5a19.rmeta: crates/gateway/src/lib.rs crates/gateway/src/acl.rs crates/gateway/src/lpm.rs crates/gateway/src/nat.rs crates/gateway/src/services.rs crates/gateway/src/session.rs crates/gateway/src/vmnc.rs crates/gateway/src/worker.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/acl.rs:
+crates/gateway/src/lpm.rs:
+crates/gateway/src/nat.rs:
+crates/gateway/src/services.rs:
+crates/gateway/src/session.rs:
+crates/gateway/src/vmnc.rs:
+crates/gateway/src/worker.rs:

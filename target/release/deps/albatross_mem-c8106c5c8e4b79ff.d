@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/albatross_mem-c8106c5c8e4b79ff.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/numa.rs crates/mem/src/tables.rs
+
+/root/repo/target/release/deps/libalbatross_mem-c8106c5c8e4b79ff.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/numa.rs crates/mem/src/tables.rs
+
+/root/repo/target/release/deps/libalbatross_mem-c8106c5c8e4b79ff.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/numa.rs crates/mem/src/tables.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/numa.rs:
+crates/mem/src/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/albatross_mem-f79797120bb51ec9.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/numa.rs crates/mem/src/tables.rs
+
+/root/repo/target/release/deps/albatross_mem-f79797120bb51ec9: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/numa.rs crates/mem/src/tables.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/numa.rs:
+crates/mem/src/tables.rs:

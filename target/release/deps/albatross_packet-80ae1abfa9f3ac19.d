@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/albatross_packet-80ae1abfa9f3ac19.d: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/ether.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/meta.rs crates/packet/src/rss.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+/root/repo/target/release/deps/libalbatross_packet-80ae1abfa9f3ac19.rlib: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/ether.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/meta.rs crates/packet/src/rss.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+/root/repo/target/release/deps/libalbatross_packet-80ae1abfa9f3ac19.rmeta: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/ether.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/meta.rs crates/packet/src/rss.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/ether.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/meta.rs:
+crates/packet/src/rss.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/vlan.rs:
+crates/packet/src/vxlan.rs:

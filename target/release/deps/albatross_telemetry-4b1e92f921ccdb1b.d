@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/albatross_telemetry-4b1e92f921ccdb1b.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/hist.rs crates/telemetry/src/report.rs crates/telemetry/src/series.rs
+
+/root/repo/target/release/deps/libalbatross_telemetry-4b1e92f921ccdb1b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/hist.rs crates/telemetry/src/report.rs crates/telemetry/src/series.rs
+
+/root/repo/target/release/deps/libalbatross_telemetry-4b1e92f921ccdb1b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/hist.rs crates/telemetry/src/report.rs crates/telemetry/src/series.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/series.rs:

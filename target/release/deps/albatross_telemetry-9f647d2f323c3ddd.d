@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/albatross_telemetry-9f647d2f323c3ddd.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/hist.rs crates/telemetry/src/report.rs crates/telemetry/src/series.rs
+
+/root/repo/target/release/deps/albatross_telemetry-9f647d2f323c3ddd: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/hist.rs crates/telemetry/src/report.rs crates/telemetry/src/series.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/series.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/albatross_testkit-4d7ec1c515faa5ff.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/release/deps/albatross_testkit-4d7ec1c515faa5ff: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/albatross_testkit-e1d0fd2d643251ed.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/release/deps/libalbatross_testkit-e1d0fd2d643251ed.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/release/deps/libalbatross_testkit-e1d0fd2d643251ed.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:

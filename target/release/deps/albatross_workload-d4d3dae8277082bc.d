@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/albatross_workload-d4d3dae8277082bc.d: crates/workload/src/lib.rs crates/workload/src/burst.rs crates/workload/src/flowgen.rs crates/workload/src/pktsize.rs crates/workload/src/tenant.rs crates/workload/src/traffic.rs
+
+/root/repo/target/release/deps/libalbatross_workload-d4d3dae8277082bc.rlib: crates/workload/src/lib.rs crates/workload/src/burst.rs crates/workload/src/flowgen.rs crates/workload/src/pktsize.rs crates/workload/src/tenant.rs crates/workload/src/traffic.rs
+
+/root/repo/target/release/deps/libalbatross_workload-d4d3dae8277082bc.rmeta: crates/workload/src/lib.rs crates/workload/src/burst.rs crates/workload/src/flowgen.rs crates/workload/src/pktsize.rs crates/workload/src/tenant.rs crates/workload/src/traffic.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/burst.rs:
+crates/workload/src/flowgen.rs:
+crates/workload/src/pktsize.rs:
+crates/workload/src/tenant.rs:
+crates/workload/src/traffic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/albatross_workload-f648736b89011785.d: crates/workload/src/lib.rs crates/workload/src/burst.rs crates/workload/src/flowgen.rs crates/workload/src/pktsize.rs crates/workload/src/tenant.rs crates/workload/src/traffic.rs
+
+/root/repo/target/release/deps/albatross_workload-f648736b89011785: crates/workload/src/lib.rs crates/workload/src/burst.rs crates/workload/src/flowgen.rs crates/workload/src/pktsize.rs crates/workload/src/tenant.rs crates/workload/src/traffic.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/burst.rs:
+crates/workload/src/flowgen.rs:
+crates/workload/src/pktsize.rs:
+crates/workload/src/tenant.rs:
+crates/workload/src/traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_properties-613a8c9ac8cde46f.d: crates/bgp/tests/codec_properties.rs
+
+/root/repo/target/release/deps/codec_properties-613a8c9ac8cde46f: crates/bgp/tests/codec_properties.rs
+
+crates/bgp/tests/codec_properties.rs:

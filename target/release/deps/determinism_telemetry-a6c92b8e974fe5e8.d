@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism_telemetry-a6c92b8e974fe5e8.d: tests/determinism_telemetry.rs
+
+/root/repo/target/release/deps/determinism_telemetry-a6c92b8e974fe5e8: tests/determinism_telemetry.rs
+
+tests/determinism_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_dataplane-46a86c43b6fb1824.d: tests/end_to_end_dataplane.rs
+
+/root/repo/target/release/deps/end_to_end_dataplane-46a86c43b6fb1824: tests/end_to_end_dataplane.rs
+
+tests/end_to_end_dataplane.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_plb_vs_rss_percore-cc2b05c0fae4f588.d: crates/bench/benches/fig04_plb_vs_rss_percore.rs
+
+/root/repo/target/release/deps/fig04_plb_vs_rss_percore-cc2b05c0fae4f588: crates/bench/benches/fig04_plb_vs_rss_percore.rs
+
+crates/bench/benches/fig04_plb_vs_rss_percore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_l3_hit_rate-1aaeb75e319a8373.d: crates/bench/benches/fig05_l3_hit_rate.rs
+
+/root/repo/target/release/deps/fig05_l3_hit_rate-1aaeb75e319a8373: crates/bench/benches/fig05_l3_hit_rate.rs
+
+crates/bench/benches/fig05_l3_hit_rate.rs:

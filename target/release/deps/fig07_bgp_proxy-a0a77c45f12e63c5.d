@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_bgp_proxy-a0a77c45f12e63c5.d: crates/bench/benches/fig07_bgp_proxy.rs
+
+/root/repo/target/release/deps/fig07_bgp_proxy-a0a77c45f12e63c5: crates/bench/benches/fig07_bgp_proxy.rs
+
+crates/bench/benches/fig07_bgp_proxy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_load_balancing-46408ddb9386245a.d: crates/bench/benches/fig08_load_balancing.rs
+
+/root/repo/target/release/deps/fig08_load_balancing-46408ddb9386245a: crates/bench/benches/fig08_load_balancing.rs
+
+crates/bench/benches/fig08_load_balancing.rs:

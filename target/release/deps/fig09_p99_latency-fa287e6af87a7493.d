@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_p99_latency-fa287e6af87a7493.d: crates/bench/benches/fig09_p99_latency.rs
+
+/root/repo/target/release/deps/fig09_p99_latency-fa287e6af87a7493: crates/bench/benches/fig09_p99_latency.rs
+
+crates/bench/benches/fig09_p99_latency.rs:

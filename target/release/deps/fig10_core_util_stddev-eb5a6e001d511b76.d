@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_core_util_stddev-eb5a6e001d511b76.d: crates/bench/benches/fig10_core_util_stddev.rs
+
+/root/repo/target/release/deps/fig10_core_util_stddev-eb5a6e001d511b76: crates/bench/benches/fig10_core_util_stddev.rs
+
+crates/bench/benches/fig10_core_util_stddev.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_latency_distribution-d352242a92a89d1a.d: crates/bench/benches/fig11_latency_distribution.rs
+
+/root/repo/target/release/deps/fig11_latency_distribution-d352242a92a89d1a: crates/bench/benches/fig11_latency_distribution.rs
+
+crates/bench/benches/fig11_latency_distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_hol_drop_flag-c0c67d0dc9c5dc6a.d: crates/bench/benches/fig12_hol_drop_flag.rs
+
+/root/repo/target/release/deps/fig12_hol_drop_flag-c0c67d0dc9c5dc6a: crates/bench/benches/fig12_hol_drop_flag.rs
+
+crates/bench/benches/fig12_hol_drop_flag.rs:

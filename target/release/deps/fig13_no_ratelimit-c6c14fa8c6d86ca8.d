@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_no_ratelimit-c6c14fa8c6d86ca8.d: crates/bench/benches/fig13_no_ratelimit.rs
+
+/root/repo/target/release/deps/fig13_no_ratelimit-c6c14fa8c6d86ca8: crates/bench/benches/fig13_no_ratelimit.rs
+
+crates/bench/benches/fig13_no_ratelimit.rs:

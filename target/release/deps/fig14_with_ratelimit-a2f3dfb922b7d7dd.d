@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_with_ratelimit-a2f3dfb922b7d7dd.d: crates/bench/benches/fig14_with_ratelimit.rs
+
+/root/repo/target/release/deps/fig14_with_ratelimit-a2f3dfb922b7d7dd: crates/bench/benches/fig14_with_ratelimit.rs
+
+crates/bench/benches/fig14_with_ratelimit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_az_cost-77f3e9c5e2ce879a.d: crates/bench/benches/fig15_az_cost.rs
+
+/root/repo/target/release/deps/fig15_az_cost-77f3e9c5e2ce879a: crates/bench/benches/fig15_az_cost.rs
+
+crates/bench/benches/fig15_az_cost.rs:

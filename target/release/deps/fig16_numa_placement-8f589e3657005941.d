@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_numa_placement-8f589e3657005941.d: crates/bench/benches/fig16_numa_placement.rs
+
+/root/repo/target/release/deps/fig16_numa_placement-8f589e3657005941: crates/bench/benches/fig16_numa_placement.rs
+
+crates/bench/benches/fig16_numa_placement.rs:

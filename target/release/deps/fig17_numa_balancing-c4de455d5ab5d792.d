@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_numa_balancing-c4de455d5ab5d792.d: crates/bench/benches/fig17_numa_balancing.rs
+
+/root/repo/target/release/deps/fig17_numa_balancing-c4de455d5ab5d792: crates/bench/benches/fig17_numa_balancing.rs
+
+crates/bench/benches/fig17_numa_balancing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_probe-6a9b7c0d02793336.d: crates/core/tests/golden_probe.rs
+
+/root/repo/target/release/deps/golden_probe-6a9b7c0d02793336: crates/core/tests/golden_probe.rs
+
+crates/core/tests/golden_probe.rs:

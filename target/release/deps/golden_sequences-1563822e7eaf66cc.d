@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_sequences-1563822e7eaf66cc.d: crates/core/tests/golden_sequences.rs
+
+/root/repo/target/release/deps/golden_sequences-1563822e7eaf66cc: crates/core/tests/golden_sequences.rs
+
+crates/core/tests/golden_sequences.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hist_properties-286feff86f32ff31.d: crates/telemetry/tests/hist_properties.rs
+
+/root/repo/target/release/deps/hist_properties-286feff86f32ff31: crates/telemetry/tests/hist_properties.rs
+
+crates/telemetry/tests/hist_properties.rs:

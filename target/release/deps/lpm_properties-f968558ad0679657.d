@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lpm_properties-f968558ad0679657.d: crates/gateway/tests/lpm_properties.rs
+
+/root/repo/target/release/deps/lpm_properties-f968558ad0679657: crates/gateway/tests/lpm_properties.rs
+
+crates/gateway/tests/lpm_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-999b4523d6c2c43f.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-999b4523d6c2c43f: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mode_equivalence-88e11e27c29c0e68.d: tests/mode_equivalence.rs
+
+/root/repo/target/release/deps/mode_equivalence-88e11e27c29c0e68: tests/mode_equivalence.rs
+
+tests/mode_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nic_integration-0182e652a13f79c5.d: crates/fpga/tests/nic_integration.rs
+
+/root/repo/target/release/deps/nic_integration-0182e652a13f79c5: crates/fpga/tests/nic_integration.rs
+
+crates/fpga/tests/nic_integration.rs:

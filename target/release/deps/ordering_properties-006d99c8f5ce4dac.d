@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ordering_properties-006d99c8f5ce4dac.d: tests/ordering_properties.rs
+
+/root/repo/target/release/deps/ordering_properties-006d99c8f5ce4dac: tests/ordering_properties.rs
+
+tests/ordering_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/platform_integration-98757c2800bbcbb7.d: tests/platform_integration.rs
+
+/root/repo/target/release/deps/platform_integration-98757c2800bbcbb7: tests/platform_integration.rs
+
+tests/platform_integration.rs:

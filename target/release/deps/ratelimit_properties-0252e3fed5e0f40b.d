@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ratelimit_properties-0252e3fed5e0f40b.d: crates/core/tests/ratelimit_properties.rs
+
+/root/repo/target/release/deps/ratelimit_properties-0252e3fed5e0f40b: crates/core/tests/ratelimit_properties.rs
+
+crates/core/tests/ratelimit_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reorder_invariants-e11fd8db33c3314a.d: crates/core/tests/reorder_invariants.rs
+
+/root/repo/target/release/deps/reorder_invariants-e11fd8db33c3314a: crates/core/tests/reorder_invariants.rs
+
+crates/core/tests/reorder_invariants.rs:

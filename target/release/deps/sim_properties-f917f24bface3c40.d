@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_properties-f917f24bface3c40.d: crates/sim/tests/sim_properties.rs
+
+/root/repo/target/release/deps/sim_properties-f917f24bface3c40: crates/sim/tests/sim_properties.rs
+
+crates/sim/tests/sim_properties.rs:

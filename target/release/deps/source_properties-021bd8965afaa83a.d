@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/source_properties-021bd8965afaa83a.d: crates/workload/tests/source_properties.rs
+
+/root/repo/target/release/deps/source_properties-021bd8965afaa83a: crates/workload/tests/source_properties.rs
+
+crates/workload/tests/source_properties.rs:

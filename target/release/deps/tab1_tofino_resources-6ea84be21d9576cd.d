@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab1_tofino_resources-6ea84be21d9576cd.d: crates/bench/benches/tab1_tofino_resources.rs
+
+/root/repo/target/release/deps/tab1_tofino_resources-6ea84be21d9576cd: crates/bench/benches/tab1_tofino_resources.rs
+
+crates/bench/benches/tab1_tofino_resources.rs:

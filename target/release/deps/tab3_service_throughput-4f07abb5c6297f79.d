@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab3_service_throughput-4f07abb5c6297f79.d: crates/bench/benches/tab3_service_throughput.rs
+
+/root/repo/target/release/deps/tab3_service_throughput-4f07abb5c6297f79: crates/bench/benches/tab3_service_throughput.rs
+
+crates/bench/benches/tab3_service_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab4_nic_latency-fae4127452734181.d: crates/bench/benches/tab4_nic_latency.rs
+
+/root/repo/target/release/deps/tab4_nic_latency-fae4127452734181: crates/bench/benches/tab4_nic_latency.rs
+
+crates/bench/benches/tab4_nic_latency.rs:

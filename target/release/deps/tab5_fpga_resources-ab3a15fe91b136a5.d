@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab5_fpga_resources-ab3a15fe91b136a5.d: crates/bench/benches/tab5_fpga_resources.rs
+
+/root/repo/target/release/deps/tab5_fpga_resources-ab3a15fe91b136a5: crates/bench/benches/tab5_fpga_resources.rs
+
+crates/bench/benches/tab5_fpga_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab6_gateway_comparison-ccbcc5d6ddfd7bec.d: crates/bench/benches/tab6_gateway_comparison.rs
+
+/root/repo/target/release/deps/tab6_gateway_comparison-ccbcc5d6ddfd7bec: crates/bench/benches/tab6_gateway_comparison.rs
+
+crates/bench/benches/tab6_gateway_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wire_properties-acdcccbbfc2da567.d: crates/packet/tests/wire_properties.rs
+
+/root/repo/target/release/deps/wire_properties-acdcccbbfc2da567: crates/packet/tests/wire_properties.rs
+
+crates/packet/tests/wire_properties.rs:

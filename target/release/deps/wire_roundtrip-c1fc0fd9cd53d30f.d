@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wire_roundtrip-c1fc0fd9cd53d30f.d: tests/wire_roundtrip.rs
+
+/root/repo/target/release/deps/wire_roundtrip-c1fc0fd9cd53d30f: tests/wire_roundtrip.rs
+
+tests/wire_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/containerized_az-cde7dc28b3b46a0b.d: examples/containerized_az.rs
+
+/root/repo/target/release/examples/containerized_az-cde7dc28b3b46a0b: examples/containerized_az.rs
+
+examples/containerized_az.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_injection-2a73aca98a18dc8d.d: examples/fault_injection.rs
+
+/root/repo/target/release/examples/fault_injection-2a73aca98a18dc8d: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heavy_hitter-d43be546a199dcf1.d: examples/heavy_hitter.rs
+
+/root/repo/target/release/examples/heavy_hitter-d43be546a199dcf1: examples/heavy_hitter.rs
+
+examples/heavy_hitter.rs:

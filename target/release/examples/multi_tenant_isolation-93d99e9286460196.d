@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_tenant_isolation-93d99e9286460196.d: examples/multi_tenant_isolation.rs
+
+/root/repo/target/release/examples/multi_tenant_isolation-93d99e9286460196: examples/multi_tenant_isolation.rs
+
+examples/multi_tenant_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/packet_walkthrough-339cbb67690b75c4.d: examples/packet_walkthrough.rs
+
+/root/repo/target/release/examples/packet_walkthrough-339cbb67690b75c4: examples/packet_walkthrough.rs
+
+examples/packet_walkthrough.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2f9cdf8f0a3bc5c5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2f9cdf8f0a3bc5c5: examples/quickstart.rs
+
+examples/quickstart.rs:

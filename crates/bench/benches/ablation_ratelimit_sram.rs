@@ -2,8 +2,8 @@
 //! rescue.
 //!
 //! Two claims beyond Fig. 13/14: (a) the two-stage scheme meters one
-//! million tenants in ~2 MB of SRAM where naive per-tenant meters need
-//! >200 MB (100× reduction) and simply do not fit the FPGA; (b) an
+//! million tenants in ~2 MB of SRAM where naive per-tenant meters need over
+//! 200 MB (100× reduction) and simply do not fit the FPGA; (b) an
 //! innocent tenant that shares both the color entry and the meter entry
 //! with a dominant tenant is rescued "within a few seconds" once sampling
 //! promotes the dominant tenant to the pre_meter.

@@ -56,7 +56,7 @@ fn main() {
         assert!(engine.install(flow(i), t0), "hot flows fit");
     }
     let zipf = Zipf::new(n_flows, 1.0);
-    let mut rng = SimRng::seed_from(0x0FF1_0AD);
+    let mut rng = SimRng::seed_from(0x00FF_10AD);
     let packets = 2_000_000u64;
     let mut offloaded = 0u64;
     for p in 0..packets {

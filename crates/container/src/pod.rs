@@ -85,6 +85,11 @@ impl GwPodSpec {
     pub fn reorder_queues(&self) -> usize {
         (self.data_cores / 6).clamp(1, 8)
     }
+
+    /// Shorthand for the role's service kind.
+    pub fn service(&self) -> ServiceKind {
+        self.role.service()
+    }
 }
 
 #[cfg(test)]
@@ -129,12 +134,5 @@ mod tests {
             let _ = role.service(); // total function, no panics
         }
         assert_eq!(GwRole::ALL.len(), 8);
-    }
-}
-
-impl GwPodSpec {
-    /// Shorthand for the role's service kind.
-    pub fn service(&self) -> ServiceKind {
-        self.role.service()
     }
 }

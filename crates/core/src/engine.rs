@@ -18,6 +18,7 @@
 use albatross_sim::SimTime;
 
 use albatross_fpga::pkt::NicPacket;
+use albatross_fpga::PktBurst;
 
 use crate::dispatch::{DispatchError, PlbDispatcher};
 use crate::reorder::{CpuReturnOutcome, ReorderConfig, ReorderQueue, ReorderRelease, ReorderStats};
@@ -56,6 +57,73 @@ impl Egress {
         match self {
             Egress::InOrder(p) | Egress::OutOfOrder(p) => p,
         }
+    }
+
+    /// The packet inside, by value.
+    pub fn into_packet(self) -> NicPacket {
+        match self {
+            Egress::InOrder(p) | Egress::OutOfOrder(p) => p,
+        }
+    }
+
+    /// True when the packet left in its arrival order.
+    pub fn in_order(&self) -> bool {
+        matches!(self, Egress::InOrder(_))
+    }
+}
+
+/// Caller-owned scratch buffer for egress packets — the burst datapath's
+/// counterpart to the allocating `Vec<Egress>` returns. Allocate one up
+/// front, hand it to [`PlbEngine::poll_into`] / [`PlbEngine::cpu_return_into`]
+/// each cycle, and [`EgressBuf::drain`] it afterwards: steady state performs
+/// no allocation because the backing storage is reused.
+#[derive(Debug, Default)]
+pub struct EgressBuf {
+    items: Vec<Egress>,
+}
+
+impl EgressBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer with room for `cap` egresses before regrowth.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            items: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Egresses currently buffered.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Buffered egresses in release order.
+    pub fn as_slice(&self) -> &[Egress] {
+        &self.items
+    }
+
+    /// Empties the buffer, keeping the backing storage.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Drains the buffered egresses in release order, keeping the backing
+    /// storage for reuse.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Egress> {
+        self.items.drain(..)
+    }
+
+    /// Unwraps into the backing vector.
+    pub fn into_vec(self) -> Vec<Egress> {
+        self.items
     }
 }
 
@@ -103,6 +171,11 @@ pub struct PlbEngine {
     /// [`Self::take_timeouts`] call — the signal the NIC uses to reap
     /// retained payloads of header-only packets.
     recent_timeouts: Vec<(usize, u32)>,
+    /// Reusable scratch for queue drains (keeps the burst path
+    /// allocation-free in steady state).
+    release_scratch: Vec<ReorderRelease>,
+    /// Reusable scratch for burst dispatch outcomes.
+    dispatch_scratch: Vec<Result<crate::dispatch::DispatchOutcome, DispatchError>>,
 }
 
 impl PlbEngine {
@@ -122,6 +195,8 @@ impl PlbEngine {
             auto_fallback: cfg.auto_fallback_hol_timeouts,
             fallbacks: 0,
             recent_timeouts: Vec::new(),
+            release_scratch: Vec::new(),
+            dispatch_scratch: Vec::new(),
         }
     }
 
@@ -129,6 +204,12 @@ impl PlbEngine {
     /// the last call (for payload-buffer reaping in header-only mode).
     pub fn take_timeouts(&mut self) -> Vec<(usize, u32)> {
         std::mem::take(&mut self.recent_timeouts)
+    }
+
+    /// Like [`Self::take_timeouts`] but appends into a caller-provided
+    /// buffer instead of allocating a fresh vector.
+    pub fn take_timeouts_into(&mut self, out: &mut Vec<(usize, u32)>) {
+        out.append(&mut self.recent_timeouts);
     }
 
     /// Current mode.
@@ -174,6 +255,40 @@ impl PlbEngine {
         }
     }
 
+    /// Dispatches a whole ingress burst, appending one decision per packet
+    /// to `out` (same order as the burst). The round-robin spray and PSN
+    /// assignment run vectorized over the batch via
+    /// [`PlbDispatcher::dispatch_burst`]; the decision sequence is identical
+    /// to calling [`Self::ingress`] per packet.
+    pub fn ingress_burst(
+        &mut self,
+        burst: &mut PktBurst,
+        now: SimTime,
+        out: &mut Vec<IngressDecision>,
+    ) {
+        if self.mode == LbMode::Rss || self.auto_fallback.is_some() {
+            // RSS steers per-flow, and an armed auto-fallback may flip the
+            // mode mid-burst — both must see packets one at a time to match
+            // the scalar path exactly.
+            for pkt in burst.as_mut_slice() {
+                let decision = self.ingress(pkt, now);
+                out.push(decision);
+            }
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.dispatch_scratch);
+        scratch.clear();
+        self.dispatcher
+            .dispatch_burst(burst.as_mut_slice(), &mut self.queues, now, &mut scratch);
+        for res in scratch.drain(..) {
+            out.push(match res {
+                Ok(o) => IngressDecision::ToCore(o.core),
+                Err(DispatchError::OrdqFull { .. }) => IngressDecision::Dropped,
+            });
+        }
+        self.dispatch_scratch = scratch;
+    }
+
     /// Handles a packet returned by a data core.
     ///
     /// `payload_available` is consulted only for header-only packets that
@@ -184,40 +299,95 @@ impl PlbEngine {
         payload_available: bool,
         now: SimTime,
     ) -> Vec<Egress> {
+        let mut buf = EgressBuf::new();
+        self.cpu_return_into(pkt, payload_available, now, &mut buf);
+        buf.items
+    }
+
+    /// [`Self::cpu_return`] draining into a caller-owned buffer: the burst
+    /// datapath's allocation-free variant.
+    pub fn cpu_return_into(
+        &mut self,
+        pkt: NicPacket,
+        payload_available: bool,
+        now: SimTime,
+        out: &mut EgressBuf,
+    ) {
         let Some(meta) = pkt.meta else {
             // RSS-path packet: no reorder machinery involved.
-            return vec![Egress::InOrder(pkt)];
+            out.items.push(Egress::InOrder(pkt));
+            return;
         };
         let ordq = meta.ordq as usize;
-        let mut out = Vec::new();
         match self.queues[ordq].cpu_return(pkt, payload_available) {
             CpuReturnOutcome::Accepted => {}
-            CpuReturnOutcome::BestEffort(p) => out.push(Egress::OutOfOrder(p)),
+            CpuReturnOutcome::BestEffort(p) => out.items.push(Egress::OutOfOrder(p)),
             CpuReturnOutcome::HeaderDropped | CpuReturnOutcome::AlreadyReleased => {}
         }
-        self.drain(ordq, now, &mut out);
-        out
+        self.drain(ordq, now, out);
+    }
+
+    /// Returns a whole burst of processed packets, draining every release
+    /// they unlock into `out`. Within one order-preserving queue the release
+    /// sequence matches per-packet [`Self::cpu_return_into`] calls exactly;
+    /// across queues the burst drains in queue-index order (one pass instead
+    /// of one per packet), which may interleave differently than scalar
+    /// returns that alternate between queues.
+    pub fn cpu_return_burst(
+        &mut self,
+        burst: &mut PktBurst,
+        payload_available: bool,
+        now: SimTime,
+        out: &mut EgressBuf,
+    ) {
+        for pkt in burst.drain() {
+            let Some(meta) = pkt.meta else {
+                out.items.push(Egress::InOrder(pkt));
+                continue;
+            };
+            let ordq = meta.ordq as usize;
+            match self.queues[ordq].cpu_return(pkt, payload_available) {
+                CpuReturnOutcome::Accepted => {}
+                CpuReturnOutcome::BestEffort(p) => out.items.push(Egress::OutOfOrder(p)),
+                CpuReturnOutcome::HeaderDropped | CpuReturnOutcome::AlreadyReleased => {}
+            }
+        }
+        // One drain pass over the queues covers every release the burst
+        // unlocked (drain is idempotent once a queue is exhausted).
+        for ordq in 0..self.queues.len() {
+            self.drain(ordq, now, out);
+        }
     }
 
     /// Timeout-driven reorder check over all queues.
     pub fn poll(&mut self, now: SimTime) -> Vec<Egress> {
-        let mut out = Vec::new();
-        for ordq in 0..self.queues.len() {
-            self.drain(ordq, now, &mut out);
-        }
-        self.maybe_auto_fallback();
-        out
+        let mut buf = EgressBuf::new();
+        self.poll_into(now, &mut buf);
+        buf.items
     }
 
-    fn drain(&mut self, ordq: usize, now: SimTime, out: &mut Vec<Egress>) {
-        for rel in self.queues[ordq].poll(now) {
+    /// [`Self::poll`] draining into a caller-owned buffer: the burst
+    /// datapath's allocation-free variant.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut EgressBuf) {
+        for ordq in 0..self.queues.len() {
+            self.drain(ordq, now, out);
+        }
+        self.maybe_auto_fallback();
+    }
+
+    fn drain(&mut self, ordq: usize, now: SimTime, out: &mut EgressBuf) {
+        let mut scratch = std::mem::take(&mut self.release_scratch);
+        scratch.clear();
+        self.queues[ordq].poll_into(now, &mut scratch);
+        for rel in scratch.drain(..) {
             match rel {
-                ReorderRelease::InOrder(p) => out.push(Egress::InOrder(p)),
-                ReorderRelease::BestEffortAlias(p) => out.push(Egress::OutOfOrder(p)),
+                ReorderRelease::InOrder(p) => out.items.push(Egress::InOrder(p)),
+                ReorderRelease::BestEffortAlias(p) => out.items.push(Egress::OutOfOrder(p)),
                 ReorderRelease::TimedOut { psn } => self.recent_timeouts.push((ordq, psn)),
                 ReorderRelease::Dropped { .. } => {}
             }
         }
+        self.release_scratch = scratch;
     }
 
     fn maybe_auto_fallback(&mut self) {
@@ -437,6 +607,109 @@ mod tests {
         let mut p = pkt(1, 9);
         e.ingress(&mut p, SimTime::ZERO);
         assert!(p.meta.is_some(), "PLB mode must tag meta again");
+    }
+
+    #[test]
+    fn burst_ingress_matches_scalar_decisions() {
+        let mut scalar = engine(4, 2);
+        let mut burst = engine(4, 2);
+        let t = SimTime::from_micros(3);
+        let mut scalar_pkts: Vec<NicPacket> = (0..16).map(|i| pkt(i, 1000 + i as u16)).collect();
+        let scalar_out: Vec<IngressDecision> = scalar_pkts
+            .iter_mut()
+            .map(|p| scalar.ingress(p, t))
+            .collect();
+        let mut b = PktBurst::with_capacity(16);
+        for i in 0..16 {
+            b.push(pkt(i, 1000 + i as u16)).unwrap();
+        }
+        let mut burst_out = Vec::new();
+        burst.ingress_burst(&mut b, t, &mut burst_out);
+        assert_eq!(scalar_out, burst_out);
+        for (a, p) in scalar_pkts.iter().zip(b.as_slice()) {
+            assert_eq!(
+                a.meta.map(|m| (m.psn, m.ordq)),
+                p.meta.map(|m| (m.psn, m.ordq))
+            );
+        }
+    }
+
+    #[test]
+    fn burst_ingress_in_rss_mode_steers_per_flow() {
+        let mut e = engine(4, 2);
+        e.fallback_to_rss();
+        let mut b = PktBurst::with_capacity(4);
+        for i in 0..4 {
+            b.push(pkt(i, 1234)).unwrap(); // one flow
+        }
+        let mut out = Vec::new();
+        e.ingress_burst(&mut b, SimTime::ZERO, &mut out);
+        let IngressDecision::ToCore(core) = out[0] else {
+            panic!("RSS never drops at ingress");
+        };
+        assert!(out.iter().all(|&d| d == IngressDecision::ToCore(core)));
+        assert!(b.as_slice().iter().all(|p| p.meta.is_none()));
+    }
+
+    #[test]
+    fn cpu_return_burst_single_ordq_matches_scalar() {
+        let mut scalar = engine(4, 1);
+        let mut burst = engine(4, 1);
+        let t = SimTime::ZERO;
+        let mut scalar_pkts = Vec::new();
+        let mut b = PktBurst::with_capacity(8);
+        for i in 0..8 {
+            let mut p = pkt(i, 5000);
+            scalar.ingress(&mut p, t);
+            scalar_pkts.push(p);
+            let mut q = pkt(i, 5000);
+            burst.ingress(&mut q, t);
+            b.push(q).unwrap();
+        }
+        scalar_pkts.reverse(); // worst-case return disorder
+        let scalar_ids: Vec<u64> = scalar_pkts
+            .into_iter()
+            .flat_map(|p| scalar.cpu_return(p, true, t + 10_000))
+            .map(|eg| eg.packet().id)
+            .collect();
+        // Reverse the burst contents the same way.
+        let mut rev: Vec<NicPacket> = b.drain().collect();
+        rev.reverse();
+        for p in rev {
+            b.push(p).unwrap();
+        }
+        let mut buf = EgressBuf::with_capacity(8);
+        burst.cpu_return_burst(&mut b, true, t + 10_000, &mut buf);
+        let burst_ids: Vec<u64> = buf.drain().map(|eg| eg.into_packet().id).collect();
+        assert_eq!(scalar_ids, burst_ids);
+        assert!(b.is_empty(), "cpu_return_burst must consume the burst");
+        assert_eq!(scalar.total_in_order(), burst.total_in_order());
+    }
+
+    #[test]
+    fn poll_into_reuses_caller_buffer_and_collects_timeouts() {
+        let mut e = PlbEngine::new(PlbEngineConfig {
+            data_cores: 2,
+            ordqs: 2,
+            reorder: ReorderConfig {
+                depth: 64,
+                timeout_ns: 1_000,
+            },
+            mode: LbMode::Plb,
+            auto_fallback_hol_timeouts: None,
+        });
+        let t = SimTime::ZERO;
+        for i in 0..6 {
+            e.ingress(&mut pkt(i, 1000 + i as u16), t);
+        }
+        let mut buf = EgressBuf::new();
+        e.poll_into(SimTime::from_millis(1), &mut buf);
+        assert!(buf.is_empty(), "lost packets egress nothing");
+        let mut timeouts = Vec::new();
+        e.take_timeouts_into(&mut timeouts);
+        assert_eq!(timeouts.len(), 6);
+        e.take_timeouts_into(&mut timeouts);
+        assert_eq!(timeouts.len(), 6, "drained timeouts must not reappear");
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod reorder;
 pub mod rss;
 
 pub use dispatch::{DispatchError, DispatchOutcome, PlbDispatcher};
-pub use engine::{LbMode, PlbEngine};
+pub use engine::{Egress, EgressBuf, IngressDecision, LbMode, PlbEngine, PlbEngineConfig};
 pub use ratelimit::{RateLimiterConfig, TwoStageRateLimiter, Verdict};
 pub use reorder::{CpuReturnOutcome, ReorderConfig, ReorderQueue, ReorderRelease};
 pub use rss::RssSteering;

@@ -39,12 +39,38 @@ pub enum Verdict {
 }
 
 impl Verdict {
+    /// Number of verdict variants (size of the per-verdict counter bank).
+    pub const COUNT: usize = 6;
+
+    /// All verdicts, in counter-bank order.
+    pub const ALL: [Verdict; Verdict::COUNT] = [
+        Verdict::PassBypass,
+        Verdict::PassPreMeter,
+        Verdict::PassColor,
+        Verdict::PassMeter,
+        Verdict::DropPreMeter,
+        Verdict::DropMeter,
+    ];
+
     /// True when the packet may proceed to the CPU.
     pub fn passed(self) -> bool {
         matches!(
             self,
             Verdict::PassBypass | Verdict::PassPreMeter | Verdict::PassColor | Verdict::PassMeter
         )
+    }
+
+    /// Dense index into the per-verdict counter bank — what the hardware
+    /// uses to bump a fixed register file instead of a hashed map.
+    pub fn index(self) -> usize {
+        match self {
+            Verdict::PassBypass => 0,
+            Verdict::PassPreMeter => 1,
+            Verdict::PassColor => 2,
+            Verdict::PassMeter => 3,
+            Verdict::DropPreMeter => 4,
+            Verdict::DropMeter => 5,
+        }
     }
 }
 
@@ -124,8 +150,9 @@ pub struct TwoStageRateLimiter {
     /// Heavy-hitter candidate sketch (hardware: a small CAM).
     candidates: Vec<Candidate>,
     window_start: SimTime,
-    /// Per-verdict counters.
-    counts: HashMap<Verdict, u64>,
+    /// Per-verdict counter bank, indexed by [`Verdict::index`] — a fixed
+    /// register file, not a hashed map, as in the hardware.
+    counts: [u64; Verdict::COUNT],
     promotions: u64,
 }
 
@@ -154,7 +181,7 @@ impl TwoStageRateLimiter {
             pre_meter_free: (0..cfg.pre_entries).rev().collect(),
             candidates: vec![Candidate::default(); cfg.pre_entries],
             window_start: SimTime::ZERO,
-            counts: HashMap::new(),
+            counts: [0; Verdict::COUNT],
             promotions: 0,
             cfg,
         }
@@ -226,7 +253,7 @@ impl TwoStageRateLimiter {
     pub fn process(&mut self, vni: u32, now: SimTime, rng: &mut SimRng) -> Verdict {
         self.roll_window(now);
         let verdict = self.decide(vni, now, rng);
-        *self.counts.entry(verdict).or_insert(0) += 1;
+        self.counts[verdict.index()] += 1;
         verdict
     }
 
@@ -261,20 +288,16 @@ impl TwoStageRateLimiter {
 
     /// Count of packets with the given verdict.
     pub fn count(&self, v: Verdict) -> u64 {
-        self.counts.get(&v).copied().unwrap_or(0)
+        self.counts[v.index()]
     }
 
     /// Packets passed, all stages.
     pub fn total_passed(&self) -> u64 {
-        [
-            Verdict::PassBypass,
-            Verdict::PassPreMeter,
-            Verdict::PassColor,
-            Verdict::PassMeter,
-        ]
-        .iter()
-        .map(|&v| self.count(v))
-        .sum()
+        Verdict::ALL
+            .iter()
+            .filter(|v| v.passed())
+            .map(|&v| self.count(v))
+            .sum()
     }
 
     /// Packets dropped, all stages.
@@ -489,6 +512,14 @@ mod tests {
         assert!(!rl.install_heavy_hitter(99), "9th slot must be refused");
         // Re-installing an existing heavy hitter is fine.
         assert!(rl.install_heavy_hitter(3));
+    }
+
+    #[test]
+    fn verdict_index_is_dense_and_matches_all_order() {
+        for (i, v) in Verdict::ALL.iter().enumerate() {
+            assert_eq!(v.index(), i);
+        }
+        assert_eq!(Verdict::ALL.len(), Verdict::COUNT);
     }
 
     #[test]

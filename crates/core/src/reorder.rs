@@ -281,8 +281,19 @@ impl ReorderQueue {
     /// The hardware runs this continuously at the FPGA clock; the simulation
     /// calls it after each CPU return and on timeout deadlines
     /// ([`Self::next_timeout`]).
+    ///
+    /// Allocates a fresh `Vec` per call; the burst datapath uses
+    /// [`Self::poll_into`] with caller-owned scratch instead.
     pub fn poll(&mut self, now: SimTime) -> Vec<ReorderRelease> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::poll`] draining into caller-owned scratch — the allocation-
+    /// free primitive the burst datapath is built on. Releases are appended
+    /// to `out` in release order.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<ReorderRelease>) {
         while let Some(head) = self.fifo.front().copied() {
             let idx = (head.psn & self.mask) as usize;
             let entry = self.bitmap[idx];
@@ -328,7 +339,6 @@ impl ReorderQueue {
             // Case 2: busy-wait.
             break;
         }
-        out
     }
 
     /// When the current head will time out, if a head exists.

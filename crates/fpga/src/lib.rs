@@ -19,6 +19,8 @@
 //!   priority / RSS / PLB paths with full or header-only delivery.
 //! * [`basic`] — VLAN encap/decap and the header-payload split payload
 //!   buffer.
+//! * [`burst`] — the [`burst::PktBurst`] descriptor batch behind the
+//!   DPDK-style burst datapath (fixed capacity, reusable backing storage).
 //! * [`dma`] — the PCIe DMA model (latency + bytes-moved accounting, which
 //!   is where header-only delivery pays off).
 //! * [`sriov`] — PF/VF partitioning that gives each GW pod its own queues.
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod basic;
+pub mod burst;
 pub mod dma;
 pub mod offload;
 pub mod pipeline;
@@ -41,6 +44,7 @@ pub mod resource;
 pub mod sriov;
 pub mod tofino;
 
+pub use burst::{BurstConfig, PktBurst};
 pub use pipeline::{NicPipelineLatency, StageBreakdown};
 pub use pkt::{DeliveryMode, NicPacket};
 pub use pktdir::{PacketClass, PktDir};

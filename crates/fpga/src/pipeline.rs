@@ -103,10 +103,12 @@ impl NicPipelineLatency {
 }
 
 /// Records a packet's per-stage transit timestamps (the Tab. 4 measurement
-/// instrument).
+/// instrument). Records are count-weighted so a whole burst of identical
+/// transits costs one record, not one per packet.
 #[derive(Debug, Clone, Default)]
 pub struct StageBreakdown {
-    records: Vec<(Stage, Direction, u64)>,
+    /// `(stage, direction, ns, packet count)` — one entry per record call.
+    records: Vec<(Stage, Direction, u64, u64)>,
 }
 
 impl StageBreakdown {
@@ -115,23 +117,33 @@ impl StageBreakdown {
         Self::default()
     }
 
-    /// Records that `stage` took `ns` in `dir`.
+    /// Records that `stage` took `ns` in `dir` for one packet.
     pub fn record(&mut self, stage: Stage, dir: Direction, ns: u64) {
-        self.records.push((stage, dir, ns));
+        self.record_n(stage, dir, ns, 1);
     }
 
-    /// Average latency of `stage` in `dir` over all recorded transits.
+    /// Records that `stage` took `ns` in `dir` for each of `n` packets —
+    /// the amortized bookkeeping path of burst transits.
+    pub fn record_n(&mut self, stage: Stage, dir: Direction, ns: u64, n: u64) {
+        if n > 0 {
+            self.records.push((stage, dir, ns, n));
+        }
+    }
+
+    /// Average latency of `stage` in `dir` over all recorded transits,
+    /// weighted by each record's packet count.
     pub fn mean_ns(&self, stage: Stage, dir: Direction) -> f64 {
-        let xs: Vec<u64> = self
+        let (sum, count) = self
             .records
             .iter()
-            .filter(|(s, d, _)| *s == stage && *d == dir)
-            .map(|&(_, _, ns)| ns)
-            .collect();
-        if xs.is_empty() {
+            .filter(|(s, d, _, _)| *s == stage && *d == dir)
+            .fold((0u128, 0u64), |(sum, count), &(_, _, ns, n)| {
+                (sum + u128::from(ns) * u128::from(n), count + n)
+            });
+        if count == 0 {
             0.0
         } else {
-            xs.iter().sum::<u64>() as f64 / xs.len() as f64
+            sum as f64 / count as f64
         }
     }
 
@@ -149,10 +161,24 @@ pub fn transit(
     start: SimTime,
     breakdown: &mut StageBreakdown,
 ) -> SimTime {
+    transit_burst(lat, dir, start, 1, breakdown)
+}
+
+/// Walks a burst of `n` packets through all stages in `dir` at `start`.
+/// The fixed stage latencies apply to every packet identically, so the
+/// bookkeeping is amortized to one record per stage regardless of `n`;
+/// returns the common exit time.
+pub fn transit_burst(
+    lat: &NicPipelineLatency,
+    dir: Direction,
+    start: SimTime,
+    n: u64,
+    breakdown: &mut StageBreakdown,
+) -> SimTime {
     let mut now = start;
     for &stage in &Stage::ALL {
         let ns = lat.stage_ns(stage, dir);
-        breakdown.record(stage, dir, ns);
+        breakdown.record_n(stage, dir, ns, n);
         now += ns;
     }
     now
@@ -211,6 +237,29 @@ mod tests {
         assert_eq!(bd.mean_ns(Stage::Plb, Direction::Tx), 350.0);
         assert_eq!(bd.total_mean_ns(Direction::Rx), 3_900.0);
         assert_eq!(bd.total_mean_ns(Direction::Tx), 4_170.0);
+    }
+
+    #[test]
+    fn burst_transit_matches_scalar_bookkeeping() {
+        let l = NicPipelineLatency::production();
+        let mut scalar = StageBreakdown::new();
+        let mut burst = StageBreakdown::new();
+        for i in 0..32 {
+            transit(&l, Direction::Rx, SimTime::from_micros(i), &mut scalar);
+        }
+        let t0 = SimTime::from_micros(0);
+        let exit = transit_burst(&l, Direction::Rx, t0, 32, &mut burst);
+        assert_eq!(exit - t0, l.total_ns(Direction::Rx));
+        for &s in &Stage::ALL {
+            assert_eq!(
+                scalar.mean_ns(s, Direction::Rx),
+                burst.mean_ns(s, Direction::Rx)
+            );
+        }
+        assert_eq!(
+            scalar.total_mean_ns(Direction::Rx),
+            burst.total_mean_ns(Direction::Rx)
+        );
     }
 
     #[test]

@@ -42,10 +42,10 @@ pub struct DirRule {
 
 impl DirRule {
     fn matches(&self, pkt: &NicPacket) -> bool {
-        self.dst_port.map_or(true, |p| pkt.tuple.dst_port == p)
-            && self.protocol.map_or(true, |pr| pkt.tuple.protocol == pr)
-            && self.vni.map_or(true, |v| pkt.vni == Some(v))
-            && self.is_protocol_pkt.map_or(true, |f| pkt.protocol == f)
+        self.dst_port.is_none_or(|p| pkt.tuple.dst_port == p)
+            && self.protocol.is_none_or(|pr| pkt.tuple.protocol == pr)
+            && self.vni.is_none_or(|v| pkt.vni == Some(v))
+            && self.is_protocol_pkt.is_none_or(|f| pkt.protocol == f)
     }
 }
 

@@ -49,13 +49,13 @@ impl AclRule {
     }
 
     fn matches(&self, t: &FiveTuple) -> bool {
-        self.src.map_or(true, |p| p.contains(t.src_ip))
-            && self.dst.map_or(true, |p| p.contains(t.dst_ip))
+        self.src.is_none_or(|p| p.contains(t.src_ip))
+            && self.dst.is_none_or(|p| p.contains(t.dst_ip))
             && self
                 .dst_ports
                 .as_ref()
-                .map_or(true, |r| r.contains(&t.dst_port))
-            && self.protocol.map_or(true, |p| t.protocol == p)
+                .is_none_or(|r| r.contains(&t.dst_port))
+            && self.protocol.is_none_or(|p| t.protocol == p)
     }
 }
 

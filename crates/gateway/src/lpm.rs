@@ -34,6 +34,7 @@ impl Prefix {
     }
 
     /// Prefix length.
+    #[allow(clippy::len_without_is_empty)] // a /0 prefix is the default route, not "empty"
     pub fn len(&self) -> u8 {
         self.len
     }

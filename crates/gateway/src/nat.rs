@@ -100,8 +100,10 @@ impl SnatTable {
                 } else {
                     port + 1
                 };
-                if !self.reverse.contains_key(&(ip, port)) {
-                    self.reverse.insert((ip, port), *tuple);
+                if let std::collections::hash_map::Entry::Vacant(slot) =
+                    self.reverse.entry((ip, port))
+                {
+                    slot.insert(*tuple);
                     return Some(NatBinding {
                         public_ip: ip,
                         public_port: port,

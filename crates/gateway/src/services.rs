@@ -197,7 +197,7 @@ impl ServicePipeline {
             if let Some(m) = self.acl_drop_modulus {
                 // The ACL is evaluated where it sits in the chain; denial
                 // aborts the remaining lookups.
-                if step.table == tables.acl && flow_hash % m == 0 {
+                if step.table == tables.acl && flow_hash.is_multiple_of(m) {
                     action = PacketAction::Drop;
                     break;
                 }
@@ -209,6 +209,26 @@ impl ServicePipeline {
         ProcessOutcome {
             latency_ns: latency,
             action,
+        }
+    }
+
+    /// Processes a burst of packets (one flow hash per packet) on `core`,
+    /// appending one outcome per packet to `out`. The lookup chains run in
+    /// packet order through the shared memory system, so the outcome
+    /// sequence is identical to per-packet [`Self::process`] calls — this
+    /// is the batched cost model the burst datapath charges in one go.
+    pub fn process_burst(
+        &self,
+        core: usize,
+        flow_hashes: &[u64],
+        tables: &CloudGatewayTables,
+        mem: &mut MemorySystem,
+        rng: &mut SimRng,
+        out: &mut Vec<ProcessOutcome>,
+    ) {
+        out.reserve(flow_hashes.len());
+        for &flow_hash in flow_hashes {
+            out.push(self.process(core, flow_hash, tables, mem, rng));
         }
     }
 }
@@ -325,6 +345,28 @@ mod tests {
         let a = base.process(0, 1, &t, &mut mem_a, &mut rng).latency_ns;
         let b = jittered.process(0, 1, &t, &mut mem_b, &mut rng).latency_ns;
         assert_eq!(b, a + 5_000);
+    }
+
+    #[test]
+    fn process_burst_matches_scalar_sequence() {
+        let t = tables_small();
+        let p = ServicePipeline::new(ServiceKind::VpcVpc, &t).with_acl_drop_modulus(4);
+        let mut mem_a = mem_small();
+        let mut mem_b = mem_small();
+        let mut rng_a = SimRng::seed_from(7);
+        let mut rng_b = SimRng::seed_from(7);
+        let hashes: Vec<u64> = (0..32).collect();
+        let scalar: Vec<ProcessOutcome> = hashes
+            .iter()
+            .map(|&h| p.process(0, h, &t, &mut mem_a, &mut rng_a))
+            .collect();
+        let mut burst = Vec::new();
+        p.process_burst(0, &hashes, &t, &mut mem_b, &mut rng_b, &mut burst);
+        assert_eq!(scalar.len(), burst.len());
+        for (a, b) in scalar.iter().zip(&burst) {
+            assert_eq!(a.latency_ns, b.latency_ns);
+            assert_eq!(a.action, b.action);
+        }
     }
 
     #[test]

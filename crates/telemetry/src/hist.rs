@@ -103,6 +103,28 @@ impl LatencyHistogram {
         }
     }
 
+    /// Records every value in `values` — the bulk-observe path of the burst
+    /// datapath. Bucket increments still happen per value, but the
+    /// count/sum/min/max bookkeeping is committed once per batch.
+    pub fn record_batch(&mut self, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut sum = 0u128;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for &v in values {
+            self.buckets[Self::bucket_index(v)] += 1;
+            sum += v as u128;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        self.count += values.len() as u64;
+        self.sum += sum;
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
+    }
+
     /// Total number of recorded values.
     pub fn count(&self) -> u64 {
         self.count
@@ -330,6 +352,26 @@ mod tests {
         assert_eq!(a.count(), b.count());
         assert_eq!(a.mean(), b.mean());
         assert_eq!(a.percentile(0.5), b.percentile(0.5));
+    }
+
+    #[test]
+    fn record_batch_matches_repeated_record() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let values: Vec<u64> = (0..256u64).map(|i| i * i * 37 + 3).collect();
+        a.record_batch(&values);
+        for &v in &values {
+            b.record(v);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.mean(), b.mean());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile(q), b.percentile(q));
+        }
+        a.record_batch(&[]); // empty batch is a no-op
+        assert_eq!(a.count(), b.count());
     }
 
     #[test]

@@ -21,7 +21,7 @@ impl TimeSeries {
     /// builds only, since harnesses always sample from a monotonic clock).
     pub fn push(&mut self, time_ns: u64, value: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(t, _)| t <= time_ns),
+            self.points.last().is_none_or(|&(t, _)| t <= time_ns),
             "time series must be sampled in order"
         );
         self.points.push((time_ns, value));

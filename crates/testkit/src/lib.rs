@@ -15,6 +15,11 @@
 //!   median/p99 per-iteration report.
 //! * **`rand` in tests** → [`SimRng`] re-exported here for convenience.
 //!
+//! It also hosts [`alloc::CountingAllocator`], the `#[global_allocator]`
+//! hook behind the burst datapath's zero-steady-state-allocation tests
+//! (this crate is the one place in the workspace allowed to use `unsafe`,
+//! which a `GlobalAlloc` impl requires).
+//!
 //! # Writing a property test
 //!
 //! ```ignore
@@ -32,10 +37,12 @@
 //! Set `TESTKIT_SEED=<u64>` to rerun every property with a different (or a
 //! failure report's) stream.
 
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 
 pub use albatross_sim::SimRng;
+pub use alloc::CountingAllocator;
 pub use bench::{BenchStats, BenchTimer};
 
 /// Everything a property-test file needs.

@@ -722,14 +722,9 @@ mod tests {
     fn integer_shrinking_reaches_lower_bound() {
         let strat = 5u32..1000;
         let mut v = 700u32;
-        loop {
-            match strat.shrink(&v).first() {
-                Some(&c) => {
-                    assert!(c < v, "shrink must strictly decrease");
-                    v = c;
-                }
-                None => break,
-            }
+        while let Some(&c) = strat.shrink(&v).first() {
+            assert!(c < v, "shrink must strictly decrease");
+            v = c;
         }
         assert_eq!(v, 5);
     }

@@ -26,10 +26,19 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy (offline, all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo build (release, offline, all targets)"
 cargo build --release --offline --workspace --benches
 
 echo "==> cargo test (offline)"
 cargo test -q --offline --release --workspace
+
+echo "==> scalar-vs-burst datapath smoke bench"
+# The burst refactor's perf claim, exercised on every CI run: the burst
+# datapath must actually run (regressions in speedup are judged from the
+# printed report, not gated here — CI machines are too noisy for a ratio).
+cargo bench --offline -p albatross-bench --bench micro -- burst_datapath
 
 echo "==> CI green"

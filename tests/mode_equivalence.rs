@@ -2,11 +2,18 @@
 //! the headline numbers of several experiments together, so a change that
 //! silently breaks one model surfaces as a cross-check failure here.
 
-use albatross::container::simrun::{PodSimulation, SimConfig};
-use albatross::core::engine::LbMode;
+use albatross::container::simrun::{PodSimulation, SimConfig, SimReport};
+use albatross::core::engine::{LbMode, PlbEngine, PlbEngineConfig};
+use albatross::core::reorder::ReorderConfig;
+use albatross::fpga::pkt::NicPacket;
+use albatross::fpga::PktBurst;
 use albatross::gateway::services::ServiceKind;
-use albatross::sim::SimTime;
+use albatross::packet::flow::IpProtocol;
+use albatross::packet::FiveTuple;
+use albatross::sim::{LatencyModel, SimTime};
 use albatross::workload::{ConstantRateSource, FlowSet};
+use albatross_testkit::prelude::*;
+use std::fmt::Write as _;
 
 fn capacity(mode: LbMode, service: ServiceKind, cores: usize, seed: u64) -> f64 {
     let mut cfg = SimConfig::new(cores, service);
@@ -105,6 +112,194 @@ fn reorder_timeout_bounds_worst_case_added_latency() {
         r.latency.max() < 130_000,
         "HOL-delayed packet exceeded the timeout bound: {} ns",
         r.latency.max()
+    );
+}
+
+/// Renders every field of the report, floats as raw bits — same full-fidelity
+/// dump as `determinism_telemetry.rs`, reused here to hold the burst datapath
+/// to bit-identity rather than mere counter equality.
+fn dump(r: &SimReport) -> String {
+    let mut out = String::new();
+    let f = |v: f64| format!("f64:{:#018x}", v.to_bits());
+    writeln!(out, "measured_secs {}", f(r.measured_secs)).unwrap();
+    writeln!(out, "offered {}", r.offered).unwrap();
+    writeln!(out, "processed {}", r.processed).unwrap();
+    writeln!(out, "transmitted {}", r.transmitted).unwrap();
+    writeln!(out, "in_order {}", r.in_order).unwrap();
+    writeln!(out, "out_of_order {}", r.out_of_order).unwrap();
+    writeln!(out, "dropped_ratelimit {}", r.dropped_ratelimit).unwrap();
+    writeln!(out, "dropped_ingress_full {}", r.dropped_ingress_full).unwrap();
+    writeln!(out, "dropped_rx_queue {}", r.dropped_rx_queue).unwrap();
+    writeln!(out, "dropped_acl {}", r.dropped_acl).unwrap();
+    writeln!(out, "hol_timeouts {}", r.hol_timeouts).unwrap();
+    writeln!(out, "drop_flag_releases {}", r.drop_flag_releases).unwrap();
+    writeln!(out, "headers_dropped {}", r.headers_dropped).unwrap();
+    writeln!(out, "payloads_reaped {}", r.payloads_reaped).unwrap();
+    writeln!(out, "pcie_rx_bytes {}", r.pcie_rx_bytes).unwrap();
+    writeln!(out, "pcie_tx_bytes {}", r.pcie_tx_bytes).unwrap();
+    writeln!(out, "cache_hit_rate {}", f(r.cache_hit_rate)).unwrap();
+
+    writeln!(
+        out,
+        "latency count={} min={} max={}",
+        r.latency.count(),
+        r.latency.min(),
+        r.latency.max()
+    )
+    .unwrap();
+    for (lo, count) in r.latency.nonempty_buckets() {
+        writeln!(out, "latency_bucket {lo} {count}").unwrap();
+    }
+
+    writeln!(out, "per_core_processed {:?}", r.per_core_processed).unwrap();
+
+    for core in 0..r.core_util.cores() {
+        write!(out, "core_util[{core}]").unwrap();
+        for &(t, v) in r.core_util.core(core).points() {
+            write!(out, " {t}:{}", f(v)).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    write!(out, "core_util_dispersion").unwrap();
+    for &(t, v) in r.core_util.dispersion().points() {
+        write!(out, " {t}:{}", f(v)).unwrap();
+    }
+    writeln!(out).unwrap();
+
+    let mut tenants: Vec<_> = r.tenant_delivered.iter().collect();
+    tenants.sort_by_key(|(vni, _)| **vni);
+    for (vni, meter) in tenants {
+        write!(out, "tenant {vni} total={}", meter.total()).unwrap();
+        for (t, rate) in meter.series() {
+            write!(out, " {t}:{}", f(rate)).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// A run of the full simulated datapath at the given burst size. With
+/// `jitter`, per-packet stack jitter forces real reordering and HOL
+/// timeouts; without it, service completions carry no extra latency, which
+/// is exactly the regime where the inner loop takes its inlined
+/// CPU-return shortcut — both halves of the burst machinery get exercised.
+fn burst_report(burst_size: usize, seed: u64, jitter: bool) -> SimReport {
+    let mut cfg = SimConfig::new(4, ServiceKind::VpcVpc);
+    cfg.seed = seed;
+    cfg.table_scale = 0.001;
+    cfg.cache_bytes = 8 * 1024 * 1024;
+    cfg.burst.burst_size = burst_size;
+    if jitter {
+        cfg.extra_jitter = Some(LatencyModel::Uniform {
+            lo: 100_000,
+            hi: 1_000_000,
+        });
+    }
+    let duration = SimTime::from_millis(10);
+    let mut src = ConstantRateSource::new(
+        FlowSet::generate(2_000, Some(21), seed),
+        2_000_000,
+        256,
+        SimTime::ZERO,
+        duration,
+    )
+    .with_random_flows(seed ^ 1);
+    PodSimulation::new(cfg).run(&mut src, SimTime::from_millis(14))
+}
+
+props! {
+    #![cases(4)]
+
+    /// The tentpole contract: bursting is a pure mechanical transform.
+    /// Any burst size must reproduce the scalar (`burst_size = 1`) run's
+    /// entire telemetry surface bit-for-bit — every histogram bucket,
+    /// utilization sample, and float bit.
+    fn burst_sizes_produce_bit_identical_telemetry(
+        seed in 1u64..500,
+        jitter in any::<bool>(),
+    ) {
+        let scalar = dump(&burst_report(1, seed, jitter));
+        let mid = dump(&burst_report(7, seed, jitter));
+        let dpdk = dump(&burst_report(32, seed, jitter));
+        assert_eq!(scalar, mid, "burst_size 7 diverged from scalar");
+        assert_eq!(scalar, dpdk, "burst_size 32 diverged from scalar");
+    }
+}
+
+fn golden_pkt(id: u64) -> NicPacket {
+    let tuple = FiveTuple {
+        src_ip: "192.0.2.1".parse().unwrap(),
+        dst_ip: "198.51.100.2".parse().unwrap(),
+        src_port: 1024 + id as u16,
+        dst_port: 443,
+        protocol: IpProtocol::Udp,
+    };
+    NicPacket::data(id, tuple, Some(42), 256, SimTime::ZERO)
+}
+
+/// Golden-sequence guard: the `(ordq, psn)` tags `plb_dispatch` assigns
+/// must not depend on whether packets arrive one at a time or in bursts,
+/// and must not drift across refactors (the literal prefix pins them).
+#[test]
+fn golden_psn_assignment_order_is_unchanged_under_bursting() {
+    let cfg = PlbEngineConfig {
+        data_cores: 4,
+        ordqs: 2,
+        reorder: ReorderConfig {
+            depth: 256,
+            timeout_ns: 100_000,
+        },
+        mode: LbMode::Plb,
+        auto_fallback_hol_timeouts: None,
+    };
+
+    // Scalar: one ingress call per packet.
+    let mut scalar_engine = PlbEngine::new(cfg.clone());
+    let mut scalar_tags = Vec::new();
+    for id in 0..24u64 {
+        let mut pkt = golden_pkt(id);
+        scalar_engine.ingress(&mut pkt, SimTime::ZERO);
+        let meta = pkt.meta.expect("PLB ingress must tag the descriptor");
+        scalar_tags.push((meta.ordq, meta.psn));
+    }
+
+    // Burst: the same packets through `ingress_burst` in chunks of 8.
+    let mut burst_engine = PlbEngine::new(cfg);
+    let mut burst_tags = Vec::new();
+    let mut decisions = Vec::new();
+    for chunk in 0..3u64 {
+        let mut burst = PktBurst::with_capacity(8);
+        for i in 0..8u64 {
+            burst.push(golden_pkt(chunk * 8 + i)).unwrap();
+        }
+        decisions.clear();
+        burst_engine.ingress_burst(&mut burst, SimTime::ZERO, &mut decisions);
+        assert_eq!(decisions.len(), 8);
+        for pkt in burst.drain() {
+            let meta = pkt.meta.expect("burst ingress must tag the descriptor");
+            burst_tags.push((meta.ordq, meta.psn));
+        }
+    }
+
+    assert_eq!(
+        scalar_tags, burst_tags,
+        "PSN assignment order changed under bursting"
+    );
+    // Pinned golden prefix: distinct flows alternate between the two ordqs
+    // and PSNs count up per queue from zero.
+    assert_eq!(
+        &scalar_tags[..8],
+        &[
+            (1, 0),
+            (0, 0),
+            (1, 1),
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (1, 3),
+            (0, 3)
+        ],
+        "golden (ordq, psn) prefix drifted"
     );
 }
 

@@ -45,7 +45,7 @@ use albatross_gateway::worker::DataCore;
 use albatross_mem::tables::CloudGatewayTables;
 use albatross_mem::{DramModel, MemorySystem, NumaBalancing, NumaTopology, Placement, SharedCache};
 use albatross_sim::{Engine, LatencyModel, SimRng, SimTime};
-use albatross_telemetry::{CoreUtilization, LatencyHistogram, RateMeter};
+use albatross_telemetry::{CoreUtilization, LatencyHistogram, RateMeter, TimeSeries};
 use albatross_workload::{PacketDesc, TrafficSource};
 
 /// Full configuration of one simulated pod.
@@ -191,6 +191,19 @@ pub struct SimReport {
     pub headers_dropped: u64,
     /// Payloads force-released by the timeout reaper.
     pub payloads_reaped: u64,
+    /// Heavy hitters promoted into pre_check/pre_meter (after warm-up).
+    pub hh_promotions: u64,
+    /// Heavy hitters demoted (conforming-window expiry + explicit
+    /// uninstalls; after warm-up).
+    pub hh_demotions: u64,
+    /// Promotees evicted under pre_meter slot pressure (after warm-up).
+    pub hh_evictions: u64,
+    /// Promotions refused with every slot taken (after warm-up) — non-zero
+    /// only with eviction disabled: the limiter's degraded mode.
+    pub hh_promotion_refused: u64,
+    /// Occupied pre_meter slots sampled once per `sample_window` (whole
+    /// run; empty when no rate limiter is configured).
+    pub hh_slot_occupancy: TimeSeries,
 }
 
 impl SimReport {
@@ -270,6 +283,7 @@ pub struct PodSimulation {
     latency: LatencyHistogram,
     core_util: CoreUtilization,
     tenant_delivered: HashMap<u32, RateMeter>,
+    hh_slot_occupancy: TimeSeries,
     poll_at: Option<SimTime>,
     // burst-datapath scratch (preallocated; reused every cycle so steady
     // state never allocates)
@@ -293,6 +307,10 @@ struct WarmBase {
     drop_flag: u64,
     ingress_full: u64,
     rx_drops: u64,
+    hh_promotions: u64,
+    hh_demotions: u64,
+    hh_evictions: u64,
+    hh_promotion_refused: u64,
 }
 
 impl PodSimulation {
@@ -347,6 +365,7 @@ impl PodSimulation {
             latency: LatencyHistogram::new(),
             core_util: CoreUtilization::new(cfg.data_cores),
             tenant_delivered: HashMap::new(),
+            hh_slot_occupancy: TimeSeries::new(),
             poll_at: None,
             egress_buf: EgressBuf::with_capacity(cfg.burst.burst_size.max(1)),
             timeout_buf: Vec::with_capacity(cfg.burst.burst_size.max(1)),
@@ -360,6 +379,15 @@ impl PodSimulation {
     /// Direct access to the rate limiter (to pre-configure bypass tenants).
     pub fn limiter_mut(&mut self) -> Option<&mut TwoStageRateLimiter> {
         self.limiter.as_mut()
+    }
+
+    /// CPU-assisted demotion from the pod layer: removes `vni` from the
+    /// limiter's promoted set and reclaims its pre_meter slot. Returns
+    /// `false` when no limiter is configured or `vni` is not promoted.
+    pub fn uninstall_heavy_hitter(&mut self, vni: u32) -> bool {
+        self.limiter
+            .as_mut()
+            .is_some_and(|l| l.uninstall_heavy_hitter(vni))
     }
 
     /// Runs `source` until `duration` of virtual time has elapsed, then
@@ -453,6 +481,10 @@ impl PodSimulation {
                     utils.extend(self.cores.iter_mut().map(|c| c.sample_utilization(window)));
                     self.core_util.sample(now.as_nanos(), &utils);
                     self.util_buf = utils;
+                    if let Some(l) = self.limiter.as_ref() {
+                        self.hh_slot_occupancy
+                            .push(now.as_nanos(), l.promoted_count() as f64);
+                    }
                     if now + window <= duration {
                         self.engine.schedule(now + window, Ev::Sample);
                     }
@@ -648,6 +680,10 @@ impl PodSimulation {
                 .sum(),
             ingress_full: self.lb.total_ingress_drops(),
             rx_drops: self.cores.iter().map(DataCore::rx_drops).sum(),
+            hh_promotions: self.limiter.as_ref().map_or(0, |l| l.promotions()),
+            hh_demotions: self.limiter.as_ref().map_or(0, |l| l.demotions()),
+            hh_evictions: self.limiter.as_ref().map_or(0, |l| l.evictions()),
+            hh_promotion_refused: self.limiter.as_ref().map_or(0, |l| l.promotion_refused()),
         };
         self.warm_processed_base = self.cores.iter().map(DataCore::processed).collect();
         self.latency.reset();
@@ -701,6 +737,12 @@ impl PodSimulation {
                 .map(|s| s.headers_dropped)
                 .sum(),
             payloads_reaped: self.payload_buffer.released_by_reaper(),
+            hh_promotions: self.limiter.as_ref().map_or(0, |l| l.promotions()) - w.hh_promotions,
+            hh_demotions: self.limiter.as_ref().map_or(0, |l| l.demotions()) - w.hh_demotions,
+            hh_evictions: self.limiter.as_ref().map_or(0, |l| l.evictions()) - w.hh_evictions,
+            hh_promotion_refused: self.limiter.as_ref().map_or(0, |l| l.promotion_refused())
+                - w.hh_promotion_refused,
+            hh_slot_occupancy: self.hh_slot_occupancy,
         }
     }
 }
@@ -832,6 +874,35 @@ mod tests {
             delivered_rate < 80_000.0,
             "tenant must be capped near 50 kpps, got {delivered_rate}"
         );
+    }
+
+    #[test]
+    fn heavy_hitter_lifecycle_counters_reach_the_report() {
+        let mut cfg = small_cfg(LbMode::Plb, 2);
+        cfg.rate_limiter = Some(RateLimiterConfig {
+            stage1_pps: 40_000.0,
+            stage2_pps: 10_000.0,
+            tenant_limit_pps: 50_000.0,
+            ..RateLimiterConfig::production()
+        });
+        let mut sim = PodSimulation::new(cfg);
+        // Pod-layer control surface: install, then CPU-assisted uninstall.
+        assert!(sim
+            .limiter_mut()
+            .unwrap()
+            .install_heavy_hitter(9, SimTime::ZERO));
+        assert!(sim.uninstall_heavy_hitter(9));
+        assert!(!sim.uninstall_heavy_hitter(9), "already demoted");
+        // The tenant floods anyway and gets re-promoted by sampling.
+        let flows = FlowSet::generate(10, Some(9), 6);
+        let mut src =
+            ConstantRateSource::new(flows, 500_000, 256, SimTime::ZERO, SimTime::from_millis(50));
+        let r = sim.run(&mut src, SimTime::from_millis(60));
+        assert!(r.hh_promotions >= 2, "promotions {}", r.hh_promotions);
+        assert_eq!(r.hh_demotions, 1);
+        assert_eq!(r.hh_promotion_refused, 0);
+        assert!(!r.hh_slot_occupancy.is_empty());
+        assert!(r.hh_slot_occupancy.max() >= 1.0, "promotee must be sampled");
     }
 
     #[test]

@@ -322,6 +322,11 @@ impl PlbEngine {
         match self.queues[ordq].cpu_return(pkt, payload_available) {
             CpuReturnOutcome::Accepted => {}
             CpuReturnOutcome::BestEffort(p) => out.items.push(Egress::OutOfOrder(p)),
+            CpuReturnOutcome::AcceptedDuplicate(evicted) => {
+                if let Some(p) = evicted {
+                    out.items.push(Egress::OutOfOrder(p));
+                }
+            }
             CpuReturnOutcome::HeaderDropped | CpuReturnOutcome::AlreadyReleased => {}
         }
         self.drain(ordq, now, out);
@@ -349,6 +354,11 @@ impl PlbEngine {
             match self.queues[ordq].cpu_return(pkt, payload_available) {
                 CpuReturnOutcome::Accepted => {}
                 CpuReturnOutcome::BestEffort(p) => out.items.push(Egress::OutOfOrder(p)),
+                CpuReturnOutcome::AcceptedDuplicate(evicted) => {
+                    if let Some(p) = evicted {
+                        out.items.push(Egress::OutOfOrder(p));
+                    }
+                }
                 CpuReturnOutcome::HeaderDropped | CpuReturnOutcome::AlreadyReleased => {}
             }
         }

@@ -100,6 +100,14 @@ pub struct RateLimiterConfig {
     pub window: SimTime,
     /// SRAM bytes per meter entry (for the Tab.-style resource ledger).
     pub entry_bytes: u32,
+    /// Consecutive conforming detection windows after which a promoted
+    /// tenant is demoted and its pre_meter slot reclaimed. `None` disables
+    /// demotion (the append-only behaviour pinned by the golden tests).
+    pub demote_after_windows: Option<u32>,
+    /// When every pre_meter slot is taken and a new tenant crosses the
+    /// promote threshold, evict the least-recently-exceeding promotee
+    /// instead of refusing the promotion.
+    pub evict_on_pressure: bool,
 }
 
 impl RateLimiterConfig {
@@ -119,6 +127,8 @@ impl RateLimiterConfig {
             promote_threshold: 64,
             window: SimTime::from_secs(1),
             entry_bytes: 200,
+            demote_after_windows: Some(3),
+            evict_on_pressure: true,
         }
     }
 }
@@ -138,6 +148,18 @@ struct Candidate {
     samples: u32,
 }
 
+/// Lifecycle bookkeeping for an occupied pre_meter slot.
+#[derive(Debug, Clone, Copy)]
+struct PromotedInfo {
+    vni: u32,
+    /// Detection-window sequence number of the most recent pre_meter drop
+    /// (initialised to the promotion window). Drives eviction ordering.
+    last_exceeded_window: u64,
+    /// Consecutive fully-conforming windows observed so far. Reaching
+    /// `demote_after_windows` demotes the tenant.
+    conforming_windows: u32,
+}
+
 /// The assembled two-stage limiter.
 #[derive(Debug)]
 pub struct TwoStageRateLimiter {
@@ -147,13 +169,20 @@ pub struct TwoStageRateLimiter {
     pre_check: HashMap<u32, PreAction>,
     pre_meter: Vec<TokenBucket>,
     pre_meter_free: Vec<usize>,
+    /// Per-slot lifecycle state, parallel to `pre_meter`; `None` = free.
+    promoted: Vec<Option<PromotedInfo>>,
     /// Heavy-hitter candidate sketch (hardware: a small CAM).
     candidates: Vec<Candidate>,
     window_start: SimTime,
+    /// Detection-window sequence number, advanced by `roll_window`.
+    window_seq: u64,
     /// Per-verdict counter bank, indexed by [`Verdict::index`] — a fixed
     /// register file, not a hashed map, as in the hardware.
     counts: [u64; Verdict::COUNT],
     promotions: u64,
+    demotions: u64,
+    evictions: u64,
+    promotion_refused: u64,
 }
 
 impl TwoStageRateLimiter {
@@ -179,10 +208,15 @@ impl TwoStageRateLimiter {
                 .map(|_| bucket(cfg.tenant_limit_pps))
                 .collect(),
             pre_meter_free: (0..cfg.pre_entries).rev().collect(),
+            promoted: vec![None; cfg.pre_entries],
             candidates: vec![Candidate::default(); cfg.pre_entries],
             window_start: SimTime::ZERO,
+            window_seq: 0,
             counts: [0; Verdict::COUNT],
             promotions: 0,
+            demotions: 0,
+            evictions: 0,
+            promotion_refused: 0,
             cfg,
         }
     }
@@ -202,19 +236,67 @@ impl TwoStageRateLimiter {
         self.pre_check.insert(vni, PreAction::Bypass);
     }
 
-    /// Installs `vni` as a known heavy hitter (the planned CPU-assisted
-    /// path, and what sampling promotion calls internally). Returns `false`
-    /// when no pre_meter slot is free.
-    pub fn install_heavy_hitter(&mut self, vni: u32) -> bool {
+    /// Installs `vni` as a known heavy hitter (the CPU-assisted path, and
+    /// what sampling promotion calls internally). The slot's pre_meter is
+    /// reset to a full bucket at `now` so the new occupant inherits neither
+    /// the previous tenant's token debt nor a stale refill origin.
+    ///
+    /// When every slot is taken: with [`RateLimiterConfig::evict_on_pressure`]
+    /// the least-recently-exceeding promotee is evicted to make room;
+    /// otherwise the promotion is refused (counted in
+    /// [`promotion_refused`](Self::promotion_refused)) and `false` returned.
+    pub fn install_heavy_hitter(&mut self, vni: u32, now: SimTime) -> bool {
         if self.pre_check.contains_key(&vni) {
             return true;
         }
-        let Some(slot) = self.pre_meter_free.pop() else {
-            return false;
+        let slot = match self.pre_meter_free.pop() {
+            Some(slot) => slot,
+            None if self.cfg.evict_on_pressure => {
+                // Victim: the promotee that exceeded least recently (ties
+                // broken by slot index, deterministically).
+                let (_, slot, victim_vni) = self
+                    .promoted
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| p.map(|info| (info.last_exceeded_window, i, info.vni)))
+                    .min()
+                    .expect("no free slot implies every slot is promoted");
+                self.pre_check.remove(&victim_vni);
+                self.promoted[slot] = None;
+                self.evictions += 1;
+                slot
+            }
+            None => {
+                self.promotion_refused += 1;
+                return false;
+            }
         };
+        self.pre_meter[slot].reset(now);
         self.pre_check.insert(vni, PreAction::Meter(slot));
+        self.promoted[slot] = Some(PromotedInfo {
+            vni,
+            last_exceeded_window: self.window_seq,
+            conforming_windows: 0,
+        });
         self.promotions += 1;
         true
+    }
+
+    /// Removes a promoted heavy hitter and reclaims its pre_meter slot —
+    /// the explicit CPU-assisted demotion path the pod layer calls (e.g.
+    /// when control-plane telemetry decides an entry is stale). Returns
+    /// `true` if `vni` was promoted; bypass entries are left untouched.
+    pub fn uninstall_heavy_hitter(&mut self, vni: u32) -> bool {
+        match self.pre_check.get(&vni) {
+            Some(&PreAction::Meter(slot)) => {
+                self.pre_check.remove(&vni);
+                self.promoted[slot] = None;
+                self.pre_meter_free.push(slot);
+                self.demotions += 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// True if `vni` is currently early-limited (promoted).
@@ -223,18 +305,52 @@ impl TwoStageRateLimiter {
     }
 
     fn roll_window(&mut self, now: SimTime) {
-        if now.saturating_since(self.window_start) >= self.cfg.window.as_nanos() {
-            self.window_start = now;
-            self.candidates.iter_mut().for_each(|c| c.samples = 0);
+        let elapsed = now.saturating_since(self.window_start);
+        let w = self.cfg.window.as_nanos();
+        if elapsed < w {
+            return;
+        }
+        // Drifting window semantics (`window_start = now`) are pinned by the
+        // golden tests; idle gaps spanning several windows are credited as
+        // multiple conforming windows below.
+        let windows_passed = elapsed / w;
+        self.window_start = now;
+        self.candidates.iter_mut().for_each(|c| c.samples = 0);
+        let ended_seq = self.window_seq;
+        self.window_seq += windows_passed;
+        let Some(demote_after) = self.cfg.demote_after_windows else {
+            return;
+        };
+        for slot in 0..self.promoted.len() {
+            let Some(info) = self.promoted[slot].as_mut() else {
+                continue;
+            };
+            let credit = windows_passed.min(u64::from(u32::MAX)) as u32;
+            if info.last_exceeded_window == ended_seq {
+                // Exceeded in the window that just ended; any further
+                // windows in the gap were idle, hence conforming.
+                info.conforming_windows = credit - 1;
+            } else {
+                info.conforming_windows = info.conforming_windows.saturating_add(credit);
+            }
+            if info.conforming_windows >= demote_after {
+                let vni = info.vni;
+                self.promoted[slot] = None;
+                self.pre_check.remove(&vni);
+                self.pre_meter_free.push(slot);
+                self.demotions += 1;
+            }
         }
     }
 
     fn sample_candidate(&mut self, vni: u32) -> bool {
         // Find or claim a candidate slot; evict the smallest count if full.
+        // Matching is on VNI alone: after `roll_window` zeroes the counts, a
+        // returning VNI must reuse its slot, not claim a duplicate one.
         let mut min_idx = 0;
         let mut min_samples = u32::MAX;
         for (i, c) in self.candidates.iter_mut().enumerate() {
-            if c.samples > 0 && c.vni == vni {
+            if c.vni == vni {
                 c.samples += 1;
                 return c.samples >= self.cfg.promote_threshold;
             }
@@ -260,10 +376,14 @@ impl TwoStageRateLimiter {
     fn decide(&mut self, vni: u32, now: SimTime, rng: &mut SimRng) -> Verdict {
         match self.pre_check.get(&vni) {
             Some(PreAction::Bypass) => return Verdict::PassBypass,
-            Some(PreAction::Meter(slot)) => {
-                return if self.pre_meter[*slot].allow_packet(now) {
+            Some(&PreAction::Meter(slot)) => {
+                return if self.pre_meter[slot].allow_packet(now) {
                     Verdict::PassPreMeter
                 } else {
+                    if let Some(info) = self.promoted[slot].as_mut() {
+                        info.last_exceeded_window = self.window_seq;
+                        info.conforming_windows = 0;
+                    }
                     Verdict::DropPreMeter
                 };
             }
@@ -281,7 +401,7 @@ impl TwoStageRateLimiter {
         }
         // Exceeding: sample towards promotion.
         if rng.chance(self.cfg.sample_prob) && self.sample_candidate(vni) {
-            self.install_heavy_hitter(vni);
+            self.install_heavy_hitter(vni, now);
         }
         Verdict::DropMeter
     }
@@ -308,6 +428,33 @@ impl TwoStageRateLimiter {
     /// Sampling-based promotions performed.
     pub fn promotions(&self) -> u64 {
         self.promotions
+    }
+
+    /// Demotions performed (conforming-window expiry plus explicit
+    /// [`uninstall_heavy_hitter`](Self::uninstall_heavy_hitter) calls).
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// Promotees evicted under slot pressure to admit a new heavy hitter.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Promotions refused because every slot was taken (only possible with
+    /// `evict_on_pressure` disabled) — the observable degraded mode.
+    pub fn promotion_refused(&self) -> u64 {
+        self.promotion_refused
+    }
+
+    /// Currently occupied pre_meter slots.
+    pub fn promoted_count(&self) -> usize {
+        self.promoted.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Currently free pre_meter slots.
+    pub fn free_slots(&self) -> usize {
+        self.pre_meter_free.len()
     }
 
     /// SRAM footprint of this configuration in bytes (Tab.-style ledger):
@@ -340,6 +487,17 @@ mod tests {
             promote_threshold: 16,
             window: SimTime::from_secs(1),
             entry_bytes: 200,
+            demote_after_windows: None,
+            evict_on_pressure: false,
+        }
+    }
+
+    /// `small_cfg` with the full heavy-hitter lifecycle enabled.
+    fn lifecycle_cfg(demote_after: u32) -> RateLimiterConfig {
+        RateLimiterConfig {
+            demote_after_windows: Some(demote_after),
+            evict_on_pressure: true,
+            ..small_cfg()
         }
     }
 
@@ -507,11 +665,139 @@ mod tests {
     fn pre_meter_slots_exhaust_gracefully() {
         let mut rl = TwoStageRateLimiter::new(small_cfg());
         for vni in 0..8 {
-            assert!(rl.install_heavy_hitter(vni));
+            assert!(rl.install_heavy_hitter(vni, SimTime::ZERO));
         }
-        assert!(!rl.install_heavy_hitter(99), "9th slot must be refused");
+        assert!(
+            !rl.install_heavy_hitter(99, SimTime::ZERO),
+            "9th slot must be refused"
+        );
+        assert_eq!(rl.promotion_refused(), 1, "refusal must be observable");
         // Re-installing an existing heavy hitter is fine.
-        assert!(rl.install_heavy_hitter(3));
+        assert!(rl.install_heavy_hitter(3, SimTime::ZERO));
+        assert_eq!(rl.promoted_count(), 8);
+        assert_eq!(rl.free_slots(), 0);
+    }
+
+    #[test]
+    fn slot_pressure_evicts_least_recently_exceeding() {
+        let cfg = lifecycle_cfg(1_000); // demotion effectively off
+        let mut rl = TwoStageRateLimiter::new(cfg);
+        let mut rng = SimRng::seed_from(7);
+        for vni in 0..8 {
+            assert!(rl.install_heavy_hitter(vni, SimTime::ZERO));
+        }
+        // Roll into a fresh detection window, then tenants 1..8 exceed
+        // their pre_meters while tenant 0 stays idle (its last-exceeded
+        // window remains the promotion window).
+        let t = SimTime::from_millis(1_500);
+        for vni in 1..8 {
+            // Burst is 32 tokens at these rates: drain it, then some more.
+            for i in 0..40 {
+                rl.process(vni, t + i, &mut rng);
+            }
+        }
+        // A 9th heavy hitter shows up: tenant 0 (never exceeded since its
+        // promotion window) is the victim.
+        assert!(rl.install_heavy_hitter(99, t));
+        assert!(!rl.is_promoted(0), "idle promotee must be evicted");
+        assert!(rl.is_promoted(99));
+        assert_eq!(rl.evictions(), 1);
+        assert_eq!(rl.promotion_refused(), 0);
+        assert_eq!(rl.promoted_count(), 8);
+    }
+
+    #[test]
+    fn conforming_promotee_is_demoted_and_slot_reclaimed() {
+        let cfg = lifecycle_cfg(3);
+        let mut rl = TwoStageRateLimiter::new(cfg);
+        let mut rng = SimRng::seed_from(8);
+        // Promote tenant 9 by sustained overload.
+        offer(&mut rl, &mut rng, 9, 50_000, 2, SimTime::ZERO);
+        assert!(rl.is_promoted(9));
+        assert_eq!(rl.free_slots(), 7);
+        // Tenant 9 goes quiet; an unrelated polite tenant keeps the clock
+        // (and the windows) rolling. After 3 conforming windows tenant 9 is
+        // demoted and its slot returns to the free list.
+        offer(&mut rl, &mut rng, 55, 1_000, 6, SimTime::from_secs(10));
+        assert!(!rl.is_promoted(9), "conforming promotee must be demoted");
+        assert_eq!(rl.demotions(), 1);
+        assert_eq!(rl.free_slots(), 8);
+        assert_eq!(rl.promoted_count(), 0);
+        // A returning tenant 9 is re-promoted into a reset (full) bucket.
+        offer(&mut rl, &mut rng, 9, 50_000, 2, SimTime::from_secs(30));
+        assert!(rl.is_promoted(9), "returning heavy hitter re-promoted");
+        assert!(rl.promotions() >= 2);
+    }
+
+    #[test]
+    fn uninstall_reclaims_slot_and_spares_bypass() {
+        let mut rl = TwoStageRateLimiter::new(small_cfg());
+        rl.add_bypass(42);
+        assert!(rl.install_heavy_hitter(7, SimTime::ZERO));
+        assert_eq!(rl.free_slots(), 7);
+        assert!(rl.uninstall_heavy_hitter(7));
+        assert!(!rl.is_promoted(7));
+        assert_eq!(rl.free_slots(), 8);
+        assert_eq!(rl.demotions(), 1);
+        // Not promoted / bypass entries: no-op.
+        assert!(!rl.uninstall_heavy_hitter(7));
+        assert!(!rl.uninstall_heavy_hitter(42));
+        let mut rng = SimRng::seed_from(9);
+        assert_eq!(rl.process(42, SimTime::ZERO, &mut rng), Verdict::PassBypass);
+    }
+
+    #[test]
+    fn reused_slot_does_not_inherit_previous_tenant_debt() {
+        let mut rl = TwoStageRateLimiter::new(small_cfg());
+        let mut rng = SimRng::seed_from(10);
+        assert!(rl.install_heavy_hitter(1, SimTime::ZERO));
+        // Tenant 1 drains its pre_meter burst (32 tokens) completely.
+        let t0 = SimTime::from_secs(1);
+        for i in 0..40u64 {
+            rl.process(1, t0 + i, &mut rng);
+        }
+        assert!(rl.count(Verdict::DropPreMeter) > 0);
+        // The slot is reclaimed and reused 1 ms later. Lazy refill alone
+        // would have restored only ~10 of the 32 burst tokens — without the
+        // reset the new occupant would inherit the old tenant's debt.
+        rl.uninstall_heavy_hitter(1);
+        let t1 = t0 + SimTime::from_millis(1).as_nanos();
+        assert!(rl.install_heavy_hitter(2, t1));
+        let drops_before = rl.count(Verdict::DropPreMeter);
+        for i in 0..32u64 {
+            assert!(
+                rl.process(2, t1 + i, &mut rng).passed(),
+                "packet {i} hit inherited debt"
+            );
+        }
+        assert_eq!(rl.count(Verdict::DropPreMeter), drops_before);
+    }
+
+    #[test]
+    fn returning_candidate_reuses_its_sketch_slot_after_roll() {
+        // Regression: the old `c.samples > 0 && c.vni == vni` guard made a
+        // VNI returning after `roll_window` zeroed the sketch claim a
+        // *second* slot (slot 0, the min), diluting the sketch.
+        let mut rl = TwoStageRateLimiter::new(small_cfg());
+        for _ in 0..3 {
+            rl.sample_candidate(10);
+        }
+        for _ in 0..2 {
+            rl.sample_candidate(20);
+        }
+        assert_eq!(rl.candidates[0].vni, 10);
+        assert_eq!(rl.candidates[1].vni, 20);
+        rl.roll_window(SimTime::from_secs(2));
+        assert_eq!(rl.candidates[0].samples, 0, "roll must zero the sketch");
+        rl.sample_candidate(20);
+        assert_eq!(
+            rl.candidates[0].vni, 10,
+            "returning VNI 20 must not steal slot 0"
+        );
+        assert_eq!(rl.candidates[1].vni, 20);
+        assert_eq!(rl.candidates[1].samples, 1);
+        let slots_with_20 = rl.candidates.iter().filter(|c| c.vni == 20).count();
+        assert_eq!(slots_with_20, 1, "sketch must hold one slot per VNI");
     }
 
     #[test]

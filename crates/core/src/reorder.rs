@@ -68,6 +68,12 @@ pub enum CpuReturnOutcome {
     HeaderDropped,
     /// Drop-flagged return for an already-released slot: nothing to do.
     AlreadyReleased,
+    /// Legal return into an already-occupied BUF/BITMAP slot (a duplicate
+    /// CPU return, or a timed-out PSN aliasing onto a buffered one). The
+    /// new return takes the slot; the previous occupant — which the old
+    /// code silently leaked — is evicted for best-effort transmission
+    /// (`None` when it was a drop-flagged return holding no packet).
+    AcceptedDuplicate(Option<NicPacket>),
 }
 
 /// A release emitted by the reorder check.
@@ -113,6 +119,10 @@ pub struct ReorderStats {
     /// Drop-flagged returns of already-timed-out packets that aliased into
     /// the live window (released silently; extremely rare).
     pub alias_drop_releases: u64,
+    /// Legal CPU returns that found their BUF/BITMAP slot already occupied
+    /// (duplicate return or in-window aliasing); the previous occupant is
+    /// evicted best-effort instead of being silently overwritten.
+    pub duplicate_returns: u64,
     /// Peak FIFO occupancy.
     pub max_occupancy: usize,
 }
@@ -267,13 +277,24 @@ impl ReorderQueue {
             };
         }
         let idx = psn_low as usize;
+        let duplicate = self.bitmap[idx].valid;
+        let evicted = if duplicate {
+            self.stats.duplicate_returns += 1;
+            self.buf[idx].take()
+        } else {
+            None
+        };
         self.bitmap[idx] = BitmapEntry {
             valid: true,
             psn: meta.psn,
             dropped: meta.flags.drop(),
         };
         self.buf[idx] = if meta.flags.drop() { None } else { Some(pkt) };
-        CpuReturnOutcome::Accepted
+        if duplicate {
+            CpuReturnOutcome::AcceptedDuplicate(evicted)
+        } else {
+            CpuReturnOutcome::Accepted
+        }
     }
 
     /// The reorder check: drains everything releasable at `now`.
@@ -448,6 +469,42 @@ mod tests {
         }
         assert_eq!(rq.stats().late_best_effort, 1);
         assert_eq!(rq.stats().disordered(), 1);
+    }
+
+    #[test]
+    fn duplicate_return_evicts_old_packet_instead_of_leaking() {
+        let mut rq = q();
+        let t = SimTime::ZERO;
+        let psn0 = rq.admit(t).unwrap();
+        // A buggy driver returns psn0 twice before any poll: the second
+        // return used to overwrite BUF/BITMAP silently, leaking packet 1.
+        rq.cpu_return(pkt(1, psn0, t), true);
+        match rq.cpu_return(pkt(2, psn0, t), true) {
+            CpuReturnOutcome::AcceptedDuplicate(Some(p)) => assert_eq!(p.id, 1),
+            other => panic!("expected duplicate eviction, got {other:?}"),
+        }
+        assert_eq!(rq.stats().duplicate_returns, 1);
+        // The replacement packet releases in order as usual.
+        let rel = rq.poll(t + 1);
+        assert!(matches!(rel[0], ReorderRelease::InOrder(ref p) if p.id == 2));
+    }
+
+    #[test]
+    fn duplicate_drop_flagged_return_evicts_nothing() {
+        let mut rq = q();
+        let t = SimTime::ZERO;
+        let psn0 = rq.admit(t).unwrap();
+        let _psn1 = rq.admit(t).unwrap();
+        let mut first = pkt(0, psn0, t);
+        first.meta.as_mut().unwrap().set_drop();
+        rq.cpu_return(first, true);
+        // Duplicate return of a slot whose occupant was drop-flagged: the
+        // slot held no packet, so there is nothing to evict.
+        match rq.cpu_return(pkt(1, psn0, t), true) {
+            CpuReturnOutcome::AcceptedDuplicate(None) => {}
+            other => panic!("expected empty duplicate eviction, got {other:?}"),
+        }
+        assert_eq!(rq.stats().duplicate_returns, 1);
     }
 
     #[test]

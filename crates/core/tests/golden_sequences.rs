@@ -148,6 +148,8 @@ fn rescue_cfg() -> RateLimiterConfig {
         promote_threshold: 16,
         window: SimTime::from_secs(1),
         entry_bytes: 200,
+        demote_after_windows: None,
+        evict_on_pressure: false,
     }
 }
 

@@ -1,6 +1,6 @@
 //! Property tests of the two-stage rate limiter's safety envelope.
 
-use albatross_core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter};
+use albatross_core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter, Verdict};
 use albatross_sim::{SimRng, SimTime};
 use albatross_testkit::prelude::*;
 
@@ -17,6 +17,8 @@ fn cfg(stage1: f64, stage2: f64) -> RateLimiterConfig {
         promote_threshold: 16,
         window: SimTime::from_secs(1),
         entry_bytes: 200,
+        demote_after_windows: None,
+        evict_on_pressure: false,
     }
 }
 
@@ -115,4 +117,101 @@ props! {
 #[test]
 fn regression_allowance_at_10126_pps() {
     assert_single_tenant_within_allowance(10126, 1, 0, 5321855844406509337);
+}
+
+/// `cfg` with the full heavy-hitter lifecycle enabled and deterministic
+/// (probability-1) sampling, so promotion timing is schedule-driven.
+fn lifecycle_cfg() -> RateLimiterConfig {
+    RateLimiterConfig {
+        sample_prob: 1.0,
+        demote_after_windows: Some(2),
+        evict_on_pressure: true,
+        window: SimTime::from_millis(100),
+        ..cfg(8_000.0, 2_000.0)
+    }
+}
+
+props! {
+    #![cases(12)]
+
+    /// The heavy-hitter lifecycle under arbitrary churn schedules:
+    /// (a) free slots + promoted tenants always account for every
+    /// pre_meter entry, (b) every dominant tenant is promoted within one
+    /// detection window of crossing the threshold, and (c) a
+    /// demoted-then-returning tenant is re-promoted with a full (reset)
+    /// pre_meter bucket.
+    fn lifecycle_survives_arbitrary_churn(
+        phases in vec_of((0u32..20, 1u64..4), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let c = lifecycle_cfg();
+        let pre = c.pre_entries;
+        let window_ns = c.window.as_nanos();
+        let mut rl = TwoStageRateLimiter::new(c);
+        let mut rng = SimRng::seed_from(seed);
+        let check = |rl: &TwoStageRateLimiter| {
+            assert_eq!(rl.free_slots() + rl.promoted_count(), pre, "slot leak");
+        };
+        let mut t = 0u64;
+        // (a) + (b): rotating dominance, 40 kpps per phase, against an
+        // 8k + 2k allowance. Ranks repeat across phases, so demoted
+        // tenants return.
+        for &(rank, windows) in &phases {
+            let vni = 1_000 + rank;
+            for w in 0..windows {
+                for i in 0..(window_ns / 25_000) {
+                    let now = SimTime::from_nanos(t + i * 25_000);
+                    rl.process(vni, now, &mut rng);
+                    check(&rl);
+                }
+                t += window_ns;
+                if w == 0 {
+                    assert!(
+                        rl.is_promoted(vni),
+                        "tenant {} not promoted within one window", vni
+                    );
+                }
+            }
+        }
+        // (c) deterministic tail. Promote a fresh tenant…
+        let hh = 999u32;
+        for i in 0..(window_ns / 25_000) {
+            let now = SimTime::from_nanos(t + i * 25_000);
+            rl.process(hh, now, &mut rng);
+        }
+        t += window_ns;
+        assert!(rl.is_promoted(hh));
+        // …let it idle while a polite clock tenant rolls 4 windows
+        // (demote_after = 2)…
+        for i in 0..(4 * window_ns / 1_000_000) {
+            let now = SimTime::from_nanos(t + i * 1_000_000);
+            rl.process(7, now, &mut rng);
+            check(&rl);
+        }
+        t += 4 * window_ns;
+        assert!(!rl.is_promoted(hh), "idle promotee must be demoted");
+        assert!(rl.demotions() >= 1);
+        // …then bring it back and catch the exact promotion instant.
+        let mut promoted_at = None;
+        for i in 0..(window_ns / 25_000) {
+            let now = SimTime::from_nanos(t + i * 25_000);
+            rl.process(hh, now, &mut rng);
+            check(&rl);
+            if rl.is_promoted(hh) {
+                promoted_at = Some(now);
+                break;
+            }
+        }
+        let t_p = promoted_at.expect("returning heavy hitter re-promoted");
+        // The reset bucket holds exactly its full 32-token burst at the
+        // promotion instant: 32 packets conform, the 33rd exceeds.
+        for i in 0..32 {
+            assert_eq!(
+                rl.process(hh, t_p, &mut rng),
+                Verdict::PassPreMeter,
+                "burst token {} missing after slot reuse", i
+            );
+        }
+        assert_eq!(rl.process(hh, t_p, &mut rng), Verdict::DropPreMeter);
+    }
 }

@@ -1,6 +1,6 @@
 //! Toeplitz hashing for receive-side scaling.
 //!
-//! RSS (§2.1, [20]) hashes the 5-tuple so all packets of a flow land on one
+//! RSS (§2.1, \[20\]) hashes the 5-tuple so all packets of a flow land on one
 //! CPU core; Albatross reuses the same hash in PLB mode to pick the reorder
 //! queue (`get_ordq_idx` in Fig. 3). The implementation is the standard
 //! Toeplitz construction and is validated against Microsoft's published RSS

@@ -91,6 +91,16 @@ impl TokenBucket {
         self.rate_per_sec = rate_per_sec;
     }
 
+    /// Resets the bucket to full at `now`, as when a hardware meter entry is
+    /// reassigned to a new tenant: the next occupant must inherit neither the
+    /// previous tenant's token debt nor a stale `last_refill`. Lifetime
+    /// conforming/exceeding counters are preserved (they describe the entry,
+    /// not the tenant).
+    pub fn reset(&mut self, now: SimTime) {
+        self.tokens = self.burst;
+        self.last_refill = now;
+    }
+
     /// Packets that conformed since creation.
     pub fn conforming(&self) -> u64 {
         self.conforming
@@ -183,5 +193,28 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_rejected() {
         let _ = TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn reset_restores_full_burst_and_refill_origin() {
+        let mut b = TokenBucket::new(10.0, 4.0);
+        let t0 = SimTime::from_secs(5);
+        // Drain the bucket fully.
+        for _ in 0..4 {
+            assert!(b.allow_packet(t0));
+        }
+        assert!(!b.allow_packet(t0));
+        // Reset at a later instant: full burst again, refill origin moved.
+        let t1 = SimTime::from_secs(6);
+        b.reset(t1);
+        assert_eq!(b.available(t1), 4.0);
+        for _ in 0..4 {
+            assert!(b.allow_packet(t1));
+        }
+        assert!(!b.allow_packet(t1));
+        // Counters survive the reset (they belong to the entry).
+        assert_eq!(b.exceeding(), 2);
+        // Refill accrues from the reset instant, not the old last_refill.
+        assert!(b.allow_packet(t1 + 100_000_000)); // +100 ms → 1 token
     }
 }

@@ -92,15 +92,17 @@ impl LatencyHistogram {
         self.max = self.max.max(value);
     }
 
-    /// Records `n` occurrences of `value`.
+    /// Records `n` occurrences of `value`. `n == 0` is a no-op, matching
+    /// [`Self::record_batch`] on an empty slice.
     pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         self.buckets[Self::bucket_index(value)] += n;
         self.count += n;
         self.sum += value as u128 * n as u128;
-        if n > 0 {
-            self.min = self.min.min(value);
-            self.max = self.max.max(value);
-        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
     }
 
     /// Records every value in `values` — the bulk-observe path of the burst
@@ -352,6 +354,17 @@ mod tests {
         assert_eq!(a.count(), b.count());
         assert_eq!(a.mean(), b.mean());
         assert_eq!(a.percentile(0.5), b.percentile(0.5));
+    }
+
+    #[test]
+    fn record_n_of_zero_is_a_noop() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(5_000, 0);
+        // No bucket touched, no count: identical to a fresh histogram
+        // (and to record_batch(&[])).
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.nonempty_buckets().count(), 0);
+        assert_eq!(h.min(), LatencyHistogram::new().min());
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Rotating-overload churn workload.
+//!
+//! The heavy-hitter lifecycle (promotion → demotion / eviction) only matters
+//! under *tenant churn*: a long parade of tenants that each dominate for a
+//! few detection windows and then go quiet. A static overload never
+//! exercises slot reclamation — after the first `pre_entries` promotions an
+//! append-only promoted set silently stops rescuing innocents.
+//!
+//! [`RotatingOverloadSource`] models that parade: `M` tenants take turns
+//! being dominant, each flooding at `overload_pps` for one `phase` and then
+//! going idle while the next tenant floods. The rotation is modular, so a
+//! horizon longer than `M` phases brings early tenants back for another
+//! round — the returning-heavy-hitter case the lifecycle must also handle.
+
+use albatross_sim::SimTime;
+
+use crate::flowgen::FlowSet;
+use crate::traffic::TrafficSource;
+use crate::PacketDesc;
+
+/// `M` tenants, each dominant (flooding at a fixed rate) for one phase in
+/// round-robin rotation, idle otherwise. Packets are emitted in
+/// non-decreasing time order, per the [`TrafficSource`] contract.
+#[derive(Debug)]
+pub struct RotatingOverloadSource {
+    /// One flow set per tenant, index-aligned with the rotation order.
+    flows: Vec<FlowSet>,
+    phase_ns: u64,
+    interval_ns: u64,
+    len_bytes: u32,
+    next_time: SimTime,
+    end: SimTime,
+    counter: usize,
+}
+
+impl RotatingOverloadSource {
+    /// Creates a rotation over `vnis` (one dominance phase per entry, then
+    /// wrapping), each dominant tenant flooding at `overload_pps` across
+    /// `flows_per_tenant` flows, from time zero to `end`.
+    ///
+    /// # Panics
+    /// Panics if `vnis` is empty, the rate is zero, the phase is shorter
+    /// than the packet interval, or `flows_per_tenant` is zero.
+    pub fn new(
+        vnis: &[u32],
+        flows_per_tenant: usize,
+        overload_pps: u64,
+        len_bytes: u32,
+        phase: SimTime,
+        end: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert!(!vnis.is_empty(), "need at least one tenant");
+        assert!(overload_pps > 0, "rate must be positive");
+        let interval_ns = 1_000_000_000 / overload_pps;
+        assert!(
+            phase.as_nanos() >= interval_ns,
+            "phase shorter than one packet interval"
+        );
+        Self {
+            flows: vnis
+                .iter()
+                .map(|&vni| FlowSet::generate(flows_per_tenant, Some(vni), seed ^ u64::from(vni)))
+                .collect(),
+            phase_ns: phase.as_nanos(),
+            interval_ns,
+            len_bytes,
+            next_time: SimTime::ZERO,
+            end,
+            counter: 0,
+        }
+    }
+
+    /// Number of rotating tenants.
+    pub fn tenants(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The tenant dominant at `t` (its index into the construction VNIs).
+    pub fn dominant_at(&self, t: SimTime) -> usize {
+        ((t.as_nanos() / self.phase_ns) as usize) % self.flows.len()
+    }
+}
+
+impl TrafficSource for RotatingOverloadSource {
+    fn next_packet(&mut self) -> Option<PacketDesc> {
+        if self.next_time >= self.end {
+            return None;
+        }
+        let flows = &self.flows[self.dominant_at(self.next_time)];
+        let desc = PacketDesc {
+            time: self.next_time,
+            tuple: flows.flow(self.counter),
+            vni: flows.vni(),
+            len_bytes: self.len_bytes,
+            protocol: false,
+        };
+        self.counter += 1;
+        self.next_time += self.interval_ns;
+        Some(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::collect;
+
+    fn source(end_ms: u64) -> RotatingOverloadSource {
+        RotatingOverloadSource::new(
+            &[100, 200, 300],
+            4,
+            10_000,
+            256,
+            SimTime::from_millis(10),
+            SimTime::from_millis(end_ms),
+            42,
+        )
+    }
+
+    #[test]
+    fn one_dominant_tenant_per_phase() {
+        let s = source(60);
+        let pkts = {
+            let mut s = source(60);
+            collect(&mut s)
+        };
+        assert!(pkts.windows(2).all(|w| w[0].time <= w[1].time));
+        // Every packet belongs to the tenant scheduled for its phase.
+        let vnis = [100, 200, 300];
+        for p in &pkts {
+            let expect = vnis[s.dominant_at(p.time)];
+            assert_eq!(p.vni, Some(expect), "at t={}", p.time.as_nanos());
+        }
+        // 60 ms / 10 ms phases at 10 kpps → 100 packets per phase, and the
+        // modular rotation brings tenant 100 back in phase 3.
+        let t100 = pkts.iter().filter(|p| p.vni == Some(100)).count();
+        assert_eq!(t100, 200, "tenant 100 dominates phases 0 and 3");
+        assert_eq!(pkts.len(), 600);
+    }
+
+    #[test]
+    fn rotation_is_deterministic() {
+        let a = {
+            let mut s = source(40);
+            collect(&mut s)
+        };
+        let b = {
+            let mut s = source(40);
+            collect(&mut s)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flows_cycle_within_a_tenant() {
+        let mut s = source(10);
+        let pkts = collect(&mut s);
+        // 4 flows round-robin: packets 0 and 4 share a tuple, 0 and 1 don't.
+        assert_eq!(pkts[0].tuple, pkts[4].tuple);
+        assert_ne!(pkts[0].tuple, pkts[1].tuple);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn empty_tenant_list_rejected() {
+        let _ = RotatingOverloadSource::new(
+            &[],
+            1,
+            1_000,
+            256,
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+            0,
+        );
+    }
+}

@@ -13,7 +13,10 @@
 //!   t=15 s (Fig. 13/14) — [`traffic::RampSource`] per tenant, merged with
 //!   [`traffic::MergedSource`];
 //! * Zipf-skewed tenant populations for rate-limiter stress
-//!   ([`tenant::TenantSet`]).
+//!   ([`tenant::TenantSet`]);
+//! * rotating-overload tenant churn — M tenants each dominant for a few
+//!   detection windows, then idle — for heavy-hitter lifecycle stress
+//!   ([`churn::RotatingOverloadSource`]).
 //!
 //! Sources yield [`PacketDesc`]s in non-decreasing virtual time; they carry
 //! flow identity and size, not bytes — the `albatross-packet` builder can
@@ -24,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod burst;
+pub mod churn;
 pub mod flowgen;
 pub mod pktsize;
 pub mod tenant;
 pub mod traffic;
 
+pub use churn::RotatingOverloadSource;
 pub use flowgen::FlowSet;
 pub use tenant::TenantSet;
 pub use traffic::{ConstantRateSource, MergedSource, PoissonSource, RampSource, TrafficSource};

@@ -35,6 +35,16 @@ cargo build --release --offline --workspace --benches
 echo "==> cargo test (offline)"
 cargo test -q --offline --release --workspace
 
+echo "==> cargo doc (offline, no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
+echo "==> heavy-hitter lifecycle churn smoke (examples/tenant_churn)"
+# 1,000 rotating heavy hitters through 8 pre_meter slots over 100 simulated
+# seconds; the example asserts promotion is never refused, innocents
+# recover to >= 99% every phase, slots drain to zero, and two same-seed
+# runs produce identical reports.
+cargo run --release --offline --example tenant_churn
+
 echo "==> scalar-vs-burst datapath smoke bench"
 # The burst refactor's perf claim, exercised on every CI run: the burst
 # datapath must actually run (regressions in speedup are judged from the

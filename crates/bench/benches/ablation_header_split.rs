@@ -34,6 +34,9 @@ fn run(delivery: DeliveryMode) -> albatross_container::simrun::SimReport {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("ablation_header_split") {
+        return;
+    }
     let full = run(DeliveryMode::FullPacket);
     let split = run(DeliveryMode::HeaderOnly);
     let mut rep = ExperimentReport::new(

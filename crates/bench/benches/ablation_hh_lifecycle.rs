@@ -85,6 +85,9 @@ fn run_parade(lifecycle: bool) -> ChurnOutcome {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("ablation_hh_lifecycle") {
+        return;
+    }
     let mut rep = ExperimentReport::new(
         "§4.3 ablation",
         "Heavy-hitter lifecycle vs append-only promotion under tenant churn",

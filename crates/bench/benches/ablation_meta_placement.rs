@@ -33,6 +33,9 @@ fn throughput(placement: MetaPlacement, frame: &[u8], iters: u64) -> f64 {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("ablation_meta_placement") {
+        return;
+    }
     let mut rep = ExperimentReport::new(
         "§7 ablation",
         "PLB meta placement: tail vs head (wall-clock attach/detach)",

@@ -14,6 +14,9 @@ use albatross_fpga::resource::{FpgaDevice, ResourceLedger};
 use albatross_sim::{SimRng, SimTime};
 
 fn main() {
+    if !albatross_bench::bench_enabled("ablation_ratelimit_sram") {
+        return;
+    }
     let mut rep = ExperimentReport::new(
         "§4.3 ablation",
         "Two-stage rate limiter: SRAM budget and collision rescue",

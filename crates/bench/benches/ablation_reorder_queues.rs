@@ -74,6 +74,9 @@ fn c2_blast_radius(n_queues: usize) -> f64 {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("ablation_reorder_queues") {
+        return;
+    }
     let mut rep = ExperimentReport::new(
         "§4.1 ablation",
         "Reorder-queue granularity under fixed BRAM (32K entries total)",

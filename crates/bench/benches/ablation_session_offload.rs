@@ -41,6 +41,9 @@ fn nf_mpps(cores: usize, cpu_write_frac: f64) -> f64 {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("ablation_session_offload") {
+        return;
+    }
     let mut rep = ExperimentReport::new(
         "§7 future-work",
         "FPGA session offloading for write-heavy stateful NFs (implemented extension)",

@@ -64,6 +64,9 @@ fn measured_mops(
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("ablation_stateful_nf") {
+        return;
+    }
     let hw_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let core_counts = [1usize, 2, 4, 8];
     let use_threads = hw_cores >= 2 * core_counts[core_counts.len() - 1];

@@ -3,34 +3,54 @@
 //! Paper: with 500K concurrent flows, per-core throughput under PLB and
 //! RSS differs by less than 1% at 1, 20 and 40 cores, because both modes
 //! are bound by the same shared-L3 miss rate (the tables dwarf the cache).
+//! The six (core count × mode) points run as a scenario fleet
+//! (`--threads N` to pin parallelism).
 
-use albatross_bench::{eval_pod_config, pct_diff, run_saturated, ExperimentReport};
+use albatross_bench::{
+    bench_enabled, eval_pod_config, pct_diff, run_fleet, saturated_scenario, ExperimentReport,
+};
 use albatross_core::engine::LbMode;
 use albatross_gateway::services::ServiceKind;
 use albatross_sim::SimTime;
 
+const CORE_POINTS: [usize; 3] = [1, 20, 40];
+
 fn main() {
+    if !bench_enabled("fig04") {
+        return;
+    }
     let mut rep = ExperimentReport::new(
         "Fig. 4",
         "PLB vs RSS per-core throughput, VPC-Internet, 500K flows",
     );
-    let mut series_plb = Vec::new();
-    let mut series_rss = Vec::new();
-    for &cores in &[1usize, 20, 40] {
-        let mut rates = [0.0f64; 2];
+    let mut scenarios = Vec::new();
+    for &cores in &CORE_POINTS {
         for (i, mode) in [LbMode::Plb, LbMode::Rss].into_iter().enumerate() {
             let mut cfg = eval_pod_config(ServiceKind::VpcInternet);
             cfg.data_cores = cores;
             cfg.ordqs = (cores / 6).clamp(1, 8);
             cfg.mode = mode;
+            cfg.warmup = SimTime::from_millis(if cores == 1 { 20 } else { 6 });
             // Saturate: ~1 Mpps/core capacity, offer 1.6 Mpps/core.
             let offered = (cores as u64) * 1_600_000;
             let duration = SimTime::from_millis(if cores == 1 { 60 } else { 18 });
-            let mut c = cfg;
-            c.warmup = SimTime::from_millis(if cores == 1 { 20 } else { 6 });
-            let r = run_saturated(c, 40 + i as u64, offered, duration);
-            rates[i] = r.per_core_pps();
+            scenarios.push(saturated_scenario(
+                format!("{cores}c/{mode:?}"),
+                cfg,
+                40 + i as u64,
+                offered,
+                duration,
+            ));
         }
+    }
+    let reports = run_fleet(scenarios);
+    let mut series_plb = Vec::new();
+    let mut series_rss = Vec::new();
+    for (ci, &cores) in CORE_POINTS.iter().enumerate() {
+        let rates = [
+            reports[ci * 2].per_core_pps(),
+            reports[ci * 2 + 1].per_core_pps(),
+        ];
         let diff = pct_diff(rates[0], rates[1]);
         series_plb.push((cores as f64, rates[0] / 1e6));
         series_rss.push((cores as f64, rates[1] / 1e6));

@@ -11,6 +11,9 @@ use albatross_gateway::services::ServiceKind;
 use albatross_sim::SimTime;
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig05") {
+        return;
+    }
     let mut rep = ExperimentReport::new(
         "Fig. 5",
         "L3 hit rate, PLB vs RSS (VPC-Internet, 500K flows, 40 cores)",

@@ -19,6 +19,9 @@ fn convergence(peers: usize, routes_per_peer: usize) -> f64 {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig07") {
+        return;
+    }
     let mut rep = ExperimentReport::new(
         "Fig. 7",
         "BGP proxy: uplink-switch peers and restart convergence (32 servers)",

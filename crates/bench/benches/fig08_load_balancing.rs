@@ -52,6 +52,9 @@ fn run_point(mode: LbMode, hh_pps: u64, core_cap_pps: f64) -> (f64, f64) {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig08") {
+        return;
+    }
     // Calibrate one core's max throughput *for the heavy-hitter flow
     // itself* (a single flow runs cache-hot, so its per-packet cost is
     // lower than the 500K-flow mix's; the ramp's x-axis is relative to

@@ -41,6 +41,9 @@ fn p99_at_load(mode: LbMode, load: f64, core_cap: f64, cores: usize) -> f64 {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig09") {
+        return;
+    }
     // Single-core capacity calibration.
     let mut cal = eval_pod_config(ServiceKind::VpcVpc);
     cal.data_cores = 1;

@@ -42,6 +42,9 @@ fn dispersion(mode: LbMode, core_cap: f64) -> (f64, f64, Vec<(f64, f64)>) {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig10") {
+        return;
+    }
     let mut cal = eval_pod_config(ServiceKind::VpcVpc);
     cal.data_cores = 1;
     cal.ordqs = 1;

@@ -64,6 +64,9 @@ fn run_pod(name: &'static str, load: f64, core_cap: f64, seed: u64) -> PodResult
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig11") {
+        return;
+    }
     let mut cal = eval_pod_config(ServiceKind::VpcVpc);
     cal.data_cores = 1;
     cal.ordqs = 1;

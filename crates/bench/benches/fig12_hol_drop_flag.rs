@@ -39,6 +39,9 @@ fn run(use_drop_flag: bool) -> (f64, f64, u64) {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig12") {
+        return;
+    }
     let (hol_off, _, drops_off) = run(false);
     let (hol_on, releases_on, drops_on) = run(true);
     let mut rep = ExperimentReport::new(

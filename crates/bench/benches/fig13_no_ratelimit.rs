@@ -9,6 +9,9 @@ use albatross_bench::{mean_rate_after, tenant_overload_scenario, ExperimentRepor
 use albatross_sim::SimTime;
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig13") {
+        return;
+    }
     let (report, vnis, step_at) = tenant_overload_scenario(None);
     let mut rep = ExperimentReport::new(
         "Fig. 13",

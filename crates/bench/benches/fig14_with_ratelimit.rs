@@ -10,6 +10,9 @@ use albatross_core::ratelimit::RateLimiterConfig;
 use albatross_sim::SimTime;
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig14") {
+        return;
+    }
     let limiter = RateLimiterConfig::production(); // 8M + 2M, 10M promoted cap
     let (report, vnis, step_at) = tenant_overload_scenario(Some(limiter));
     let mut rep = ExperimentReport::new(

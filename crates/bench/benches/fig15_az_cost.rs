@@ -16,6 +16,9 @@ use albatross_container::pod::{GwPodSpec, GwRole};
 use albatross_sim::SimTime;
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig15") {
+        return;
+    }
     let model = AzCostModel::paper();
     let mut rep = ExperimentReport::new("Fig. 15", "AZ buildout cost comparison");
 

@@ -21,6 +21,9 @@ fn throughput(placement: Placement, table_scale: f64, offered: u64, seed: u64) -
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig16") {
+        return;
+    }
     let mut rep = ExperimentReport::new("Fig. 16", "Cross/intra NUMA placement comparison");
 
     // Full VPC-VPC service: production tables, real miss traffic.

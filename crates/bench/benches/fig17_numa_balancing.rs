@@ -38,6 +38,9 @@ fn run(balancing: bool, core_cap: f64) -> (f64, f64, f64) {
 }
 
 fn main() {
+    if !albatross_bench::bench_enabled("fig17") {
+        return;
+    }
     let mut cal = eval_pod_config(ServiceKind::VpcVpc);
     cal.data_cores = 1;
     cal.ordqs = 1;

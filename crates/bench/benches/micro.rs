@@ -215,11 +215,7 @@ fn bench_burst_datapath(timer: &BenchTimer) {
 }
 
 fn main() {
-    let filters: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with('-'))
-        .collect();
-    let enabled = |name: &str| filters.is_empty() || filters.iter().any(|f| name.contains(&**f));
+    let enabled = albatross_bench::bench_enabled;
     let timer = BenchTimer::new();
     if enabled("lpm_lookup_1M_routes") {
         bench_lpm(&timer);

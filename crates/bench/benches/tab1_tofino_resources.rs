@@ -10,6 +10,9 @@ use albatross_bench::ExperimentReport;
 use albatross_fpga::tofino::{CompileError, Feature, SailfishProgram};
 
 fn main() {
+    if !albatross_bench::bench_enabled("tab1") {
+        return;
+    }
     let program = SailfishProgram::production();
     let (sram02, tcam02, phv02) = program.pair02.utilization();
     let (sram13, tcam13, phv13) = program.pair13.utilization();

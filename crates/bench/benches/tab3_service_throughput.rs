@@ -4,15 +4,21 @@
 //! 500K flows of 256 B packets per pod; reported rates are server-wide.
 //! We simulate one pod per service at saturating offered load (the pods
 //! are independent — each owns a NUMA node) and double the measured pod
-//! rate for the server figure.
+//! rate for the server figure. The four services run as a scenario fleet
+//! (`--threads N` to pin parallelism); results are bit-identical to the
+//! old serial loop at any thread count.
 
 use albatross_bench::{
-    eval_pod_config, mpps, run_saturated, ExperimentReport, EVAL_PODS_PER_SERVER,
+    bench_enabled, eval_pod_config, mpps, run_fleet, saturated_scenario, ExperimentReport,
+    EVAL_PODS_PER_SERVER,
 };
 use albatross_gateway::services::ServiceKind;
 use albatross_sim::SimTime;
 
 fn main() {
+    if !bench_enabled("tab3") {
+        return;
+    }
     let paper: [(ServiceKind, f64); 4] = [
         (ServiceKind::VpcVpc, 128.8e6),
         (ServiceKind::VpcInternet, 81.6e6),
@@ -24,12 +30,19 @@ fn main() {
         "Tab. 3",
         "Per-service packet rate (server = 2 pods x 44 data cores, 500K flows, 256B)",
     );
+    let scenarios = paper
+        .iter()
+        .enumerate()
+        .map(|(i, &(service, paper_pps))| {
+            let cfg = eval_pod_config(service);
+            // Offer ~20% above the expected per-pod capacity so cores saturate.
+            let offered = (paper_pps / EVAL_PODS_PER_SERVER as f64 * 1.25) as u64;
+            saturated_scenario(service.name(), cfg, i as u64 + 1, offered, duration)
+        })
+        .collect();
+    let reports = run_fleet(scenarios);
     let mut measured = Vec::new();
-    for (i, &(service, paper_pps)) in paper.iter().enumerate() {
-        let cfg = eval_pod_config(service);
-        // Offer ~20% above the expected per-pod capacity so cores saturate.
-        let offered = (paper_pps / EVAL_PODS_PER_SERVER as f64 * 1.25) as u64;
-        let r = run_saturated(cfg, i as u64 + 1, offered, duration);
+    for (&(service, paper_pps), r) in paper.iter().zip(&reports) {
         let server_pps = r.throughput_pps() * EVAL_PODS_PER_SERVER as f64;
         measured.push((service, server_pps, r.cache_hit_rate));
         rep.row(

@@ -10,6 +10,9 @@ use albatross_fpga::pipeline::{transit, Direction, NicPipelineLatency, Stage, St
 use albatross_sim::SimTime;
 
 fn main() {
+    if !albatross_bench::bench_enabled("tab4") {
+        return;
+    }
     let lat = NicPipelineLatency::production();
     let mut bd = StageBreakdown::new();
     // Measure over many transits (they are deterministic; the averaging

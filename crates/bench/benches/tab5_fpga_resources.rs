@@ -11,6 +11,9 @@ use albatross_core::reorder::ReorderConfig;
 use albatross_fpga::resource::production_pipeline_ledger;
 
 fn main() {
+    if !albatross_bench::bench_enabled("tab5") {
+        return;
+    }
     let ledger = production_pipeline_ledger();
     let device = ledger.device();
     let mut rep = ExperimentReport::new(

@@ -18,6 +18,9 @@ use albatross_gateway::services::ServiceKind;
 use albatross_sim::SimTime;
 
 fn main() {
+    if !albatross_bench::bench_enabled("tab6") {
+        return;
+    }
     let mut rep = ExperimentReport::new("Tab. 6", "Albatross vs 2nd-gen Sailfish");
 
     // LPM capacity: insert 10.5M /24 routes, verify spot lookups.

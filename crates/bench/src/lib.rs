@@ -11,6 +11,7 @@
 //! and distributions converge well within these windows because the
 //! simulation is deterministic.
 
+use albatross_container::fleet::{FleetConfig, Scenario, ScenarioFleet};
 use albatross_container::simrun::{PodSimulation, SimConfig, SimReport};
 use albatross_gateway::services::ServiceKind;
 use albatross_sim::SimTime;
@@ -18,6 +19,73 @@ use albatross_workload::{ConstantRateSource, FlowSet, TrafficSource};
 
 pub use albatross_telemetry::report::{mpps, pct, us};
 pub use albatross_telemetry::ExperimentReport;
+
+/// Positional (non-flag) argv tokens, used as substring name filters by
+/// every `benches/*` target — `cargo bench --bench micro -- toeplitz` runs
+/// only the Toeplitz benchmark, and `scripts/ci.sh` smoke-runs single
+/// harnesses the same way. The value following a `--threads` flag is
+/// consumed (it is a thread count, not a filter); `--threads=N` and other
+/// `-`-prefixed tokens are ignored outright.
+pub fn bench_filters() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let _ = args.next();
+        } else if !a.starts_with('-') {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// True when `name` passes the argv filter: no positional filters means
+/// everything runs; otherwise any filter that is a substring of `name`
+/// enables it.
+pub fn bench_enabled(name: &str) -> bool {
+    let filters = bench_filters();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
+/// The fleet execution config for harnesses: honours `--threads N` /
+/// `--threads=N` argv and the `ALBATROSS_THREADS` env var, defaulting to
+/// `available_parallelism`.
+pub fn fleet_threads() -> FleetConfig {
+    FleetConfig::from_env()
+}
+
+/// A fleet [`Scenario`] running one pod at saturating offered load —
+/// the fleet-parallel equivalent of [`run_saturated`], producing the
+/// bit-identical report.
+pub fn saturated_scenario(
+    name: impl Into<String>,
+    cfg: SimConfig,
+    service_seed: u64,
+    offered_pps: u64,
+    duration: SimTime,
+) -> Scenario {
+    Scenario::new(name, duration, move || {
+        let flows = FlowSet::generate(EVAL_FLOWS, Some(1000 + service_seed as u32), service_seed);
+        let src =
+            ConstantRateSource::new(flows, offered_pps, EVAL_PKT_BYTES, SimTime::ZERO, duration)
+                .with_random_flows(service_seed ^ 0x5EED);
+        (cfg.clone(), Box::new(src) as Box<dyn TrafficSource>)
+    })
+}
+
+/// Runs a set of scenarios through the fleet runner with the environment's
+/// thread config and returns the reports in scenario order.
+pub fn run_fleet(scenarios: Vec<Scenario>) -> Vec<SimReport> {
+    let mut fleet = ScenarioFleet::new();
+    for s in scenarios {
+        fleet.push(s);
+    }
+    fleet
+        .run(&fleet_threads())
+        .into_iter()
+        .map(|r| r.report)
+        .collect()
+}
 
 /// The evaluation's standard packet size (§6).
 pub const EVAL_PKT_BYTES: u32 = 256;

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod fleet;
 pub mod migration;
 pub mod orchestrator;
 pub mod pod;
@@ -28,6 +29,7 @@ pub mod server;
 pub mod simrun;
 
 pub use cost::{AzCostModel, GatewayGeneration};
+pub use fleet::{FleetConfig, FleetResult, FleetRunner, Scenario, ScenarioFleet};
 pub use orchestrator::Orchestrator;
 pub use pod::{GwPodSpec, GwRole};
 pub use server::AlbatrossServer;

@@ -145,7 +145,7 @@ impl SimConfig {
 }
 
 /// Everything measured during a run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Measured interval (after warm-up) in seconds.
     pub measured_secs: f64,
@@ -207,6 +207,105 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Merges per-pod reports — in the given, fixed order — into one
+    /// server-level aggregate (e.g. the co-resident GW pods of one
+    /// Albatross server, or the shards of a fleet sweep).
+    ///
+    /// The merge is the fleet's determinism anchor (DESIGN.md §4d): every
+    /// rule depends only on the *input order*, never on thread scheduling —
+    /// counters sum, histograms merge bucket-wise, per-core vectors
+    /// concatenate in order, time series interleave via the stable
+    /// [`TimeSeries::merge_ordered`] rule, tenant meters sum per-window
+    /// (integer counts, so grouping-independent), and the float
+    /// reductions (`cache_hit_rate` weighting) fold strictly left-to-right.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn merge_ordered(reports: &[SimReport]) -> SimReport {
+        assert!(!reports.is_empty(), "nothing to merge");
+        let mut out = SimReport {
+            measured_secs: 0.0,
+            offered: 0,
+            processed: 0,
+            transmitted: 0,
+            in_order: 0,
+            out_of_order: 0,
+            dropped_ratelimit: 0,
+            dropped_ingress_full: 0,
+            dropped_rx_queue: 0,
+            dropped_acl: 0,
+            hol_timeouts: 0,
+            drop_flag_releases: 0,
+            latency: LatencyHistogram::new(),
+            core_util: CoreUtilization::new(reports[0].core_util.cores()),
+            per_core_processed: Vec::new(),
+            cache_hit_rate: 0.0,
+            tenant_delivered: HashMap::new(),
+            pcie_rx_bytes: 0,
+            pcie_tx_bytes: 0,
+            headers_dropped: 0,
+            payloads_reaped: 0,
+            hh_promotions: 0,
+            hh_demotions: 0,
+            hh_evictions: 0,
+            hh_promotion_refused: 0,
+            hh_slot_occupancy: TimeSeries::new(),
+        };
+        // Seed core_util from the first report (CoreUtilization has no
+        // empty state), then absorb the rest.
+        out.core_util = reports[0].core_util.clone();
+        let mut hit_weight = 0.0f64;
+        for (i, r) in reports.iter().enumerate() {
+            out.measured_secs = out.measured_secs.max(r.measured_secs);
+            out.offered += r.offered;
+            out.processed += r.processed;
+            out.transmitted += r.transmitted;
+            out.in_order += r.in_order;
+            out.out_of_order += r.out_of_order;
+            out.dropped_ratelimit += r.dropped_ratelimit;
+            out.dropped_ingress_full += r.dropped_ingress_full;
+            out.dropped_rx_queue += r.dropped_rx_queue;
+            out.dropped_acl += r.dropped_acl;
+            out.hol_timeouts += r.hol_timeouts;
+            out.drop_flag_releases += r.drop_flag_releases;
+            out.latency.merge(&r.latency);
+            if i > 0 {
+                out.core_util.merge_pods(&r.core_util);
+            }
+            out.per_core_processed
+                .extend_from_slice(&r.per_core_processed);
+            // Processed-packet-weighted hit rate, folded left-to-right.
+            let w = r.processed as f64;
+            out.cache_hit_rate += r.cache_hit_rate * w;
+            hit_weight += w;
+            // HashMap iteration order is nondeterministic; per-VNI merges
+            // are integer sums (grouping-independent), but iterate sorted
+            // anyway so even float-sensitive future fields stay safe.
+            let mut vnis: Vec<_> = r.tenant_delivered.keys().copied().collect();
+            vnis.sort_unstable();
+            for vni in vnis {
+                let meter = &r.tenant_delivered[&vni];
+                out.tenant_delivered
+                    .entry(vni)
+                    .and_modify(|m| m.merge(meter))
+                    .or_insert_with(|| meter.clone());
+            }
+            out.pcie_rx_bytes += r.pcie_rx_bytes;
+            out.pcie_tx_bytes += r.pcie_tx_bytes;
+            out.headers_dropped += r.headers_dropped;
+            out.payloads_reaped += r.payloads_reaped;
+            out.hh_promotions += r.hh_promotions;
+            out.hh_demotions += r.hh_demotions;
+            out.hh_evictions += r.hh_evictions;
+            out.hh_promotion_refused += r.hh_promotion_refused;
+            out.hh_slot_occupancy.merge_ordered(&r.hh_slot_occupancy);
+        }
+        if hit_weight > 0.0 {
+            out.cache_hit_rate /= hit_weight;
+        }
+        out
+    }
+
     /// Aggregate forwarding throughput in packets/second.
     pub fn throughput_pps(&self) -> f64 {
         self.processed as f64 / self.measured_secs

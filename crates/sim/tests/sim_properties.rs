@@ -80,6 +80,59 @@ props! {
         }
     }
 
+    /// The timing wheel pops the exact `(time, seq, event)` sequence a
+    /// reference min-heap produces, for arbitrary schedules with duplicate
+    /// timestamps, interleaved cancels, and pops mixed between schedules.
+    /// Timestamps span the wheel window boundary (±262 µs) so near-wheel,
+    /// overflow, and migration paths are all exercised.
+    fn wheel_matches_reference_heap(
+        times in vec_of(0u64..600_000, 1..150),
+        ops in vec_of(any::<bool>(), 150),
+        cancel_mask in vec_of(any::<bool>(), 150),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut e = Engine::new();
+        let mut reference: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut live_ids = Vec::new();
+        let mut floor = 0u64; // engine time is monotone; clamp schedules to it
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let at = floor + t;
+            let id = e.schedule(SimTime::from_nanos(at), i);
+            reference.push(Reverse((at, i)));
+            live_ids.push((id, at, i));
+            if cancel_mask[i] && !live_ids.is_empty() {
+                // Cancel a pseudo-random live event (decided by the mask).
+                let k = (i * 7 + t as usize) % live_ids.len();
+                let (id, at, seq) = live_ids.swap_remove(k);
+                e.cancel(id);
+                // Rebuild the reference without that entry.
+                let mut kept: Vec<_> = reference.into_vec();
+                kept.retain(|&Reverse(x)| x != (at, seq));
+                reference = kept.into();
+            }
+            if ops[i] {
+                // Drain one event from both queues.
+                if let Some((t_got, ev)) = e.pop() {
+                    let Reverse((t_want, seq)) = reference.pop().expect("reference drained early");
+                    got.push((t_got.as_nanos(), ev));
+                    want.push((t_want, seq));
+                    floor = t_got.as_nanos();
+                    live_ids.retain(|&(_, _, s)| s != seq);
+                }
+            }
+        }
+        while let Some((t_got, ev)) = e.pop() {
+            got.push((t_got.as_nanos(), ev));
+        }
+        while let Some(Reverse((t_want, seq))) = reference.pop() {
+            want.push((t_want, seq));
+        }
+        assert_eq!(got, want);
+    }
+
     /// Cancelling a subset of events removes exactly those events.
     fn engine_cancellation_is_exact(
         n in 1usize..100,

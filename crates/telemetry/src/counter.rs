@@ -36,6 +36,13 @@ impl Counter {
     pub fn take(&mut self) -> u64 {
         std::mem::take(&mut self.value)
     }
+
+    /// Folds another counter into this one (the fleet merge layer: per-pod
+    /// counts sum into server-level counts). Merging a zeroed counter is a
+    /// no-op.
+    pub fn merge(&mut self, other: &Counter) {
+        self.value += other.value;
+    }
 }
 
 /// Converts timestamped event counts into a rate time series.
@@ -105,6 +112,31 @@ impl RateMeter {
         let per_sec = 1e9 / self.window_ns as f64;
         self.windows.get(idx).copied().unwrap_or(0) as f64 * per_sec
     }
+
+    /// Window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Merges another meter into this one by summing per-window counts.
+    /// Counts are integers, so the merge is exact, commutative, and
+    /// associative — fleet shards can merge in any grouping and the result
+    /// is bit-identical.
+    ///
+    /// # Panics
+    /// Panics if the meters use different window widths.
+    pub fn merge(&mut self, other: &RateMeter) {
+        assert_eq!(
+            self.window_ns, other.window_ns,
+            "cannot merge meters with different windows"
+        );
+        if other.windows.len() > self.windows.len() {
+            self.windows.resize(other.windows.len(), 0);
+        }
+        for (a, &b) in self.windows.iter_mut().zip(&other.windows) {
+            *a += b;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +182,45 @@ mod tests {
     #[should_panic(expected = "window must be non-empty")]
     fn zero_window_panics() {
         let _ = RateMeter::new(0);
+    }
+
+    #[test]
+    fn counter_merge_sums_and_empty_is_noop() {
+        let mut a = Counter::new();
+        a.add(7);
+        let mut b = Counter::new();
+        b.add(5);
+        a.merge(&b);
+        assert_eq!(a.get(), 12);
+        a.merge(&Counter::new());
+        assert_eq!(a.get(), 12);
+    }
+
+    #[test]
+    fn rate_meter_merge_equals_combined_recording() {
+        let mut a = RateMeter::new(1_000);
+        let mut b = RateMeter::new(1_000);
+        let mut both = RateMeter::new(1_000);
+        for (t, n) in [(0u64, 3u64), (500, 2), (2_500, 1)] {
+            a.record(t, n);
+            both.record(t, n);
+        }
+        for (t, n) in [(900u64, 4u64), (5_100, 7)] {
+            b.record(t, n);
+            both.record(t, n);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), both.total());
+        assert_eq!(a.series(), both.series());
+        // Merging an empty meter changes nothing.
+        a.merge(&RateMeter::new(1_000));
+        assert_eq!(a.series(), both.series());
+    }
+
+    #[test]
+    #[should_panic(expected = "different windows")]
+    fn rate_meter_merge_rejects_mismatched_windows() {
+        let mut a = RateMeter::new(1_000);
+        a.merge(&RateMeter::new(2_000));
     }
 }

@@ -333,6 +333,65 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_a_noop_both_ways() {
+        let mut a = LatencyHistogram::new();
+        for v in [1_000u64, 5_000, 9_999] {
+            a.record(v);
+        }
+        let empty = LatencyHistogram::new();
+        // Non-empty ← empty: nothing changes, including min/max/sum.
+        let before: Vec<_> = a.nonempty_buckets().collect();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 1_000);
+        assert_eq!(a.max(), 9_999);
+        assert_eq!(a.mean(), (1_000.0 + 5_000.0 + 9_999.0) / 3.0);
+        assert_eq!(a.nonempty_buckets().collect::<Vec<_>>(), before);
+        // Empty ← non-empty: becomes an exact copy (min not poisoned by
+        // the empty side's u64::MAX sentinel).
+        let mut b = LatencyHistogram::new();
+        b.merge(&a);
+        assert_eq!(b.count(), a.count());
+        assert_eq!(b.min(), a.min());
+        assert_eq!(b.max(), a.max());
+        assert_eq!(b.nonempty_buckets().collect::<Vec<_>>(), before);
+        // Empty ← empty stays genuinely empty.
+        let mut c = LatencyHistogram::new();
+        c.merge(&LatencyHistogram::new());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.min(), 0);
+        assert_eq!(c.max(), 0);
+    }
+
+    #[test]
+    fn record_batch_totals_survive_merge() {
+        // Shard A records a batch, shard B records the same values one by
+        // one; after merging both into fresh accumulators the totals are
+        // identical — the fleet-merge contract for the burst datapath.
+        let values: Vec<u64> = (0..512u64).map(|i| i * 731 + 17).collect();
+        let mut batch_shard = LatencyHistogram::new();
+        batch_shard.record_batch(&values[..300]);
+        batch_shard.record_batch(&values[300..]);
+        batch_shard.record_batch(&[]);
+        let mut scalar_shard = LatencyHistogram::new();
+        for &v in &values {
+            scalar_shard.record(v);
+        }
+        let mut merged_batch = LatencyHistogram::new();
+        merged_batch.merge(&batch_shard);
+        let mut merged_scalar = LatencyHistogram::new();
+        merged_scalar.merge(&scalar_shard);
+        assert_eq!(merged_batch.count(), merged_scalar.count());
+        assert_eq!(merged_batch.min(), merged_scalar.min());
+        assert_eq!(merged_batch.max(), merged_scalar.max());
+        assert_eq!(merged_batch.mean(), merged_scalar.mean());
+        assert_eq!(
+            merged_batch.nonempty_buckets().collect::<Vec<_>>(),
+            merged_scalar.nonempty_buckets().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn fraction_above_threshold() {
         let mut h = LatencyHistogram::new();
         // 99 values at 10 µs, 1 value at 200 µs.

@@ -55,6 +55,33 @@ impl TimeSeries {
         self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
     }
 
+    /// Merges another (time-sorted) series into this one, keeping the
+    /// result time-sorted. The merge is *stable*: on a timestamp tie,
+    /// `self`'s points precede `other`'s — so merging a fixed sequence of
+    /// shard series in shard order always yields the same byte-identical
+    /// result, regardless of which thread finished first (the fleet's
+    /// ordered-merge rule, DESIGN.md §4d).
+    pub fn merge_ordered(&mut self, other: &TimeSeries) {
+        if other.points.is_empty() {
+            return;
+        }
+        let mine = std::mem::take(&mut self.points);
+        self.points.reserve(mine.len() + other.points.len());
+        let mut b = other.points.iter().copied().peekable();
+        for a in mine {
+            while let Some(&(tb, vb)) = b.peek() {
+                if tb < a.0 {
+                    self.points.push((tb, vb));
+                    b.next();
+                } else {
+                    break;
+                }
+            }
+            self.points.push(a);
+        }
+        self.points.extend(b);
+    }
+
     /// Population standard deviation of values, or 0.0 if empty.
     pub fn stddev(&self) -> f64 {
         if self.points.is_empty() {
@@ -135,6 +162,18 @@ impl CoreUtilization {
         &self.per_core[i]
     }
 
+    /// Absorbs another pod's tracker: `other`'s cores are appended after
+    /// this tracker's cores (so a merged server report indexes pod 0's
+    /// cores first, then pod 1's, in merge order), and the dispersion
+    /// series are interleaved by time via [`TimeSeries::merge_ordered`].
+    /// The merged dispersion is therefore *per-pod* dispersion over time,
+    /// not cross-server dispersion — documented in DESIGN.md §4d.
+    pub fn merge_pods(&mut self, other: &CoreUtilization) {
+        self.per_core.extend(other.per_core.iter().cloned());
+        self.cores += other.cores;
+        self.dispersion.merge_ordered(&other.dispersion);
+    }
+
     /// Mean utilization across all cores and samples.
     pub fn mean_utilization(&self) -> f64 {
         if self.per_core[0].is_empty() {
@@ -189,5 +228,52 @@ mod tests {
     fn sample_arity_checked() {
         let mut cu = CoreUtilization::new(2);
         cu.sample(0, &[0.5]);
+    }
+
+    #[test]
+    fn merge_ordered_interleaves_by_time_stably() {
+        let mut a = TimeSeries::new();
+        a.push(10, 1.0);
+        a.push(20, 2.0);
+        a.push(30, 3.0);
+        let mut b = TimeSeries::new();
+        b.push(5, 9.0);
+        b.push(20, 8.0); // tie: must land AFTER self's t=20 point
+        b.push(40, 7.0);
+        a.merge_ordered(&b);
+        assert_eq!(
+            a.points(),
+            &[
+                (5, 9.0),
+                (10, 1.0),
+                (20, 2.0),
+                (20, 8.0),
+                (30, 3.0),
+                (40, 7.0)
+            ]
+        );
+        // Merging an empty series is a no-op.
+        let before = a.points().to_vec();
+        a.merge_ordered(&TimeSeries::new());
+        assert_eq!(a.points(), &before[..]);
+        // Empty ← non-empty copies.
+        let mut c = TimeSeries::new();
+        c.merge_ordered(&a);
+        assert_eq!(c.points(), a.points());
+    }
+
+    #[test]
+    fn merge_pods_appends_cores_in_order() {
+        let mut a = CoreUtilization::new(2);
+        a.sample(0, &[0.1, 0.2]);
+        let mut b = CoreUtilization::new(1);
+        b.sample(0, &[0.9]);
+        a.merge_pods(&b);
+        assert_eq!(a.cores(), 3);
+        assert_eq!(a.core(0).points(), &[(0, 0.1)]);
+        assert_eq!(a.core(2).points(), &[(0, 0.9)]);
+        // Dispersion series interleaved (both sampled at t=0; self first).
+        assert_eq!(a.dispersion().len(), 2);
+        assert_eq!(a.dispersion().points()[1], (0, 0.0));
     }
 }

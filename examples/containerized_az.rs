@@ -17,10 +17,14 @@ use albatross::bgp::msg::NlriPrefix;
 use albatross::bgp::proxy::{switch_peers_direct, switch_peers_with_proxy, BgpProxy};
 use albatross::bgp::switchcp::{SwitchControlPlane, SAFE_PEER_LIMIT};
 use albatross::container::cost::AzCostModel;
+use albatross::container::fleet::{FleetConfig, Scenario, ScenarioFleet};
 use albatross::container::migration::{Migration, MigrationPhase, VALIDATION_PERIOD};
 use albatross::container::orchestrator::Orchestrator;
 use albatross::container::pod::{GwPodSpec, GwRole};
+use albatross::container::simrun::{SimConfig, SimReport};
+use albatross::gateway::services::ServiceKind;
 use albatross::sim::SimTime;
+use albatross::workload::{ConstantRateSource, FlowSet, TrafficSource};
 
 fn main() {
     // --- 1. Pack the AZ ------------------------------------------------
@@ -106,4 +110,49 @@ fn main() {
     let served_by = proxy.rib().best(vip).expect("VIP still served").peer;
     println!("t={done}: old pod withdrawn; VIP now served by pod {served_by}");
     println!("\nVIP was served continuously — no switch-visible withdrawal ever happened.");
+
+    // --- 4. One server's co-resident GW pods, as a fleet ---------------
+    // An Albatross server hosts two GW pods, one per NUMA node, each
+    // owning its own VFs and queue pairs — fully independent data paths.
+    // Simulate both pods as fleet shards (they may run on two OS threads;
+    // `--threads` / ALBATROSS_THREADS picks) and fold them into one
+    // server-level report with the ordered merge.
+    println!("\n== Co-resident GW pods (one server, two NUMA nodes) ==");
+    let duration = SimTime::from_millis(10);
+    let mut pods = ScenarioFleet::new();
+    for (numa, (service, seed)) in [(ServiceKind::VpcVpc, 31u64), (ServiceKind::VpcInternet, 32)]
+        .into_iter()
+        .enumerate()
+    {
+        pods.push(Scenario::new(format!("numa{numa}"), duration, move || {
+            let mut cfg = SimConfig::new(8, service);
+            cfg.table_scale = 0.01;
+            cfg.seed = seed;
+            let flows = FlowSet::generate(10_000, Some(seed as u32), seed);
+            let src = ConstantRateSource::new(flows, 12_000_000, 256, SimTime::ZERO, duration);
+            (cfg, Box::new(src) as Box<dyn TrafficSource>)
+        }));
+    }
+    let results = pods.run(&FleetConfig::from_env());
+    for r in &results {
+        println!(
+            "  pod {}: {:.2} Mpps, p99 {} ns",
+            r.name,
+            r.report.throughput_pps() / 1e6,
+            r.report.latency.percentile(0.99)
+        );
+    }
+    let reports: Vec<SimReport> = results.into_iter().map(|r| r.report).collect();
+    let server = SimReport::merge_ordered(&reports);
+    assert_eq!(
+        server.processed,
+        reports.iter().map(|r| r.processed).sum::<u64>()
+    );
+    assert_eq!(server.core_util.cores(), 16);
+    println!(
+        "  server: {:.2} Mpps across {} cores, p99 {} ns",
+        server.throughput_pps() / 1e6,
+        server.core_util.cores(),
+        server.latency.percentile(0.99)
+    );
 }

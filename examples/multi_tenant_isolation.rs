@@ -1,7 +1,7 @@
 //! Multi-tenant isolation demo: the two-stage tenant rate limiter.
 //!
 //! ```sh
-//! cargo run --release --example multi_tenant_isolation
+//! cargo run --release --example multi_tenant_isolation -- --threads 2
 //! ```
 //!
 //! Reproduces the Fig. 13/14 story at demo scale: four tenants share a
@@ -10,8 +10,15 @@
 //! (4K-entry color table → hashed meter table, 2 MB of FPGA SRAM for a
 //! million tenants) the rogue is clamped inside the NIC and the innocent
 //! tenants never notice.
+//!
+//! The two arms (no protection / limiter) are independent simulations, so
+//! they run as a scenario fleet: `--threads N` (or `ALBATROSS_THREADS`)
+//! picks the parallelism, and the final `RESULT` line is byte-identical at
+//! any thread count — `scripts/ci.sh` diffs `--threads 1` against
+//! `--threads 4` to hold the fleet to that.
 
-use albatross::container::simrun::{PodSimulation, SimConfig};
+use albatross::container::fleet::{FleetConfig, Scenario, ScenarioFleet};
+use albatross::container::simrun::{SimConfig, SimReport};
 use albatross::core::ratelimit::RateLimiterConfig;
 use albatross::gateway::services::ServiceKind;
 use albatross::sim::SimTime;
@@ -21,30 +28,35 @@ const TENANT_VNIS: [u32; 4] = [101, 202, 303, 404];
 const TENANT_PPS: [u64; 4] = [8_000_000, 300_000, 200_000, 100_000]; // tenant 1 floods
 const DURATION_SECS: f64 = 0.105;
 
-fn run(limiter: Option<RateLimiterConfig>) -> Vec<(u32, f64, f64)> {
-    let mut config = SimConfig::new(2, ServiceKind::VpcVpc); // ~4.8 Mpps pod
-    config.rate_limiter = limiter;
-    config.warmup = SimTime::from_millis(5);
-    config.table_scale = 0.01;
+fn arm(name: &str, limiter: Option<RateLimiterConfig>) -> Scenario {
     let duration = SimTime::from_millis(105);
+    Scenario::new(name, duration, move || {
+        let mut config = SimConfig::new(2, ServiceKind::VpcVpc); // ~4.8 Mpps pod
+        config.rate_limiter = limiter.clone();
+        config.warmup = SimTime::from_millis(5);
+        config.table_scale = 0.01;
+        let sources: Vec<Box<dyn TrafficSource>> = TENANT_VNIS
+            .iter()
+            .zip(&TENANT_PPS)
+            .enumerate()
+            .map(|(i, (&vni, &pps))| {
+                Box::new(ConstantRateSource::new(
+                    FlowSet::generate(500, Some(vni), 20 + i as u64),
+                    pps,
+                    256,
+                    SimTime::ZERO,
+                    duration,
+                )) as Box<dyn TrafficSource>
+            })
+            .collect();
+        (
+            config,
+            Box::new(MergedSource::new(sources)) as Box<dyn TrafficSource>,
+        )
+    })
+}
 
-    let sources: Vec<Box<dyn TrafficSource>> = TENANT_VNIS
-        .iter()
-        .zip(&TENANT_PPS)
-        .enumerate()
-        .map(|(i, (&vni, &pps))| {
-            Box::new(ConstantRateSource::new(
-                FlowSet::generate(500, Some(vni), 20 + i as u64),
-                pps,
-                256,
-                SimTime::ZERO,
-                duration,
-            )) as Box<dyn TrafficSource>
-        })
-        .collect();
-    let mut traffic = MergedSource::new(sources);
-    let report = PodSimulation::new(config).run(&mut traffic, duration);
-
+fn rows(report: &SimReport) -> Vec<(u32, f64, f64)> {
     TENANT_VNIS
         .iter()
         .zip(&TENANT_PPS)
@@ -73,10 +85,6 @@ fn print_table(rows: &[(u32, f64, f64)]) {
 fn main() {
     println!("== Four tenants on a ~4.8 Mpps pod; tenant 1 floods at 8 Mpps ==\n");
 
-    println!("Without gateway overload protection:");
-    print_table(&run(None));
-    println!("  -> indiscriminate loss: innocent tenants suffer for tenant 1\n");
-
     // Two-stage limiter: per-entry allowance 1 Mpps (stage 1 0.8 + stage 2
     // 0.2), promoted heavy hitters clamped at 1 Mpps.
     let limiter = RateLimiterConfig {
@@ -85,19 +93,40 @@ fn main() {
         tenant_limit_pps: 1_000_000.0,
         ..RateLimiterConfig::production()
     };
-    println!(
-        "With the two-stage limiter ({} KB of NIC SRAM):",
-        albatross::core::ratelimit::TwoStageRateLimiter::new(limiter.clone()).sram_bytes() / 1000
-    );
-    let rows = run(Some(limiter));
-    print_table(&rows);
+    let sram_kb =
+        albatross::core::ratelimit::TwoStageRateLimiter::new(limiter.clone()).sram_bytes() / 1000;
+
+    let mut fleet = ScenarioFleet::new();
+    fleet.push(arm("unprotected", None));
+    fleet.push(arm("limited", Some(limiter)));
+    let threads = FleetConfig::from_env();
+    let results = fleet.run(&threads);
+
+    println!("Without gateway overload protection:");
+    let unprotected = rows(&results[0].report);
+    print_table(&unprotected);
+    println!("  -> indiscriminate loss: innocent tenants suffer for tenant 1\n");
+
+    println!("With the two-stage limiter ({sram_kb} KB of NIC SRAM):");
+    let limited = rows(&results[1].report);
+    print_table(&limited);
     println!("  -> tenant 1 clamped to ~1 Mpps inside the NIC; tenants 2-4 unharmed");
 
-    for (i, &(_, offered, delivered)) in rows.iter().enumerate().skip(1) {
+    for (i, &(_, offered, delivered)) in limited.iter().enumerate().skip(1) {
         assert!(
             delivered > offered * 0.95,
             "tenant {} must be unaffected",
             i + 1
         );
     }
+
+    // One canonical line for the CI fleet-determinism diff: every tenant's
+    // delivered total in both arms, floats as raw bits.
+    let mut result = String::from("RESULT");
+    for fr in &results {
+        for &(vni, _, delivered) in &rows(&fr.report) {
+            result.push_str(&format!(" {}:{vni}={:#018x}", fr.name, delivered.to_bits()));
+        }
+    }
+    println!("{result}");
 }

@@ -22,7 +22,8 @@
 //! to zero. The run is asserted deterministic: two runs with the same seed
 //! produce identical reports.
 
-use albatross::container::simrun::{PodSimulation, SimConfig, SimReport};
+use albatross::container::fleet::{FleetConfig, Scenario, ScenarioFleet};
+use albatross::container::simrun::{SimConfig, SimReport};
 use albatross::core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter};
 use albatross::gateway::services::ServiceKind;
 use albatross::sim::SimTime;
@@ -75,26 +76,32 @@ fn colliding_tenants() -> (u32, Vec<u32>) {
     (innocent, hitters)
 }
 
-fn run(innocent: u32, hitters: &[u32]) -> SimReport {
-    let mut cfg = SimConfig::new(2, ServiceKind::VpcVpc);
-    cfg.table_scale = 0.001;
-    cfg.cache_bytes = 8 * 1024 * 1024;
-    cfg.rate_limiter = Some(limiter_cfg());
-    cfg.tenant_rate_window = PHASE; // per-phase delivered accounting
-    cfg.seed = 0xC4A2;
-    let parade = RotatingOverloadSource::new(hitters, 4, DOMINANT_PPS, 256, PHASE, PARADE, 21);
-    let polite = ConstantRateSource::new(
-        FlowSet::generate(4, Some(innocent), 22),
-        INNOCENT_PPS,
-        256,
-        SimTime::ZERO,
-        DURATION,
-    );
-    let mut src = MergedSource::new(vec![
-        Box::new(parade) as Box<dyn TrafficSource>,
-        Box::new(polite),
-    ]);
-    PodSimulation::new(cfg).run(&mut src, DURATION)
+/// One parade run as a fleet [`Scenario`]; the determinism check runs two
+/// of these side by side (possibly on two threads — same result either
+/// way, which is the point).
+fn scenario(name: &str, innocent: u32, hitters: &[u32]) -> Scenario {
+    let hitters = hitters.to_vec();
+    Scenario::new(name, DURATION, move || {
+        let mut cfg = SimConfig::new(2, ServiceKind::VpcVpc);
+        cfg.table_scale = 0.001;
+        cfg.cache_bytes = 8 * 1024 * 1024;
+        cfg.rate_limiter = Some(limiter_cfg());
+        cfg.tenant_rate_window = PHASE; // per-phase delivered accounting
+        cfg.seed = 0xC4A2;
+        let parade = RotatingOverloadSource::new(&hitters, 4, DOMINANT_PPS, 256, PHASE, PARADE, 21);
+        let polite = ConstantRateSource::new(
+            FlowSet::generate(4, Some(innocent), 22),
+            INNOCENT_PPS,
+            256,
+            SimTime::ZERO,
+            DURATION,
+        );
+        let src = MergedSource::new(vec![
+            Box::new(parade) as Box<dyn TrafficSource>,
+            Box::new(polite),
+        ]);
+        (cfg, Box::new(src) as Box<dyn TrafficSource>)
+    })
 }
 
 /// Packets delivered to `vni` during phase `k` (its 100 ms rate window).
@@ -118,7 +125,14 @@ fn main() {
         HITTERS, innocent
     );
 
-    let r = run(innocent, &hitters);
+    // Both the scored run and its determinism twin go through the fleet
+    // runner (`--threads N` / ALBATROSS_THREADS; default all cores).
+    let mut fleet = ScenarioFleet::new();
+    fleet.push(scenario("run_a", innocent, &hitters));
+    fleet.push(scenario("run_b", innocent, &hitters));
+    let mut results = fleet.run(&FleetConfig::from_env());
+    let r2 = results.pop().expect("twin run").report;
+    let r = results.pop().expect("scored run").report;
 
     // Every dominant tenant must be early-limited during its own phase:
     // offered 8,000 packets, allowance ≈ 1,000 (+bursts, + the pre-
@@ -186,8 +200,7 @@ fn main() {
         worst_innocent, innocent_offered
     );
 
-    // Determinism: a second identical run must reproduce the report.
-    let r2 = run(innocent, &hitters);
+    // Determinism: the second identical run must reproduce the report.
     assert_eq!(r.offered, r2.offered);
     assert_eq!(r.transmitted, r2.transmitted);
     assert_eq!(r.dropped_ratelimit, r2.dropped_ratelimit);

@@ -40,15 +40,41 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 
 echo "==> heavy-hitter lifecycle churn smoke (examples/tenant_churn)"
 # 1,000 rotating heavy hitters through 8 pre_meter slots over 100 simulated
-# seconds; the example asserts promotion is never refused, innocents
-# recover to >= 99% every phase, slots drain to zero, and two same-seed
-# runs produce identical reports.
-cargo run --release --offline --example tenant_churn
+# seconds, both determinism runs fanned out through the fleet runner; the
+# example asserts promotion is never refused, innocents recover to >= 99%
+# every phase, slots drain to zero, and the two same-seed runs produce
+# identical reports.
+cargo run --release --offline --example tenant_churn -- --threads 2
+
+echo "==> fleet determinism gate (threads=1 vs threads=4)"
+# The fleet's contract: thread count must never change a single output
+# byte. Run the two-arm isolation demo serially and 4-wide and diff the
+# canonical RESULT line (delivered totals per tenant, floats as raw bits).
+serial=$(cargo run --release --offline --example multi_tenant_isolation -- --threads 1 | grep '^RESULT')
+wide=$(cargo run --release --offline --example multi_tenant_isolation -- --threads 4 | grep '^RESULT')
+if [ "$serial" != "$wide" ]; then
+    echo "ERROR: fleet output depends on thread count" >&2
+    echo "  threads=1: $serial" >&2
+    echo "  threads=4: $wide" >&2
+    exit 1
+fi
+echo "    fleet output byte-identical at threads=1 and threads=4"
+
+echo "==> co-resident pod fleet smoke (examples/containerized_az)"
+# Control-plane walk plus the two-NUMA pod fleet merged into one server
+# report (exercises ScenarioFleet + SimReport::merge_ordered end to end).
+cargo run --release --offline --example containerized_az -- --threads 2
 
 echo "==> scalar-vs-burst datapath smoke bench"
 # The burst refactor's perf claim, exercised on every CI run: the burst
 # datapath must actually run (regressions in speedup are judged from the
 # printed report, not gated here — CI machines are too noisy for a ratio).
 cargo bench --offline -p albatross-bench --bench micro -- burst_datapath
+
+echo "==> fleet + timing-wheel scaling smoke bench"
+# Wheel-vs-heap events/sec and the 8-scenario fleet wall-clock ratio; the
+# printed gates are judged from the report (single-core CI machines cannot
+# show fleet speedup, and the bench says so explicitly).
+cargo bench --offline -p albatross-bench --bench fleet_scaling -- fleet_scaling
 
 echo "==> CI green"

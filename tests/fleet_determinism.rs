@@ -1,0 +1,130 @@
+//! The fleet's determinism contract (DESIGN.md §4d): running the same
+//! scenarios at any thread count produces **byte-identical** output.
+//!
+//! A 4-scenario fleet (mixed services, modes, and seeds) is run at
+//! `threads ∈ {1, 2, 8}`; every run's reports are rendered into one
+//! [`ExperimentReport`] — floats via `to_bits`, histograms bucket by
+//! bucket — and the JSON must match byte for byte. `threads = 1` is the
+//! plain serial loop, so this also pins the parallel paths to the serial
+//! baseline, and the merged server-level aggregate
+//! ([`SimReport::merge_ordered`]) is included so the merge layer is held
+//! to the same standard.
+
+use albatross::container::fleet::{FleetConfig, Scenario, ScenarioFleet};
+use albatross::container::simrun::{SimConfig, SimReport};
+use albatross::core::engine::LbMode;
+use albatross::gateway::services::ServiceKind;
+use albatross::sim::SimTime;
+use albatross::telemetry::ExperimentReport;
+use albatross::workload::{ConstantRateSource, FlowSet, TrafficSource};
+
+fn fleet() -> ScenarioFleet {
+    let arms = [
+        (ServiceKind::VpcVpc, LbMode::Plb, 2usize, 21u64),
+        (ServiceKind::VpcInternet, LbMode::Rss, 3, 22),
+        (ServiceKind::VpcIdc, LbMode::Plb, 1, 23),
+        (ServiceKind::VpcCloudService, LbMode::Plb, 4, 24),
+    ];
+    let duration = SimTime::from_millis(4);
+    let mut fleet = ScenarioFleet::new();
+    for (service, mode, cores, seed) in arms {
+        fleet.push(Scenario::new(
+            format!("{}/{mode:?}", service.name()),
+            duration,
+            move || {
+                let mut cfg = SimConfig::new(cores, service);
+                cfg.mode = mode;
+                cfg.seed = seed;
+                let flows = FlowSet::generate(2_000, Some(seed as u32), seed);
+                let src = ConstantRateSource::new(flows, 2_500_000, 256, SimTime::ZERO, duration)
+                    .with_random_flows(seed ^ 0x5EED);
+                (cfg, Box::new(src) as Box<dyn TrafficSource>)
+            },
+        ));
+    }
+    fleet
+}
+
+/// Renders a fleet run — every per-scenario report plus the ordered merge
+/// of all four — as a canonical JSON document. Floats go through
+/// `to_bits`, so any drift at all flips bytes.
+fn render(results: &[(String, SimReport)]) -> String {
+    let mut rep = ExperimentReport::new("fleet", "fleet determinism surface");
+    let mut add = |name: &str, r: &SimReport| {
+        rep.row(
+            format!("{name} counters"),
+            "-",
+            format!(
+                "off={} proc={} tx={} ooo={} drops={}/{}/{}/{} hol={} hh={}/{}/{}/{}",
+                r.offered,
+                r.processed,
+                r.transmitted,
+                r.out_of_order,
+                r.dropped_ratelimit,
+                r.dropped_ingress_full,
+                r.dropped_rx_queue,
+                r.dropped_acl,
+                r.hol_timeouts,
+                r.hh_promotions,
+                r.hh_demotions,
+                r.hh_evictions,
+                r.hh_promotion_refused,
+            ),
+            "",
+        );
+        let buckets: Vec<String> = r
+            .latency
+            .nonempty_buckets()
+            .map(|(lo, c)| format!("{lo}:{c}"))
+            .collect();
+        rep.row(format!("{name} latency"), "-", buckets.join(","), "");
+        rep.row(
+            format!("{name} floats"),
+            "-",
+            format!(
+                "secs={:#018x} hit={:#018x} disp={:#018x}",
+                r.measured_secs.to_bits(),
+                r.cache_hit_rate.to_bits(),
+                r.core_util.dispersion().mean().to_bits(),
+            ),
+            "",
+        );
+        let mut vnis: Vec<_> = r.tenant_delivered.keys().copied().collect();
+        vnis.sort_unstable();
+        let tenants: Vec<String> = vnis
+            .iter()
+            .map(|v| format!("{v}={}", r.tenant_delivered[v].total()))
+            .collect();
+        rep.row(format!("{name} tenants"), "-", tenants.join(","), "");
+    };
+    for (name, r) in results {
+        add(name, r);
+    }
+    let merged =
+        SimReport::merge_ordered(&results.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+    add("merged", &merged);
+    rep.to_json()
+}
+
+#[test]
+fn fleet_json_is_byte_identical_across_thread_counts() {
+    let fleet = fleet();
+    let mut renders = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let results: Vec<(String, SimReport)> = fleet
+            .run(&FleetConfig { threads })
+            .into_iter()
+            .map(|r| (r.name, r.report))
+            .collect();
+        // The scenarios must be doing real work for equality to mean much.
+        assert!(results.iter().all(|(_, r)| r.processed > 1_000));
+        renders.push((threads, render(&results)));
+    }
+    let (_, baseline) = &renders[0];
+    for (threads, json) in &renders[1..] {
+        assert_eq!(
+            json, baseline,
+            "threads={threads} diverged from the serial baseline"
+        );
+    }
+}

@@ -421,8 +421,11 @@ impl PodSimulation {
             service = service.with_acl_drop_modulus(m);
         }
         let topo = NumaTopology::albatross_server();
+        // Pre-size per-core cache stats: every data core touches the L3 on
+        // its first packet, and growing the stat vectors there would be a
+        // steady-state allocation (tests/alloc_steady_state.rs).
         let mem = MemorySystem::new(
-            SharedCache::new(cfg.cache_bytes, cfg.cache_ways),
+            SharedCache::with_cores(cfg.cache_bytes, cfg.cache_ways, cfg.data_cores),
             DramModel::new(cfg.mem_freq_mhz),
         )
         .with_placement(&topo, cfg.placement);

@@ -16,6 +16,7 @@ use albatross_packet::meta::PlbMeta;
 use albatross_packet::ToeplitzHasher;
 use albatross_sim::SimTime;
 
+use albatross_fpga::burst::BurstLanes;
 use albatross_fpga::pkt::NicPacket;
 
 use crate::reorder::ReorderQueue;
@@ -50,6 +51,9 @@ pub struct PlbDispatcher {
     hasher: ToeplitzHasher,
     dispatched: u64,
     drops: u64,
+    /// Reusable pass-1 scratch of per-packet Toeplitz hashes (SoA column),
+    /// so burst dispatch never allocates in steady state.
+    hash_scratch: Vec<u32>,
 }
 
 impl PlbDispatcher {
@@ -65,6 +69,7 @@ impl PlbDispatcher {
             hasher: ToeplitzHasher::default(),
             dispatched: 0,
             drops: 0,
+            hash_scratch: Vec::new(),
         }
     }
 
@@ -102,6 +107,11 @@ impl PlbDispatcher {
     /// round-robin spray are run over the batch in one call, appending one
     /// outcome per packet to `out` (same order as `pkts`). Dispatch/drop
     /// accounting is committed once for the burst.
+    ///
+    /// Software-pipelined in two passes: pass 1 computes every packet's
+    /// Toeplitz hash (pure, the expensive part) into a reused scratch
+    /// column; pass 2 then runs the stateful admit/tag/round-robin steps in
+    /// packet order, so the decision sequence is exactly the scalar one.
     pub fn dispatch_burst(
         &mut self,
         pkts: &mut [NicPacket],
@@ -109,20 +119,60 @@ impl PlbDispatcher {
         now: SimTime,
         out: &mut Vec<Result<DispatchOutcome, DispatchError>>,
     ) {
+        self.dispatch_burst_impl(pkts, queues, now, out, None);
+    }
+
+    /// [`dispatch_burst`](Self::dispatch_burst) over an extracted SoA lane
+    /// view: identical decisions, and each admitted lane's `(ordq, psn)` is
+    /// additionally recorded into `lanes` so later stages read the dense
+    /// columns instead of each packet's meta.
+    ///
+    /// # Panics
+    /// Panics when `lanes` was not extracted from these `pkts` (length
+    /// mismatch).
+    pub fn dispatch_burst_lanes(
+        &mut self,
+        pkts: &mut [NicPacket],
+        lanes: &mut BurstLanes,
+        queues: &mut [ReorderQueue],
+        now: SimTime,
+        out: &mut Vec<Result<DispatchOutcome, DispatchError>>,
+    ) {
+        assert_eq!(lanes.len(), pkts.len(), "lane view must match the burst");
+        self.dispatch_burst_impl(pkts, queues, now, out, Some(lanes));
+    }
+
+    fn dispatch_burst_impl(
+        &mut self,
+        pkts: &mut [NicPacket],
+        queues: &mut [ReorderQueue],
+        now: SimTime,
+        out: &mut Vec<Result<DispatchOutcome, DispatchError>>,
+        mut lanes: Option<&mut BurstLanes>,
+    ) {
+        // Pass 1: pure per-packet flow hashes, batched into one column.
+        let mut hashes = std::mem::take(&mut self.hash_scratch);
+        hashes.clear();
+        hashes.extend(pkts.iter().map(|p| self.hasher.hash_tuple(&p.tuple)));
+        // Pass 2: stateful admit + tag + spray, in packet order.
         let mut ok = 0u64;
         let n_queues = queues.len();
-        for pkt in pkts.iter_mut() {
-            let ordq = (self.hasher.hash_tuple(&pkt.tuple) as usize) % n_queues;
+        for (i, (pkt, &hash)) in pkts.iter_mut().zip(&hashes).enumerate() {
+            let ordq = (hash as usize) % n_queues;
             let Some(psn) = queues[ordq].admit(now) else {
                 out.push(Err(DispatchError::OrdqFull { ordq }));
                 continue;
             };
             pkt.meta = Some(PlbMeta::new(psn, ordq as u8, now.as_nanos()));
+            if let Some(lanes) = lanes.as_deref_mut() {
+                lanes.record_dispatch(i, ordq as u8, psn);
+            }
             let core = self.rr_next;
             self.rr_next = (self.rr_next + 1) % self.n_cores;
             ok += 1;
             out.push(Ok(DispatchOutcome { core, ordq, psn }));
         }
+        self.hash_scratch = hashes;
         self.dispatched += ok;
         self.drops += pkts.len() as u64 - ok;
     }
@@ -262,6 +312,49 @@ mod tests {
                 b.meta.map(|m| (m.psn, m.ordq))
             );
         }
+    }
+
+    #[test]
+    fn burst_dispatch_lanes_records_ordq_and_psn() {
+        let mut plain = PlbDispatcher::new(3);
+        let mut laned = PlbDispatcher::new(3);
+        let mut qs_a = vec![ReorderQueue::new(ReorderConfig {
+            depth: 8,
+            timeout_ns: 100_000,
+        })];
+        let mut qs_b = vec![ReorderQueue::new(ReorderConfig {
+            depth: 8,
+            timeout_ns: 100_000,
+        })];
+        // 12 packets into a depth-8 queue: the tail is dropped.
+        let mut pkts_a: Vec<NicPacket> = (0..12).map(|i| pkt(i, 1000 + i as u16)).collect();
+        let mut pkts_b = pkts_a.clone();
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        plain.dispatch_burst(&mut pkts_a, &mut qs_a, SimTime::ZERO, &mut out_a);
+        let mut lanes = BurstLanes::default();
+        lanes.extract_slice(&pkts_b);
+        laned.dispatch_burst_lanes(
+            &mut pkts_b,
+            &mut lanes,
+            &mut qs_b,
+            SimTime::ZERO,
+            &mut out_b,
+        );
+        assert_eq!(out_a, out_b, "lane recording must not change decisions");
+        for (i, r) in out_b.iter().enumerate() {
+            match r {
+                Ok(o) => {
+                    assert_eq!(lanes.ordqs()[i] as usize, o.ordq);
+                    assert_eq!(lanes.psns()[i], o.psn);
+                }
+                Err(_) => {
+                    assert_eq!(lanes.ordqs()[i], BurstLanes::NO_ORDQ);
+                    assert_eq!(lanes.psns()[i], BurstLanes::NO_PSN);
+                }
+            }
+        }
+        assert!(laned.drops() > 0, "test must exercise the drop lanes");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use albatross_sim::SimTime;
 
 use albatross_fpga::pkt::NicPacket;
-use albatross_fpga::PktBurst;
+use albatross_fpga::{BurstLanes, PktBurst};
 
 use crate::dispatch::{DispatchError, PlbDispatcher};
 use crate::reorder::{CpuReturnOutcome, ReorderConfig, ReorderQueue, ReorderRelease, ReorderStats};
@@ -280,6 +280,47 @@ impl PlbEngine {
         scratch.clear();
         self.dispatcher
             .dispatch_burst(burst.as_mut_slice(), &mut self.queues, now, &mut scratch);
+        for res in scratch.drain(..) {
+            out.push(match res {
+                Ok(o) => IngressDecision::ToCore(o.core),
+                Err(DispatchError::OrdqFull { .. }) => IngressDecision::Dropped,
+            });
+        }
+        self.dispatch_scratch = scratch;
+    }
+
+    /// [`Self::ingress_burst`] over an SoA lane view: extracts `lanes`
+    /// from the burst (one pass over the descriptors), then dispatches so
+    /// every admitted lane's `(ordq, psn)` lands in the dense lane columns
+    /// for later stages. Decisions are identical to [`Self::ingress_burst`].
+    ///
+    /// On the RSS / armed-auto-fallback path no `(ordq, psn)` is assigned;
+    /// the lanes keep their sentinels there, exactly as packet meta stays
+    /// `None`.
+    pub fn ingress_burst_lanes(
+        &mut self,
+        burst: &mut PktBurst,
+        lanes: &mut BurstLanes,
+        now: SimTime,
+        out: &mut Vec<IngressDecision>,
+    ) {
+        lanes.extract(burst);
+        if self.mode == LbMode::Rss || self.auto_fallback.is_some() {
+            for pkt in burst.as_mut_slice() {
+                let decision = self.ingress(pkt, now);
+                out.push(decision);
+            }
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.dispatch_scratch);
+        scratch.clear();
+        self.dispatcher.dispatch_burst_lanes(
+            burst.as_mut_slice(),
+            lanes,
+            &mut self.queues,
+            now,
+            &mut scratch,
+        );
         for res in scratch.drain(..) {
             out.push(match res {
                 Ok(o) => IngressDecision::ToCore(o.core),
@@ -642,6 +683,38 @@ mod tests {
                 p.meta.map(|m| (m.psn, m.ordq))
             );
         }
+    }
+
+    #[test]
+    fn burst_ingress_lanes_matches_plain_and_fills_columns() {
+        let mut plain = engine(4, 2);
+        let mut laned = engine(4, 2);
+        let t = SimTime::from_micros(3);
+        let mut b_a = PktBurst::with_capacity(16);
+        let mut b_b = PktBurst::with_capacity(16);
+        for i in 0..16 {
+            b_a.push(pkt(i, 1000 + i as u16)).unwrap();
+            b_b.push(pkt(i, 1000 + i as u16)).unwrap();
+        }
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        plain.ingress_burst(&mut b_a, t, &mut out_a);
+        let mut lanes = BurstLanes::with_capacity(16);
+        laned.ingress_burst_lanes(&mut b_b, &mut lanes, t, &mut out_b);
+        assert_eq!(out_a, out_b);
+        for (i, p) in b_b.as_slice().iter().enumerate() {
+            let m = p.meta.expect("all admitted in an empty engine");
+            assert_eq!(lanes.psns()[i], m.psn);
+            assert_eq!(lanes.ordqs()[i], m.ordq);
+            assert_eq!(lanes.flow_hashes()[i], p.tuple.compact_hash());
+        }
+        // RSS mode: decisions match, lanes keep their sentinels.
+        let mut rss = engine(4, 2);
+        rss.fallback_to_rss();
+        let mut out_r = Vec::new();
+        rss.ingress_burst_lanes(&mut b_b, &mut lanes, t, &mut out_r);
+        assert_eq!(lanes.len(), 16);
+        assert!(lanes.psns().iter().all(|&p| p == BurstLanes::NO_PSN));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Golden test: SoA verdict bitmasks from `process_burst` match scalar
+//! meter decisions on the heavy-hitter promotion / collision-rescue
+//! sequence pinned by `golden_sequences.rs`.
+//!
+//! The drive is the same §4.3 scenario — a dominant tenant flooding at
+//! 40 kpps with an innocent tenant (colliding on both shared entries)
+//! interleaved every 40th tick — but each tick goes through the limiter as
+//! one *burst* (`[dominant]` or `[dominant, innocent]`) at a single `now`.
+//! A scalar twin limiter consumes the identical packet sequence; every
+//! verdict, every bitmask bit, and the final counter bank must agree, and
+//! the milestones must land exactly where the scalar golden trace pins
+//! them (promotion at tick 145, two collateral innocent drops, the phase-1
+//! counter values).
+
+use albatross_core::ratelimit::{RateLimiterConfig, TwoStageRateLimiter, Verdict};
+use albatross_sim::{SimRng, SimTime};
+
+fn rescue_cfg() -> RateLimiterConfig {
+    RateLimiterConfig {
+        color_entries: 64,
+        meter_entries: 64,
+        pre_entries: 8,
+        stage1_pps: 8_000.0,
+        stage2_pps: 2_000.0,
+        tenant_limit_pps: 10_000.0,
+        burst_secs: 0.002,
+        sample_prob: 0.25,
+        promote_threshold: 16,
+        window: SimTime::from_secs(1),
+        entry_bytes: 200,
+        demote_after_windows: None,
+        evict_on_pressure: false,
+    }
+}
+
+#[test]
+fn golden_burst_verdict_masks_match_scalar_rescue_sequence() {
+    let cfg = rescue_cfg();
+    let mut burst = TwoStageRateLimiter::new(cfg.clone());
+    let mut scalar = TwoStageRateLimiter::new(cfg.clone());
+    let dominant = 5u32;
+    let m = burst.meter_idx(dominant);
+    let innocent = (1..10_000u32)
+        .map(|k| dominant + k * cfg.color_entries as u32)
+        .find(|&v| burst.meter_idx(v) == m)
+        .expect("some colliding VNI exists");
+    assert_eq!(innocent, 7109, "collision search is deterministic");
+
+    let mut rng_b = SimRng::seed_from(0xA1BA);
+    let mut rng_s = SimRng::seed_from(0xA1BA);
+    let mut verdicts = Vec::new();
+    let mut promotion_tick = None;
+    let mut innocent_drops_p1 = 0u64;
+
+    // Phase 1: dominant floods at 40 kpps for 1 s; the innocent tenant
+    // rides along in the same burst every 40th tick.
+    for i in 0..40_000u64 {
+        let now = SimTime::from_nanos(i * 25_000);
+        let lanes: &[u32] = if i % 40 == 0 {
+            &[dominant, innocent]
+        } else {
+            &[dominant]
+        };
+        verdicts.clear();
+        let mask = burst.process_burst(lanes, now, &mut rng_b, &mut verdicts);
+        assert_eq!(verdicts.len(), lanes.len());
+        assert_eq!(
+            mask >> lanes.len(),
+            0,
+            "tick {i}: bits beyond the burst must be clear"
+        );
+        for (lane, &vni) in lanes.iter().enumerate() {
+            let want = scalar.process(vni, now, &mut rng_s);
+            assert_eq!(verdicts[lane], want, "tick {i} lane {lane}");
+            assert_eq!(
+                mask >> lane & 1 == 1,
+                want.passed(),
+                "tick {i} lane {lane}: mask bit must equal passed()"
+            );
+        }
+        if i % 40 == 0 && !verdicts[1].passed() {
+            innocent_drops_p1 += 1;
+        }
+        if promotion_tick.is_none() && burst.is_promoted(dominant) {
+            promotion_tick = Some(i);
+        }
+    }
+
+    // The milestones pinned by the scalar golden trace.
+    assert_eq!(promotion_tick, Some(145), "promotion instant");
+    assert_eq!(innocent_drops_p1, 2, "collateral drops before rescue");
+    assert_eq!(burst.promotions(), 1);
+    assert_eq!(burst.count(Verdict::PassColor), 1056);
+    assert_eq!(burst.count(Verdict::PassMeter), 37);
+    assert_eq!(burst.count(Verdict::DropMeter), 53);
+    assert_eq!(burst.count(Verdict::PassPreMeter), 9995);
+    assert_eq!(burst.count(Verdict::DropPreMeter), 29859);
+    for v in Verdict::ALL {
+        assert_eq!(burst.count(v), scalar.count(v), "{v:?} counter");
+    }
+
+    // Phase 2: with the dominant tenant early-limited, every innocent lane
+    // bit must be set — promotion rescues it completely.
+    let t2 = SimTime::from_secs(10);
+    for i in 0..40_000u64 {
+        let now = t2 + i * 25_000;
+        let lanes: &[u32] = if i % 40 == 0 {
+            &[dominant, innocent]
+        } else {
+            &[dominant]
+        };
+        verdicts.clear();
+        let mask = burst.process_burst(lanes, now, &mut rng_b, &mut verdicts);
+        for (lane, &vni) in lanes.iter().enumerate() {
+            assert_eq!(verdicts[lane], scalar.process(vni, now, &mut rng_s));
+        }
+        if i % 40 == 0 {
+            assert_eq!(mask >> 1 & 1, 1, "tick {i}: innocent lane must pass");
+        }
+    }
+}

@@ -126,6 +126,139 @@ impl Default for PktBurst {
     }
 }
 
+/// Structure-of-arrays "lane view" of one burst.
+///
+/// The burst stages (dispatch, rate limiting, gateway lookups, cache-model
+/// charging) each need a *different narrow slice* of every descriptor:
+/// dispatch wants the flow hash, the limiter wants the VNI, the gateway
+/// wants the destination address. Re-reading the full [`NicPacket`] per
+/// stage drags ~100-byte descriptors through the cache once per stage; the
+/// lane view extracts the hot fields **once per burst** into parallel
+/// arrays, so each stage streams over a dense column of exactly the bytes
+/// it uses — the DPDK/SoA layout the paper's datapath assumes.
+///
+/// Lane `i` of every array describes packet `i` of the extracted burst.
+/// PSN and ordq lanes start at their sentinels and are filled in by
+/// dispatch via [`BurstLanes::record_dispatch`]; a lane still holding the
+/// sentinel after dispatch was dropped (or took the RSS path, which
+/// assigns neither).
+#[derive(Debug, Default)]
+pub struct BurstLanes {
+    /// Per-lane compact flow hash (`FiveTuple::compact_hash`).
+    flow_hash: Vec<u64>,
+    /// Per-lane tenant VNI; [`BurstLanes::NO_VNI`] when unencapsulated.
+    vni: Vec<u32>,
+    /// Per-lane destination address as raw IPv4 bits.
+    dst_addr: Vec<u32>,
+    /// Per-lane PSN assigned at dispatch; [`BurstLanes::NO_PSN`] until then.
+    psn: Vec<u32>,
+    /// Per-lane ordq id assigned at dispatch; [`BurstLanes::NO_ORDQ`] until
+    /// then.
+    ordq: Vec<u8>,
+}
+
+impl BurstLanes {
+    /// Sentinel VNI lane value for unencapsulated packets (real VNIs are
+    /// 24-bit, so this cannot collide).
+    pub const NO_VNI: u32 = u32::MAX;
+    /// Sentinel PSN lane value before dispatch assigns one.
+    pub const NO_PSN: u32 = u32::MAX;
+    /// Sentinel ordq lane value before dispatch assigns one.
+    pub const NO_ORDQ: u8 = u8::MAX;
+
+    /// Creates an empty lane view with room for `capacity` lanes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            flow_hash: Vec::with_capacity(capacity),
+            vni: Vec::with_capacity(capacity),
+            dst_addr: Vec::with_capacity(capacity),
+            psn: Vec::with_capacity(capacity),
+            ordq: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Extracts the lane view from `burst`, replacing any previous
+    /// contents. One pass over the descriptors; every later stage reads
+    /// the columns instead.
+    pub fn extract(&mut self, burst: &PktBurst) {
+        self.clear();
+        for pkt in burst.iter() {
+            self.flow_hash.push(pkt.tuple.compact_hash());
+            self.vni.push(pkt.vni.unwrap_or(Self::NO_VNI));
+            self.dst_addr.push(u32::from(pkt.tuple.dst_ip));
+            self.psn.push(Self::NO_PSN);
+            self.ordq.push(Self::NO_ORDQ);
+        }
+    }
+
+    /// Extracts the lane view from a plain descriptor slice (same contract
+    /// as [`BurstLanes::extract`]).
+    pub fn extract_slice(&mut self, pkts: &[NicPacket]) {
+        self.clear();
+        for pkt in pkts {
+            self.flow_hash.push(pkt.tuple.compact_hash());
+            self.vni.push(pkt.vni.unwrap_or(Self::NO_VNI));
+            self.dst_addr.push(u32::from(pkt.tuple.dst_ip));
+            self.psn.push(Self::NO_PSN);
+            self.ordq.push(Self::NO_ORDQ);
+        }
+    }
+
+    /// Records the `(ordq, psn)` dispatch assigned to lane `lane`.
+    ///
+    /// # Panics
+    /// Panics when `lane` is out of range.
+    pub fn record_dispatch(&mut self, lane: usize, ordq: u8, psn: u32) {
+        self.ordq[lane] = ordq;
+        self.psn[lane] = psn;
+    }
+
+    /// Empties the lanes, keeping the backing storage.
+    pub fn clear(&mut self) {
+        self.flow_hash.clear();
+        self.vni.clear();
+        self.dst_addr.clear();
+        self.psn.clear();
+        self.ordq.clear();
+    }
+
+    /// Number of extracted lanes.
+    pub fn len(&self) -> usize {
+        self.flow_hash.len()
+    }
+
+    /// True when no lanes are extracted.
+    pub fn is_empty(&self) -> bool {
+        self.flow_hash.is_empty()
+    }
+
+    /// Per-lane compact flow hashes.
+    pub fn flow_hashes(&self) -> &[u64] {
+        &self.flow_hash
+    }
+
+    /// Per-lane VNIs ([`BurstLanes::NO_VNI`] marks unencapsulated lanes).
+    pub fn vnis(&self) -> &[u32] {
+        &self.vni
+    }
+
+    /// Per-lane destination addresses (raw IPv4 bits).
+    pub fn dst_addrs(&self) -> &[u32] {
+        &self.dst_addr
+    }
+
+    /// Per-lane dispatch PSNs ([`BurstLanes::NO_PSN`] = not dispatched).
+    pub fn psns(&self) -> &[u32] {
+        &self.psn
+    }
+
+    /// Per-lane dispatch ordq ids ([`BurstLanes::NO_ORDQ`] = not
+    /// dispatched).
+    pub fn ordqs(&self) -> &[u8] {
+        &self.ordq
+    }
+}
+
 impl<'a> IntoIterator for &'a PktBurst {
     type Item = &'a NicPacket;
     type IntoIter = std::slice::Iter<'a, NicPacket>;
@@ -199,5 +332,56 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_capacity_rejected() {
         let _ = PktBurst::with_capacity(0);
+    }
+
+    #[test]
+    fn lanes_extract_hot_columns_once() {
+        let mut b = PktBurst::with_capacity(4);
+        for i in 0..3 {
+            b.push(pkt(i)).unwrap();
+        }
+        let mut plain = pkt(3);
+        plain.vni = None;
+        b.push(plain).unwrap();
+
+        let mut lanes = BurstLanes::with_capacity(4);
+        lanes.extract(&b);
+        assert_eq!(lanes.len(), 4);
+        for (i, p) in b.iter().enumerate() {
+            assert_eq!(lanes.flow_hashes()[i], p.tuple.compact_hash());
+            assert_eq!(lanes.dst_addrs()[i], u32::from(p.tuple.dst_ip));
+        }
+        assert_eq!(lanes.vnis()[0], 7);
+        assert_eq!(lanes.vnis()[3], BurstLanes::NO_VNI);
+        assert!(lanes.psns().iter().all(|&p| p == BurstLanes::NO_PSN));
+        assert!(lanes.ordqs().iter().all(|&q| q == BurstLanes::NO_ORDQ));
+    }
+
+    #[test]
+    fn lanes_record_dispatch_and_recycle_storage() {
+        let mut b = PktBurst::with_capacity(8);
+        for i in 0..8 {
+            b.push(pkt(i)).unwrap();
+        }
+        let mut lanes = BurstLanes::with_capacity(8);
+        lanes.extract(&b);
+        let ptr = lanes.flow_hashes().as_ptr();
+        lanes.record_dispatch(2, 1, 40);
+        assert_eq!(lanes.ordqs()[2], 1);
+        assert_eq!(lanes.psns()[2], 40);
+        // Re-extraction resets sentinels and reuses the backing storage.
+        lanes.extract(&b);
+        assert_eq!(lanes.psns()[2], BurstLanes::NO_PSN);
+        assert_eq!(
+            lanes.flow_hashes().as_ptr(),
+            ptr,
+            "lane storage must be reused"
+        );
+        // Slice extraction matches burst extraction.
+        let mut from_slice = BurstLanes::default();
+        from_slice.extract_slice(b.as_slice());
+        assert_eq!(from_slice.flow_hashes(), lanes.flow_hashes());
+        assert_eq!(from_slice.vnis(), lanes.vnis());
+        assert_eq!(from_slice.dst_addrs(), lanes.dst_addrs());
     }
 }

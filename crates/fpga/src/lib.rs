@@ -44,7 +44,7 @@ pub mod resource;
 pub mod sriov;
 pub mod tofino;
 
-pub use burst::{BurstConfig, PktBurst};
+pub use burst::{BurstConfig, BurstLanes, PktBurst};
 pub use pipeline::{NicPipelineLatency, StageBreakdown};
 pub use pkt::{DeliveryMode, NicPacket};
 pub use pktdir::{PacketClass, PktDir};

@@ -69,6 +69,11 @@ impl std::fmt::Display for Prefix {
 pub struct LpmTable {
     /// maps[len] : masked address → next hop.
     maps: [HashMap<u32, u32>; 33],
+    /// Bit `l` set iff `maps[l]` holds at least one route. Lookups walk the
+    /// set bits from /32 downward instead of scanning all 33 maps — with the
+    /// handful of populated lengths a real RIB has, that turns the O(33)
+    /// sweep into O(populated lengths).
+    populated: u64,
     len: usize,
 }
 
@@ -83,6 +88,7 @@ impl LpmTable {
     pub fn new() -> Self {
         Self {
             maps: std::array::from_fn(|_| HashMap::new()),
+            populated: 0,
             len: 0,
         }
     }
@@ -90,6 +96,7 @@ impl LpmTable {
     /// Inserts or replaces a route. Returns the previous next hop, if any.
     pub fn insert(&mut self, prefix: Prefix, next_hop: u32) -> Option<u32> {
         let prev = self.maps[prefix.len as usize].insert(prefix.bits, next_hop);
+        self.populated |= 1u64 << prefix.len;
         if prev.is_none() {
             self.len += 1;
         }
@@ -101,24 +108,106 @@ impl LpmTable {
         let prev = self.maps[prefix.len as usize].remove(&prefix.bits);
         if prev.is_some() {
             self.len -= 1;
+            if self.maps[prefix.len as usize].is_empty() {
+                self.populated &= !(1u64 << prefix.len);
+            }
         }
         prev
     }
 
-    /// Longest-prefix lookup.
-    pub fn lookup(&self, addr: Ipv4Addr) -> Option<u32> {
-        let raw = u32::from(addr);
-        for len in (1..=32u32).rev() {
-            let map = &self.maps[len as usize];
-            if map.is_empty() {
-                continue;
-            }
+    /// The populated-length bitmap: bit `l` set iff any `/l` route exists.
+    pub fn populated_lengths(&self) -> u64 {
+        self.populated
+    }
+
+    /// Longest-prefix lookup, counting hash probes into `probes`.
+    #[inline]
+    fn lookup_counted(&self, raw: u32, probes: &mut u32) -> Option<u32> {
+        let mut bits = self.populated & !1;
+        while bits != 0 {
+            let len = 63 - bits.leading_zeros();
+            bits &= !(1u64 << len);
             let key = raw & (u32::MAX << (32 - len));
-            if let Some(&nh) = map.get(&key) {
+            *probes += 1;
+            if let Some(&nh) = self.maps[len as usize].get(&key) {
                 return Some(nh);
             }
         }
-        self.maps[0].get(&0).copied()
+        if self.populated & 1 != 0 {
+            *probes += 1;
+            return self.maps[0].get(&0).copied();
+        }
+        None
+    }
+
+    /// Longest-prefix lookup.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<u32> {
+        let mut probes = 0;
+        self.lookup_counted(u32::from(addr), &mut probes)
+    }
+
+    /// [`Self::lookup`] returning `(next_hop, hash probes performed)` — the
+    /// counting shim the probe-budget tests (and capacity ledgers) use to
+    /// pin that only populated prefix lengths are visited.
+    pub fn lookup_probes(&self, addr: Ipv4Addr) -> (Option<u32>, u32) {
+        let mut probes = 0;
+        let nh = self.lookup_counted(u32::from(addr), &mut probes);
+        (nh, probes)
+    }
+
+    /// Software-pipelined batch lookup: appends one result per address to
+    /// `out`, in input order, each identical to [`Self::lookup`] on that
+    /// address.
+    ///
+    /// Per populated prefix length (longest first), pass 1 computes every
+    /// lane's masked key in one branch-free sweep, then pass 2 probes the
+    /// length's map for all still-unresolved lanes back to back — the
+    /// hide-the-miss pattern: consecutive independent probes instead of one
+    /// dependent probe chain per packet. Lanes are processed in chunks of
+    /// 64 with a resolution bitmask, so the scratch lives on the stack.
+    pub fn lookup_burst(&self, addrs: &[u32], out: &mut Vec<Option<u32>>) {
+        for chunk in addrs.chunks(64) {
+            self.lookup_chunk(chunk, out);
+        }
+    }
+
+    fn lookup_chunk(&self, addrs: &[u32], out: &mut Vec<Option<u32>>) {
+        let n = addrs.len();
+        let base = out.len();
+        out.resize(base + n, None);
+        let lanes = &mut out[base..];
+        let mut unresolved: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut keys = [0u32; 64];
+        let mut bits = self.populated & !1;
+        while bits != 0 && unresolved != 0 {
+            let len = 63 - bits.leading_zeros();
+            bits &= !(1u64 << len);
+            let mask = u32::MAX << (32 - len);
+            // Pass 1: masked keys for every lane (cheaper branch-free than
+            // testing which lanes still need this length).
+            for (key, addr) in keys[..n].iter_mut().zip(addrs) {
+                *key = addr & mask;
+            }
+            // Pass 2: probe unresolved lanes back to back.
+            let map = &self.maps[len as usize];
+            let mut pending = unresolved;
+            while pending != 0 {
+                let i = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                if let Some(&nh) = map.get(&keys[i]) {
+                    lanes[i] = Some(nh);
+                    unresolved &= !(1u64 << i);
+                }
+            }
+        }
+        if unresolved != 0 && self.populated & 1 != 0 {
+            let default = self.maps[0].get(&0).copied();
+            while unresolved != 0 {
+                let i = unresolved.trailing_zeros() as usize;
+                unresolved &= unresolved - 1;
+                lanes[i] = default;
+            }
+        }
     }
 
     /// Exact-match lookup of a specific prefix.
@@ -207,6 +296,69 @@ mod tests {
     #[should_panic(expected = "> 32")]
     fn overlong_prefix_rejected() {
         let _ = p("10.0.0.0", 33);
+    }
+
+    #[test]
+    fn probe_count_tracks_populated_lengths_only() {
+        let mut t = LpmTable::new();
+        assert_eq!(t.lookup_probes("10.0.0.1".parse().unwrap()), (None, 0));
+
+        t.insert(p("10.1.2.0", 24), 3);
+        t.insert(p("10.1.0.0", 16), 2);
+        t.insert(p("0.0.0.0", 0), 99);
+        assert_eq!(t.populated_lengths(), (1 << 24) | (1 << 16) | 1);
+        // A /24 hit stops after one probe; a /16 hit needs two; a full miss
+        // probes both lengths plus the default route — never all 33 maps.
+        assert_eq!(t.lookup_probes("10.1.2.9".parse().unwrap()), (Some(3), 1));
+        assert_eq!(t.lookup_probes("10.1.9.9".parse().unwrap()), (Some(2), 2));
+        assert_eq!(
+            t.lookup_probes("192.168.0.1".parse().unwrap()),
+            (Some(99), 3)
+        );
+
+        // Removing the last /16 route clears its bit and its probe.
+        t.remove(p("10.1.0.0", 16));
+        assert_eq!(t.populated_lengths(), (1 << 24) | 1);
+        assert_eq!(
+            t.lookup_probes("192.168.0.1".parse().unwrap()),
+            (Some(99), 2)
+        );
+
+        // Removing one of two same-length routes keeps the bit (and probe).
+        t.insert(p("10.1.3.0", 24), 4);
+        t.remove(p("10.1.2.0", 24));
+        assert_eq!(t.populated_lengths(), (1 << 24) | 1);
+        assert_eq!(t.lookup_probes("10.1.3.7".parse().unwrap()), (Some(4), 1));
+
+        // Dropping the default route leaves misses probe-free once no
+        // lengths remain populated.
+        t.remove(p("10.1.3.0", 24));
+        t.remove(p("0.0.0.0", 0));
+        assert_eq!(t.populated_lengths(), 0);
+        assert_eq!(t.lookup_probes("10.1.3.7".parse().unwrap()), (None, 0));
+    }
+
+    #[test]
+    fn lookup_burst_matches_scalar_with_dups_and_misses() {
+        let mut t = LpmTable::new();
+        t.insert(p("10.0.0.0", 8), 1);
+        t.insert(p("10.1.0.0", 16), 2);
+        t.insert(p("10.1.2.0", 24), 3);
+        let addrs: Vec<u32> = [
+            "10.1.2.3",
+            "10.1.9.9",
+            "10.200.0.1",
+            "192.168.0.1",
+            "10.1.2.3",
+        ]
+        .iter()
+        .map(|s| u32::from(s.parse::<Ipv4Addr>().unwrap()))
+        .collect();
+        let mut out = Vec::new();
+        t.lookup_burst(&addrs, &mut out);
+        let scalar: Vec<Option<u32>> = addrs.iter().map(|&a| t.lookup(Ipv4Addr::from(a))).collect();
+        assert_eq!(out, scalar);
+        assert_eq!(out, vec![Some(3), Some(2), Some(1), None, Some(3)]);
     }
 
     #[test]

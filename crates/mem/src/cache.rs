@@ -36,6 +36,17 @@ impl SharedCache {
     /// # Panics
     /// Panics when the geometry yields zero sets.
     pub fn new(size_bytes: usize, ways: usize) -> Self {
+        Self::with_cores(size_bytes, ways, 0)
+    }
+
+    /// Like [`Self::new`], but pre-sizes the per-core hit/miss statistics for
+    /// `cores` cores so steady-state [`Self::access`] calls never allocate.
+    /// Accesses from cores beyond `cores` still work — they grow the stat
+    /// vectors through a cold path, exactly as [`Self::new`] always did.
+    ///
+    /// # Panics
+    /// Panics when the geometry yields zero sets.
+    pub fn with_cores(size_bytes: usize, ways: usize, cores: usize) -> Self {
         assert!(ways > 0, "associativity must be positive");
         let raw_sets = size_bytes / (LINE_BYTES * ways);
         assert!(raw_sets > 0, "cache too small for geometry");
@@ -46,8 +57,8 @@ impl SharedCache {
             tags: vec![EMPTY; sets * ways],
             stamps: vec![0; sets * ways],
             clock: 0,
-            hits: Vec::new(),
-            misses: Vec::new(),
+            hits: vec![0; cores],
+            misses: vec![0; cores],
         }
     }
 
@@ -70,8 +81,7 @@ impl SharedCache {
         let base = set * self.ways;
         self.clock += 1;
         if core >= self.hits.len() {
-            self.hits.resize(core + 1, 0);
-            self.misses.resize(core + 1, 0);
+            self.grow_stats(core);
         }
 
         let mut lru_way = 0;
@@ -98,6 +108,17 @@ impl SharedCache {
         self.stamps[idx] = self.clock;
         self.misses[core] += 1;
         false
+    }
+
+    /// Grows the per-core stat vectors for a core id beyond the pre-sized
+    /// range. Out of line so the allocation never sits on the access fast
+    /// path; with [`Self::with_cores`] sized correctly it is never called
+    /// after construction.
+    #[cold]
+    #[inline(never)]
+    fn grow_stats(&mut self, core: usize) {
+        self.hits.resize(core + 1, 0);
+        self.misses.resize(core + 1, 0);
     }
 
     /// Total hits across all cores.
@@ -216,6 +237,25 @@ mod tests {
             }
         }
         assert!(c.hit_rate() > 0.99, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn with_cores_matches_new_and_presizes_stats() {
+        let mut lazy = SharedCache::new(64 * 1024, 8);
+        let mut sized = SharedCache::with_cores(64 * 1024, 8, 4);
+        for addr in [0x40u64, 0x80, 0x40, 0x1_0000] {
+            for core in 0..4 {
+                assert_eq!(lazy.access(core, addr), sized.access(core, addr));
+            }
+        }
+        assert_eq!(lazy.total_hits(), sized.total_hits());
+        assert_eq!(lazy.total_misses(), sized.total_misses());
+        for core in 0..4 {
+            assert_eq!(lazy.core_hit_rate(core), sized.core_hit_rate(core));
+        }
+        // A core beyond the pre-sized range still works via the cold path.
+        sized.access(9, 0x40);
+        assert_eq!(sized.core_hit_rate(9), 1.0);
     }
 
     #[test]

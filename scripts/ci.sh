@@ -71,6 +71,13 @@ echo "==> scalar-vs-burst datapath smoke bench"
 # printed report, not gated here — CI machines are too noisy for a ratio).
 cargo bench --offline -p albatross-bench --bench micro -- burst_datapath
 
+echo "==> SoA hot-path smoke bench"
+# Scalar vs burst (AoS) vs SoA lane-view hot path on the Tab. 3 shape.
+# The run starts with an untimed exactness gate (SoA ≡ AoS burst on
+# routes, NC lookups, verdicts, and the pass bitmask) that hard-fails on
+# divergence; the >= 1.3x speedup is judged from the printed report.
+cargo bench --offline -p albatross-bench --bench soa_hot_path -- soa_hot_path
+
 echo "==> fleet + timing-wheel scaling smoke bench"
 # Wheel-vs-heap events/sec and the 8-scenario fleet wall-clock ratio; the
 # printed gates are judged from the report (single-core CI machines cannot

@@ -47,6 +47,34 @@ fn run(millis: u64) -> (u64, u64) {
 }
 
 #[test]
+fn presized_cache_stats_never_allocate_on_access() {
+    use albatross::mem::SharedCache;
+
+    // `with_cores` pre-sizes the per-core hit/miss vectors, so accesses
+    // from every in-range core — including the very first from each core —
+    // must be allocation-free. This is the cache-model half of the
+    // steady-state promise: `SharedCache::access` sits under every table
+    // lookup the datapath charges.
+    let cores = 16;
+    let mut cache = SharedCache::with_cores(1024 * 1024, 8, cores);
+    let before = CountingAllocator::allocations();
+    for round in 0..4u64 {
+        for core in 0..cores {
+            for line in 0..64u64 {
+                cache.access(core, ((core as u64) << 20) | (line * 64) | round);
+            }
+        }
+    }
+    let after = CountingAllocator::allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "pre-sized cache must not allocate on access"
+    );
+    assert!(cache.total_hits() + cache.total_misses() > 0);
+}
+
+#[test]
 fn longer_runs_cost_only_telemetry_allocations() {
     // Warm-up run absorbs one-time lazy setup (thread-local buffers,
     // formatting machinery) so the measured runs start from steady state.

@@ -64,6 +64,11 @@ impl BfdSession {
         self.downs
     }
 
+    /// Negotiated receive interval.
+    pub fn rx_interval(&self) -> SimTime {
+        self.rx_interval
+    }
+
     /// Detection window in nanoseconds.
     pub fn detection_time_ns(&self) -> u64 {
         self.rx_interval.as_nanos() * u64::from(self.detect_mult)

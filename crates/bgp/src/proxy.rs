@@ -96,6 +96,12 @@ impl BgpProxy {
     pub fn rib(&self) -> &Rib {
         &self.rib
     }
+
+    /// True while at least one pod serves `prefix` — the proxy-level
+    /// "someone holds the VIP" check migration leans on.
+    pub fn serves(&self, prefix: NlriPrefix) -> bool {
+        self.rib.best(prefix).is_some()
+    }
 }
 
 impl Default for BgpProxy {

@@ -102,6 +102,14 @@ impl Rib {
     pub fn prefixes(&self) -> usize {
         self.routes.len()
     }
+
+    /// Routes currently held from `peer` (across all prefixes).
+    pub fn from_peer(&self, peer: u32) -> usize {
+        self.routes
+            .values()
+            .filter(|by_peer| by_peer.contains_key(&peer))
+            .count()
+    }
 }
 
 #[cfg(test)]

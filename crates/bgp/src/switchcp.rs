@@ -15,6 +15,9 @@
 
 use albatross_sim::SimTime;
 
+use crate::msg::BgpMessage;
+use crate::rib::{Rib, Route};
+
 /// Peers beyond this count trigger the convergence penalty.
 pub const SAFE_PEER_LIMIT: usize = 64;
 
@@ -32,6 +35,9 @@ pub struct SwitchControlPlane {
     per_route_ns: u64,
     /// Quadratic penalty gain on peers beyond the safe limit.
     overload_gain: f64,
+    /// Routes actually learned over the eBGP sessions (the switch's FIB
+    /// feed — what upstream traffic steering consults).
+    rib: Rib,
 }
 
 impl SwitchControlPlane {
@@ -43,7 +49,49 @@ impl SwitchControlPlane {
             per_peer_ns: 200_000_000,
             per_route_ns: 20_000,
             overload_gain: 30.0,
+            rib: Rib::new(),
         }
+    }
+
+    /// Processes one BGP UPDATE from `peer`: withdrawn prefixes leave the
+    /// RIB, NLRI prefixes are learned (next hop required for learning).
+    /// Returns the control-CPU processing delay — `per_route_ns` for every
+    /// route touched — which is the incremental-convergence cost a caller
+    /// should apply before the new state is visible to the data plane.
+    pub fn apply_update(&mut self, peer: u32, msg: &BgpMessage) -> SimTime {
+        let BgpMessage::Update {
+            withdrawn,
+            next_hop,
+            nlri,
+        } = msg
+        else {
+            return SimTime::ZERO;
+        };
+        for &prefix in withdrawn {
+            self.rib.withdraw(prefix, peer);
+        }
+        if let Some(nh) = next_hop {
+            for &prefix in nlri {
+                self.rib.learn(Route {
+                    prefix,
+                    peer,
+                    next_hop: *nh,
+                });
+            }
+        }
+        let touched = (withdrawn.len() + nlri.len()) as u64;
+        SimTime::from_nanos(touched * self.per_route_ns)
+    }
+
+    /// The switch's learned routes.
+    pub fn rib(&self) -> &Rib {
+        &self.rib
+    }
+
+    /// Routes currently held from `peer` (0 when the peer advertises
+    /// nothing — e.g. every pod behind that proxy is down).
+    pub fn routes_from(&self, peer: u32) -> usize {
+        self.rib.from_peer(peer)
     }
 
     /// Registers a BGP peer advertising `routes` prefixes. Returns its id.
@@ -142,6 +190,41 @@ mod tests {
         let few = with_peers(32, 4).convergence_after_restart();
         let many = with_peers(32, 10_000).convergence_after_restart();
         assert!(many > few);
+    }
+
+    #[test]
+    fn apply_update_learns_and_withdraws_with_per_route_delay() {
+        use crate::msg::NlriPrefix;
+        use std::net::Ipv4Addr;
+        let mut cp = SwitchControlPlane::new();
+        let p1 = NlriPrefix::new(Ipv4Addr::new(203, 0, 113, 1), 32);
+        let p2 = NlriPrefix::new(Ipv4Addr::new(203, 0, 113, 2), 32);
+        let adv = BgpMessage::Update {
+            withdrawn: vec![],
+            next_hop: Some(Ipv4Addr::new(10, 0, 0, 1)),
+            nlri: vec![p1, p2],
+        };
+        let d = cp.apply_update(3, &adv);
+        assert_eq!(d, SimTime::from_nanos(2 * 20_000));
+        assert_eq!(cp.rib().len(), 2);
+        assert_eq!(cp.routes_from(3), 2);
+        assert_eq!(cp.routes_from(4), 0);
+        let wd = BgpMessage::Update {
+            withdrawn: vec![p1],
+            next_hop: None,
+            nlri: vec![],
+        };
+        let d = cp.apply_update(3, &wd);
+        assert_eq!(d, SimTime::from_nanos(20_000));
+        assert!(cp.rib().best(p1).is_none());
+        assert_eq!(cp.routes_from(3), 1);
+    }
+
+    #[test]
+    fn non_update_messages_cost_nothing() {
+        let mut cp = SwitchControlPlane::new();
+        assert_eq!(cp.apply_update(0, &BgpMessage::Keepalive), SimTime::ZERO);
+        assert!(cp.rib().is_empty());
     }
 
     #[test]

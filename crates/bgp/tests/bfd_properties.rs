@@ -1,0 +1,96 @@
+//! Property suite for BFD detection timing (§4.3, RFC 5880 async mode).
+//!
+//! The contract the AZ resilience drills lean on: a session declares Down
+//! *only* after more than `detect_mult × rx_interval` of silence, and
+//! never while packets keep arriving within the detection window — the
+//! priority-queue rationale of §4.3 ("even a few lost BFD packets can
+//! result in a link failure being detected" is exactly what must NOT
+//! happen below the threshold).
+
+use albatross_bgp::bfd::{BfdSession, BfdState};
+use albatross_sim::SimTime;
+use albatross_testkit::prelude::*;
+
+props! {
+    #![cases(128)]
+
+    /// Packets always arriving within the detection window keep the
+    /// session Up forever, no matter how jittered the gaps are.
+    fn never_down_while_packets_arrive_in_window(
+        rx_ms in 1u64..100,
+        mult in 1u32..6,
+        gaps in vec_of(any::<u64>(), 1..200),
+    ) {
+        let rx = SimTime::from_millis(rx_ms);
+        let mut s = BfdSession::new(rx, mult);
+        let detection = s.detection_time_ns();
+        let mut now = SimTime::ZERO;
+        s.on_packet(now);
+        for g in gaps {
+            // Gap in (0, detection]: inside the window by definition.
+            let gap = g % detection + 1;
+            // Check right before the packet lands — the worst moment.
+            assert!(!s.check(now + gap.saturating_sub(1)), "early Down");
+            now += gap;
+            s.on_packet(now);
+            assert!(!s.check(now), "Down despite a fresh packet");
+            assert_eq!(s.state(), BfdState::Up);
+        }
+        assert_eq!(s.downs(), 0, "no Down events below the threshold");
+    }
+
+    /// Down is declared exactly for the gaps that exceed the detection
+    /// time, and the session recovers on the next packet each time.
+    fn downs_count_exactly_the_oversized_gaps(
+        rx_ms in 1u64..100,
+        mult in 1u32..6,
+        gaps in vec_of((any::<u64>(), any::<bool>()), 1..100),
+    ) {
+        let rx = SimTime::from_millis(rx_ms);
+        let mut s = BfdSession::new(rx, mult);
+        let detection = s.detection_time_ns();
+        let mut now = SimTime::ZERO;
+        s.on_packet(now);
+        let mut expected_downs = 0u32;
+        for (g, oversize) in gaps {
+            let gap = if oversize {
+                // Strictly beyond the window: silence long enough to trip.
+                detection + 1 + g % detection
+            } else {
+                g % detection + 1
+            };
+            if oversize {
+                expected_downs += 1;
+            }
+            // Sample the timer right before the next packet arrives.
+            let transitioned = s.check(now + gap.saturating_sub(1));
+            assert_eq!(
+                transitioned,
+                gap > detection,
+                "Down iff the gap exceeded detect_mult x rx_interval \
+                 (gap {gap}, detection {detection})"
+            );
+            now += gap;
+            s.on_packet(now);
+            assert_eq!(s.state(), BfdState::Up, "packet restores the session");
+        }
+        assert_eq!(s.downs(), expected_downs, "every oversized gap counted once");
+    }
+
+    /// The detection boundary is exact: silence of precisely the detection
+    /// time is still Up; one nanosecond more is Down.
+    fn detection_boundary_is_exact(
+        rx_ms in 1u64..100,
+        mult in 1u32..6,
+        start_us in any::<u32>(),
+    ) {
+        let rx = SimTime::from_millis(rx_ms);
+        let mut s = BfdSession::new(rx, mult);
+        let t0 = SimTime::from_micros(u64::from(start_us));
+        s.on_packet(t0);
+        let detection = s.detection_time_ns();
+        assert!(!s.check(t0 + detection), "at the boundary: still Up");
+        assert!(s.check(t0 + detection + 1), "past the boundary: Down");
+        assert_eq!(s.downs(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property suite for the BGP proxy's upstream contract (Fig. 7 / §5).
+//!
+//! The proxy is the AZ's single source of routing truth for its server:
+//! whatever interleaving of pod advertises, withdraws, and crashes it
+//! sees, the UPDATE stream it sends the switch must (a) never withdraw a
+//! prefix the switch doesn't hold, (b) withdraw exactly when the last
+//! serving pod leaves, and (c) be a pure function of the op sequence —
+//! the determinism anchor the coupled AZ simulation builds on.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use albatross_bgp::msg::{BgpMessage, NlriPrefix};
+use albatross_bgp::proxy::BgpProxy;
+use albatross_testkit::prelude::*;
+
+const PODS: u32 = 4;
+const PREFIXES: u8 = 6;
+
+/// One proxy-facing operation, decoded from a compact tuple.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Advertise { pod: u32, prefix: u8 },
+    Withdraw { pod: u32, prefix: u8 },
+    PodDown { pod: u32 },
+}
+
+fn decode(raw: (u8, u8, u8)) -> Op {
+    let (kind, pod, prefix) = raw;
+    let pod = u32::from(pod) % PODS;
+    let prefix = prefix % PREFIXES;
+    match kind % 4 {
+        // Advertise twice as likely as the others so runs build up state.
+        0 | 1 => Op::Advertise { pod, prefix },
+        2 => Op::Withdraw { pod, prefix },
+        _ => Op::PodDown { pod },
+    }
+}
+
+fn vip(prefix: u8) -> NlriPrefix {
+    NlriPrefix::new(Ipv4Addr::new(203, 0, 113, prefix + 1), 32)
+}
+
+fn next_hop(pod: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, pod as u8 + 1)
+}
+
+/// Replays ops against a proxy, draining the upstream queue after every
+/// op. Returns the full drained stream in order.
+fn replay(ops: &[(u8, u8, u8)]) -> Vec<BgpMessage> {
+    let mut proxy = BgpProxy::new();
+    // Model of what each pod currently advertises, mirroring the ops.
+    let mut model: HashMap<u32, HashSet<u8>> = HashMap::new();
+    let mut stream = Vec::new();
+    for &raw in ops {
+        match decode(raw) {
+            Op::Advertise { pod, prefix } => {
+                // The proxy tolerates re-advertisement, but the model stays
+                // a set: only advertise what the pod doesn't already hold,
+                // matching how real pods refresh.
+                if model.entry(pod).or_default().insert(prefix) {
+                    proxy.pod_advertise(pod, vip(prefix), next_hop(pod));
+                } else {
+                    continue;
+                }
+            }
+            Op::Withdraw { pod, prefix } => {
+                model.entry(pod).or_default().remove(&prefix);
+                proxy.pod_withdraw(pod, vip(prefix));
+            }
+            Op::PodDown { pod } => {
+                model.remove(&pod);
+                proxy.pod_down(pod);
+            }
+        }
+        stream.extend(proxy.take_upstream_updates());
+    }
+    stream
+}
+
+props! {
+    #![cases(128)]
+
+    /// (a) + (b): applying the upstream stream to a switch-side mirror
+    /// never withdraws an unknown prefix, and the mirror ends up holding
+    /// exactly the prefixes some pod still serves.
+    fn upstream_stream_is_sound_and_complete(
+        ops in vec_of((any::<u8>(), any::<u8>(), any::<u8>()), 1..80),
+    ) {
+        let stream = replay(&ops);
+        // Switch-side mirror: prefix -> advertised.
+        let mut mirror: HashSet<NlriPrefix> = HashSet::new();
+        for msg in &stream {
+            let BgpMessage::Update { withdrawn, next_hop, nlri } = msg else {
+                panic!("proxy only emits UPDATEs, got {msg:?}");
+            };
+            for p in withdrawn {
+                assert!(
+                    mirror.remove(p),
+                    "withdraw for a prefix the switch never held: {p:?}"
+                );
+            }
+            if !nlri.is_empty() {
+                assert!(next_hop.is_some(), "NLRI without a next hop");
+                mirror.extend(nlri.iter().copied());
+            }
+        }
+        // Completeness: rebuild the final model independently.
+        let mut model: HashMap<u32, HashSet<u8>> = HashMap::new();
+        for &raw in &ops {
+            match decode(raw) {
+                Op::Advertise { pod, prefix } => {
+                    model.entry(pod).or_default().insert(prefix);
+                }
+                Op::Withdraw { pod, prefix } => {
+                    model.entry(pod).or_default().remove(&prefix);
+                }
+                Op::PodDown { pod } => {
+                    model.remove(&pod);
+                }
+            }
+        }
+        let served: HashSet<NlriPrefix> = model
+            .values()
+            .flatten()
+            .map(|&p| vip(p))
+            .collect();
+        assert_eq!(mirror, served, "switch state must equal served prefixes");
+    }
+
+    /// (b) sharpened: an upstream withdraw appears exactly when the op
+    /// that caused it removed the prefix's *last* serving pod.
+    fn withdraw_fires_only_when_last_pod_leaves(
+        ops in vec_of((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+    ) {
+        let mut proxy = BgpProxy::new();
+        let mut model: HashMap<u32, HashSet<u8>> = HashMap::new();
+        for &raw in &ops {
+            let served_before: HashSet<u8> = model
+                .values()
+                .flatten()
+                .copied()
+                .collect();
+            match decode(raw) {
+                Op::Advertise { pod, prefix } => {
+                    if model.entry(pod).or_default().insert(prefix) {
+                        proxy.pod_advertise(pod, vip(prefix), next_hop(pod));
+                    }
+                }
+                Op::Withdraw { pod, prefix } => {
+                    model.entry(pod).or_default().remove(&prefix);
+                    proxy.pod_withdraw(pod, vip(prefix));
+                }
+                Op::PodDown { pod } => {
+                    model.remove(&pod);
+                    proxy.pod_down(pod);
+                }
+            }
+            let served_after: HashSet<u8> = model
+                .values()
+                .flatten()
+                .copied()
+                .collect();
+            let expect_withdrawn: HashSet<NlriPrefix> = served_before
+                .difference(&served_after)
+                .map(|&p| vip(p))
+                .collect();
+            let got_withdrawn: HashSet<NlriPrefix> = proxy
+                .take_upstream_updates()
+                .iter()
+                .filter_map(|m| match m {
+                    BgpMessage::Update { withdrawn, .. } if !withdrawn.is_empty() => {
+                        Some(withdrawn.clone())
+                    }
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            assert_eq!(
+                got_withdrawn, expect_withdrawn,
+                "upstream withdraws must track last-pod departures exactly"
+            );
+        }
+    }
+
+    /// (c): the upstream stream is a deterministic function of the ops —
+    /// two fresh replays produce identical message sequences, in order.
+    fn upstream_stream_is_deterministic(
+        ops in vec_of((any::<u8>(), any::<u8>(), any::<u8>()), 1..80),
+    ) {
+        assert_eq!(replay(&ops), replay(&ops));
+    }
+}

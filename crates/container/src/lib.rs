@@ -16,10 +16,14 @@
 //! * [`migration`] — advertise-before-withdraw traffic migration (§7).
 //! * [`cost`] — the AZ buildout cost/power model (Fig. 15, Tab. 6).
 //! * [`simrun`] — the end-to-end pod simulation.
+//! * [`az`] — the coupled AZ resilience simulation: shared switch control
+//!   plane + per-server BGP proxies + per-pod BFD, driven by scripted
+//!   failure drills, with per-drill delivery/latency/convergence reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod az;
 pub mod cost;
 pub mod fleet;
 pub mod migration;
@@ -28,6 +32,7 @@ pub mod pod;
 pub mod server;
 pub mod simrun;
 
+pub use az::{AzConfig, AzReport, AzSimulation, DrillKind, DrillReport, DrillSpec};
 pub use cost::{AzCostModel, GatewayGeneration};
 pub use fleet::{FleetConfig, FleetResult, FleetRunner, Scenario, ScenarioFleet};
 pub use orchestrator::Orchestrator;

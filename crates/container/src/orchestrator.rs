@@ -72,6 +72,26 @@ impl Orchestrator {
         Err(last_err)
     }
 
+    /// Schedules a pod on a specific server at `now` (no spill to other
+    /// servers — AZ drills pin respawns and scale-outs to a chosen host).
+    pub fn schedule_on(
+        &mut self,
+        server: usize,
+        spec: &GwPodSpec,
+        now: SimTime,
+    ) -> Result<&ScheduledPod, PlacementError> {
+        self.servers[server].place(spec)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pods.push(ScheduledPod {
+            id,
+            server,
+            requested_at: now,
+            ready_at: now + POD_BRINGUP.as_nanos(),
+        });
+        Ok(self.pods.last().expect("just pushed"))
+    }
+
     /// Pods scheduled so far.
     pub fn pods(&self) -> &[ScheduledPod] {
         &self.pods

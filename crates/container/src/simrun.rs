@@ -95,6 +95,11 @@ pub struct SimConfig {
     /// Window of the per-tenant delivered-rate meters (Fig. 13/14 use
     /// compressed time, so smaller windows than 1 s).
     pub tenant_rate_window: SimTime,
+    /// Record a per-VNI latency histogram alongside the delivered-rate
+    /// meters. Off by default (it costs a hash probe per egress); the AZ
+    /// resilience harness turns it on so each failure drill — whose
+    /// traffic carries a drill-specific VNI — can report its own p99.
+    pub track_tenant_latency: bool,
     /// Delivery mode for data packets (appendix A: header-only delivery
     /// keeps payloads in the NIC buffer and saves PCIe bandwidth).
     pub delivery: DeliveryMode,
@@ -135,6 +140,7 @@ impl SimConfig {
             extra_jitter: None,
             sample_window: SimTime::from_millis(10),
             tenant_rate_window: SimTime::from_secs(1),
+            track_tenant_latency: false,
             delivery: DeliveryMode::FullPacket,
             payload_buffer_bytes: 64 * 1024 * 1024,
             warmup: SimTime::ZERO,
@@ -181,6 +187,9 @@ pub struct SimReport {
     pub cache_hit_rate: f64,
     /// Delivered packets per tenant over time (1 s windows).
     pub tenant_delivered: HashMap<u32, RateMeter>,
+    /// End-to-end latency per tenant VNI — populated only when
+    /// [`SimConfig::track_tenant_latency`] is set (empty otherwise).
+    pub tenant_latency: HashMap<u32, LatencyHistogram>,
     /// Bytes moved NIC→CPU over PCIe (whole run — the header-only savings
     /// metric of appendix A).
     pub pcie_rx_bytes: u64,
@@ -241,6 +250,7 @@ impl SimReport {
             per_core_processed: Vec::new(),
             cache_hit_rate: 0.0,
             tenant_delivered: HashMap::new(),
+            tenant_latency: HashMap::new(),
             pcie_rx_bytes: 0,
             pcie_tx_bytes: 0,
             headers_dropped: 0,
@@ -289,6 +299,18 @@ impl SimReport {
                     .entry(vni)
                     .and_modify(|m| m.merge(meter))
                     .or_insert_with(|| meter.clone());
+            }
+            // Per-VNI latency merges are bucket-count sums, so they are
+            // grouping-independent too; sorted iteration for the same
+            // belt-and-braces reason as the meters.
+            let mut vnis: Vec<_> = r.tenant_latency.keys().copied().collect();
+            vnis.sort_unstable();
+            for vni in vnis {
+                let hist = &r.tenant_latency[&vni];
+                out.tenant_latency
+                    .entry(vni)
+                    .and_modify(|h| h.merge(hist))
+                    .or_insert_with(|| hist.clone());
             }
             out.pcie_rx_bytes += r.pcie_rx_bytes;
             out.pcie_tx_bytes += r.pcie_tx_bytes;
@@ -382,6 +404,7 @@ pub struct PodSimulation {
     latency: LatencyHistogram,
     core_util: CoreUtilization,
     tenant_delivered: HashMap<u32, RateMeter>,
+    tenant_latency: HashMap<u32, LatencyHistogram>,
     hh_slot_occupancy: TimeSeries,
     poll_at: Option<SimTime>,
     // burst-datapath scratch (preallocated; reused every cycle so steady
@@ -467,6 +490,7 @@ impl PodSimulation {
             latency: LatencyHistogram::new(),
             core_util: CoreUtilization::new(cfg.data_cores),
             tenant_delivered: HashMap::new(),
+            tenant_latency: HashMap::new(),
             hh_slot_occupancy: TimeSeries::new(),
             poll_at: None,
             egress_buf: EgressBuf::with_capacity(cfg.burst.burst_size.max(1)),
@@ -739,13 +763,20 @@ impl PodSimulation {
                     self.split_index.remove(&(meta.ordq, meta.psn));
                 }
             }
-            self.latency.record(at.saturating_since(pkt.arrival));
+            let latency_ns = at.saturating_since(pkt.arrival);
+            self.latency.record(latency_ns);
             if let Some(vni) = pkt.vni {
                 let window = self.cfg.tenant_rate_window.as_nanos();
                 self.tenant_delivered
                     .entry(vni)
                     .or_insert_with(|| RateMeter::new(window))
                     .record(at.as_nanos(), 1);
+                if self.cfg.track_tenant_latency {
+                    self.tenant_latency
+                        .entry(vni)
+                        .or_default()
+                        .record(latency_ns);
+                }
             }
         }
     }
@@ -830,6 +861,7 @@ impl PodSimulation {
             per_core_processed,
             cache_hit_rate: self.mem.cache().hit_rate(),
             tenant_delivered: self.tenant_delivered,
+            tenant_latency: self.tenant_latency,
             pcie_rx_bytes: self.dma.bytes_rx(),
             pcie_tx_bytes: self.dma.bytes_tx(),
             headers_dropped: self

@@ -1,0 +1,173 @@
+//! Golden test for advertise-before-withdraw migration (§7), coupled to
+//! the real switch control plane.
+//!
+//! Pins the full phase sequence of a mid-flow VIP migration — including
+//! what the *switch* sees at every event boundary — and every
+//! out-of-order error path. The central claim: there is **no event
+//! window** in which neither pod holds the VIP, and the switch never
+//! processes a withdraw for it.
+
+use std::net::Ipv4Addr;
+
+use albatross_bgp::msg::NlriPrefix;
+use albatross_bgp::proxy::BgpProxy;
+use albatross_bgp::switchcp::SwitchControlPlane;
+use albatross_container::migration::{
+    Migration, MigrationError, MigrationPhase, VALIDATION_PERIOD,
+};
+use albatross_sim::SimTime;
+
+const PEER: u32 = 0;
+
+fn vip() -> NlriPrefix {
+    NlriPrefix::new(Ipv4Addr::new(203, 0, 113, 77), 32)
+}
+
+fn nh(pod: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, pod)
+}
+
+/// Proxy + switch with the old pod (1) serving the VIP, switch converged.
+fn coupled_setup() -> (BgpProxy, SwitchControlPlane, Migration) {
+    let mut proxy = BgpProxy::new();
+    let mut switch = SwitchControlPlane::new();
+    proxy.pod_advertise(1, vip(), nh(1));
+    for msg in proxy.take_upstream_updates() {
+        switch.apply_update(PEER, &msg);
+    }
+    (proxy, switch, Migration::new(vip(), 1, 2))
+}
+
+/// Forwards the proxy's pending upstream UPDATEs into the switch,
+/// asserting none of them is a withdraw, and that after each message the
+/// switch still routes the VIP. Returns how many messages flowed.
+fn forward_asserting_no_gap(proxy: &mut BgpProxy, switch: &mut SwitchControlPlane) -> usize {
+    let msgs = proxy.take_upstream_updates();
+    for msg in &msgs {
+        if let albatross_bgp::msg::BgpMessage::Update { withdrawn, .. } = msg {
+            assert!(
+                withdrawn.is_empty(),
+                "migration must never send an upstream withdraw, got {withdrawn:?}"
+            );
+        }
+        switch.apply_update(PEER, msg);
+        assert!(
+            switch.rib().best(vip()).is_some(),
+            "switch lost the VIP route mid-migration"
+        );
+    }
+    msgs.len()
+}
+
+#[test]
+fn golden_phase_sequence_with_no_unserved_window() {
+    let (mut proxy, mut switch, mut m) = coupled_setup();
+
+    // Boundary 0: before anything happens. Old pod serves; switch routes
+    // to the old pod's next hop.
+    assert_eq!(m.phase(), MigrationPhase::Preparing);
+    assert!(proxy.serves(vip()));
+    assert_eq!(switch.rib().best(vip()).expect("routed").next_hop, nh(1));
+
+    // Boundary 1: the new pod advertises at t=5s. Both pods serve at the
+    // proxy; the switch's single route flips its next hop to the new pod
+    // (same peer re-advertisement) — no withdraw, no gap.
+    let t_adv = SimTime::from_secs(5);
+    m.advertise_new(&mut proxy, nh(2), t_adv)
+        .expect("first advertise");
+    assert_eq!(m.phase(), MigrationPhase::Validating);
+    assert_eq!(forward_asserting_no_gap(&mut proxy, &mut switch), 1);
+    assert_eq!(switch.rib().best(vip()).expect("routed").next_hop, nh(2));
+    assert!(proxy.serves(vip()));
+    assert_eq!(
+        proxy.rib().len(),
+        2,
+        "both pods hold the VIP while validating"
+    );
+
+    // Boundary 2: mid-validation. Still both serving, still routed.
+    let t_mid = SimTime::from_secs(20);
+    match m.withdraw_old(&mut proxy, t_mid) {
+        Err(MigrationError::ValidationIncomplete { remaining }) => {
+            assert_eq!(remaining, SimTime::from_secs(15), "5s in, 30s period");
+        }
+        other => panic!("expected incomplete validation, got {other:?}"),
+    }
+    assert_eq!(
+        m.phase(),
+        MigrationPhase::Validating,
+        "failed step changes nothing"
+    );
+    assert!(proxy.serves(vip()));
+
+    // Boundary 3: exactly at the validation boundary (advertise + 30s).
+    let t_done = SimTime::from_nanos(t_adv.as_nanos() + VALIDATION_PERIOD.as_nanos());
+    m.withdraw_old(&mut proxy, t_done)
+        .expect("validation complete");
+    assert_eq!(m.phase(), MigrationPhase::Complete);
+    // The old pod left silently: nothing flows upstream, the switch keeps
+    // routing to the new pod.
+    assert_eq!(forward_asserting_no_gap(&mut proxy, &mut switch), 0);
+    assert_eq!(switch.rib().best(vip()).expect("routed").next_hop, nh(2));
+    let best = proxy.rib().best(vip()).expect("VIP still served");
+    assert_eq!(best.peer, 2, "only the new pod remains");
+    assert_eq!(proxy.rib().len(), 1);
+}
+
+#[test]
+fn withdraw_before_advertise_is_rejected_and_harmless() {
+    let (mut proxy, mut switch, mut m) = coupled_setup();
+    assert_eq!(
+        m.withdraw_old(&mut proxy, SimTime::from_secs(100)),
+        Err(MigrationError::WithdrawBeforeAdvertise)
+    );
+    assert_eq!(m.phase(), MigrationPhase::Preparing);
+    // The rejected call must not have touched routing state.
+    assert_eq!(forward_asserting_no_gap(&mut proxy, &mut switch), 0);
+    assert_eq!(switch.rib().best(vip()).expect("routed").next_hop, nh(1));
+}
+
+#[test]
+fn early_withdraw_counts_down_the_remaining_validation() {
+    let (mut proxy, _switch, mut m) = coupled_setup();
+    m.advertise_new(&mut proxy, nh(2), SimTime::from_secs(10))
+        .unwrap();
+    // Sweep several early attempts; the remaining time must track `now`.
+    for (now_s, remaining_s) in [(10u64, 30u64), (11, 29), (25, 15), (39, 1)] {
+        match m.withdraw_old(&mut proxy, SimTime::from_secs(now_s)) {
+            Err(MigrationError::ValidationIncomplete { remaining }) => {
+                assert_eq!(remaining, SimTime::from_secs(remaining_s));
+            }
+            other => panic!("expected incomplete at {now_s}s, got {other:?}"),
+        }
+        assert!(proxy.serves(vip()), "rejections never unserve the VIP");
+    }
+    // One nanosecond short still counts as incomplete.
+    let almost = SimTime::from_nanos(SimTime::from_secs(40).as_nanos() - 1);
+    assert!(matches!(
+        m.withdraw_old(&mut proxy, almost),
+        Err(MigrationError::ValidationIncomplete { remaining }) if remaining == SimTime::from_nanos(1)
+    ));
+}
+
+#[test]
+fn out_of_order_steps_hit_wrong_phase() {
+    let (mut proxy, _switch, mut m) = coupled_setup();
+    m.advertise_new(&mut proxy, nh(2), SimTime::ZERO).unwrap();
+    // Double advertise while validating.
+    assert_eq!(
+        m.advertise_new(&mut proxy, nh(2), SimTime::from_secs(1)),
+        Err(MigrationError::WrongPhase)
+    );
+    m.withdraw_old(&mut proxy, SimTime::from_secs(30)).unwrap();
+    // Everything is terminal after completion.
+    assert_eq!(
+        m.withdraw_old(&mut proxy, SimTime::from_secs(31)),
+        Err(MigrationError::WrongPhase)
+    );
+    assert_eq!(
+        m.advertise_new(&mut proxy, nh(2), SimTime::from_secs(32)),
+        Err(MigrationError::WrongPhase)
+    );
+    assert_eq!(m.phase(), MigrationPhase::Complete);
+}

@@ -22,6 +22,7 @@ pub mod engine;
 pub mod queue;
 pub mod rate;
 pub mod rng;
+pub mod script;
 pub mod time;
 
 pub use dist::LatencyModel;
@@ -29,4 +30,5 @@ pub use engine::{Engine, EventId};
 pub use queue::BoundedQueue;
 pub use rate::TokenBucket;
 pub use rng::SimRng;
+pub use script::EventScript;
 pub use time::SimTime;

@@ -1,0 +1,131 @@
+//! Scripted event sequences for deterministic scenario drivers.
+//!
+//! Failure drills and control-plane scenarios are *scripts*: a fixed list
+//! of `(time, event)` pairs declared up front, replayed into an
+//! [`Engine`] so they interleave with the simulation's own
+//! events in exact `(time, seq)` order. Declaring the script as data (not
+//! ad-hoc `schedule` calls sprinkled through setup code) keeps the drill
+//! timeline reviewable in one place and guarantees two runs of the same
+//! script schedule byte-identical sequences — the engine breaks time ties
+//! by insertion order, and [`EventScript::schedule_into`] inserts in script
+//! order.
+//!
+//! ```
+//! use albatross_sim::{Engine, EventScript, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Drill { Crash(u32), Respawn(u32) }
+//!
+//! let mut script = EventScript::new();
+//! script
+//!     .at(SimTime::from_secs(1), Drill::Crash(3))
+//!     .at(SimTime::from_secs(11), Drill::Respawn(3));
+//! let mut eng = Engine::new();
+//! script.schedule_into(&mut eng);
+//! assert_eq!(eng.pop().unwrap().1, Drill::Crash(3));
+//! ```
+
+use crate::engine::Engine;
+use crate::time::SimTime;
+
+/// An ordered list of timed events, replayable into an engine.
+#[derive(Debug)]
+pub struct EventScript<E> {
+    entries: Vec<(SimTime, E)>,
+}
+
+impl<E> EventScript<E> {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends an event at `time`. Entries need not be appended in time
+    /// order — scheduling sorts stably, so same-time entries fire in the
+    /// order they were declared.
+    pub fn at(&mut self, time: SimTime, event: E) -> &mut Self {
+        self.entries.push((time, event));
+        self
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Time of the last scripted event, or `None` when empty.
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.entries.iter().map(|(t, _)| *t).max()
+    }
+
+    /// The scripted entries, in declaration order.
+    pub fn entries(&self) -> &[(SimTime, E)] {
+        &self.entries
+    }
+
+    /// Schedules every entry into `engine`, consuming the script. Entries
+    /// are inserted in ascending time (stable for ties), so a script
+    /// replayed into a fresh engine always produces the same `(time, seq)`
+    /// pop sequence.
+    pub fn schedule_into(mut self, engine: &mut Engine<E>) {
+        self.entries.sort_by_key(|(t, _)| *t);
+        for (time, event) in self.entries {
+            engine.schedule(time, event);
+        }
+    }
+}
+
+impl<E> Default for EventScript<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut s = EventScript::new();
+        s.at(SimTime::from_secs(2), "b")
+            .at(SimTime::from_secs(1), "a")
+            .at(SimTime::from_secs(3), "c");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.horizon(), Some(SimTime::from_secs(3)));
+        let mut eng = Engine::new();
+        s.schedule_into(&mut eng);
+        let order: Vec<&str> = std::iter::from_fn(|| eng.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_entries_fire_in_declaration_order() {
+        let mut s = EventScript::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10u32 {
+            s.at(t, i);
+        }
+        let mut eng = Engine::new();
+        s.schedule_into(&mut eng);
+        let order: Vec<u32> = std::iter::from_fn(|| eng.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_script_is_a_no_op() {
+        let s: EventScript<u8> = EventScript::default();
+        assert!(s.is_empty());
+        assert_eq!(s.horizon(), None);
+        let mut eng = Engine::new();
+        s.schedule_into(&mut eng);
+        assert!(eng.pop().is_none());
+    }
+}

@@ -16,7 +16,10 @@
 //!   ([`tenant::TenantSet`]);
 //! * rotating-overload tenant churn — M tenants each dominant for a few
 //!   detection windows, then idle — for heavy-hitter lifecycle stress
-//!   ([`churn::RotatingOverloadSource`]).
+//!   ([`churn::RotatingOverloadSource`]);
+//! * steering timelines — per-pod constant-rate segments derived from the
+//!   AZ control plane's routing decisions, with per-drill VNI labels and
+//!   failed-VF edge loss ([`steer::SteeredSource`]).
 //!
 //! Sources yield [`PacketDesc`]s in non-decreasing virtual time; they carry
 //! flow identity and size, not bytes — the `albatross-packet` builder can
@@ -30,11 +33,13 @@ pub mod burst;
 pub mod churn;
 pub mod flowgen;
 pub mod pktsize;
+pub mod steer;
 pub mod tenant;
 pub mod traffic;
 
 pub use churn::RotatingOverloadSource;
 pub use flowgen::FlowSet;
+pub use steer::{SteerSegment, SteeredSource};
 pub use tenant::TenantSet;
 pub use traffic::{ConstantRateSource, MergedSource, PoissonSource, RampSource, TrafficSource};
 

@@ -1,0 +1,213 @@
+//! Steered traffic: per-pod packet trains derived from a routing timeline.
+//!
+//! In the coupled AZ simulation (`albatross-container::az`) the uplink
+//! switch spreads a service's aggregate rate over the VIPs it currently
+//! holds routes for. Control-plane events (withdraws, re-advertises,
+//! VF failovers) change that steering over time, so each pod's offered
+//! load is a *sequence of constant-rate segments* rather than one rate.
+//! [`SteeredSource`] replays such a timeline deterministically: segment
+//! boundaries, packet spacing, per-segment VNI labels (the drill windows
+//! tag their traffic with a distinct VNI so delivery and latency can be
+//! attributed per drill), and an optional edge-loss modulus modelling a
+//! failed VF eating a fixed share of the pod's packets before the NIC
+//! sees them.
+//!
+//! Packet counts are pure integer arithmetic ([`SteerSegment::packets`]),
+//! so the steering layer can account offered/lost totals without running
+//! the source.
+
+use albatross_packet::FiveTuple;
+use albatross_sim::SimTime;
+
+use crate::flowgen::FlowSet;
+use crate::{PacketDesc, TrafficSource};
+
+/// One constant-rate span of a pod's steering timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SteerSegment {
+    /// First packet's arrival time.
+    pub start: SimTime,
+    /// Exclusive end: packets arrive at `start + k·gap_ns < end`.
+    pub end: SimTime,
+    /// Packet spacing in nanoseconds.
+    pub gap_ns: u64,
+    /// VNI stamped on every packet of this segment (drill windows use a
+    /// distinct VNI per drill).
+    pub vni: u32,
+    /// When `Some(m)`, every packet whose in-segment index satisfies
+    /// `k % m == 0` is lost before the NIC (failed-VF edge loss).
+    pub drop_mod: Option<u64>,
+}
+
+impl SteerSegment {
+    /// Packets this segment offers (including edge-lost ones).
+    pub fn packets(&self) -> u64 {
+        let span = self.end.saturating_since(self.start);
+        span.div_ceil(self.gap_ns)
+    }
+
+    /// Packets lost at the edge (the `drop_mod` casualties).
+    pub fn edge_lost(&self) -> u64 {
+        match self.drop_mod {
+            Some(m) => self.packets().div_ceil(m),
+            None => 0,
+        }
+    }
+
+    /// Packets that actually reach the NIC.
+    pub fn delivered_to_nic(&self) -> u64 {
+        self.packets() - self.edge_lost()
+    }
+}
+
+/// A deterministic multi-segment traffic source.
+#[derive(Debug)]
+pub struct SteeredSource {
+    flows: FlowSet,
+    len_bytes: u32,
+    segments: Vec<SteerSegment>,
+    seg: usize,
+    idx_in_seg: u64,
+    counter: usize,
+}
+
+impl SteeredSource {
+    /// Creates a source replaying `segments` over `flows` with `len_bytes`
+    /// packets, cycling flows round-robin across segment boundaries.
+    ///
+    /// # Panics
+    /// Panics when a segment has a zero gap or segments are not in
+    /// non-decreasing, non-overlapping time order.
+    pub fn new(flows: FlowSet, len_bytes: u32, segments: Vec<SteerSegment>) -> Self {
+        let mut prev_end = SimTime::ZERO;
+        for s in &segments {
+            assert!(s.gap_ns > 0, "segment gap must be positive");
+            assert!(s.start >= prev_end, "segments must not overlap");
+            assert!(s.end >= s.start, "segment end before start");
+            prev_end = s.end;
+        }
+        Self {
+            flows,
+            len_bytes,
+            segments,
+            seg: 0,
+            idx_in_seg: 0,
+            counter: 0,
+        }
+    }
+
+    /// Total packets the timeline offers (including edge-lost ones).
+    pub fn offered(&self) -> u64 {
+        self.segments.iter().map(SteerSegment::packets).sum()
+    }
+
+    /// Total packets lost at the edge across the timeline.
+    pub fn edge_lost(&self) -> u64 {
+        self.segments.iter().map(SteerSegment::edge_lost).sum()
+    }
+
+    fn next_flow(&mut self) -> FiveTuple {
+        let tuple = self.flows.flow(self.counter);
+        self.counter += 1;
+        tuple
+    }
+}
+
+impl TrafficSource for SteeredSource {
+    fn next_packet(&mut self) -> Option<PacketDesc> {
+        loop {
+            let s = *self.segments.get(self.seg)?;
+            let k = self.idx_in_seg;
+            let t = s.start + k * s.gap_ns;
+            if t >= s.end {
+                self.seg += 1;
+                self.idx_in_seg = 0;
+                continue;
+            }
+            self.idx_in_seg += 1;
+            // Edge-lost packets consume their slot (flow cursor included)
+            // but never surface: the NIC simply doesn't see them.
+            let tuple = self.next_flow();
+            if s.drop_mod.is_some_and(|m| k.is_multiple_of(m)) {
+                continue;
+            }
+            return Some(PacketDesc {
+                time: t,
+                tuple,
+                vni: Some(s.vni),
+                len_bytes: self.len_bytes,
+                protocol: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(start_us: u64, end_us: u64, gap_ns: u64, vni: u32) -> SteerSegment {
+        SteerSegment {
+            start: SimTime::from_micros(start_us),
+            end: SimTime::from_micros(end_us),
+            gap_ns,
+            vni,
+            drop_mod: None,
+        }
+    }
+
+    #[test]
+    fn segment_counts_are_exact() {
+        let s = seg(0, 10, 1_000, 1);
+        assert_eq!(s.packets(), 10);
+        // A non-dividing gap rounds up: packets at 0, 3, 6, 9 µs.
+        let s = seg(0, 10, 3_000, 1);
+        assert_eq!(s.packets(), 4);
+        // Empty span offers nothing.
+        assert_eq!(seg(5, 5, 1_000, 1).packets(), 0);
+    }
+
+    #[test]
+    fn source_emits_exactly_the_counted_packets_in_time_order() {
+        let segments = vec![seg(0, 10, 1_000, 7), seg(20, 25, 500, 8)];
+        let flows = FlowSet::generate(4, None, 1);
+        let mut src = SteeredSource::new(flows, 256, segments.clone());
+        let expected: u64 = segments.iter().map(SteerSegment::packets).sum();
+        assert_eq!(src.offered(), expected);
+        let mut prev = SimTime::ZERO;
+        let mut n = 0;
+        let mut vnis = Vec::new();
+        while let Some(p) = src.next_packet() {
+            assert!(p.time >= prev, "time order violated");
+            prev = p.time;
+            vnis.push(p.vni.unwrap());
+            n += 1;
+        }
+        assert_eq!(n, expected);
+        assert_eq!(vnis[..10], [7; 10]);
+        assert_eq!(vnis[10..], [8; 10]);
+    }
+
+    #[test]
+    fn drop_mod_eats_every_mth_packet() {
+        let mut s = seg(0, 10, 1_000, 1);
+        s.drop_mod = Some(4);
+        // Indices 0..10, lost at 0, 4, 8.
+        assert_eq!(s.edge_lost(), 3);
+        assert_eq!(s.delivered_to_nic(), 7);
+        let flows = FlowSet::generate(2, None, 1);
+        let mut src = SteeredSource::new(flows, 256, vec![s]);
+        let times: Vec<u64> = std::iter::from_fn(|| src.next_packet())
+            .map(|p| p.time.as_nanos())
+            .collect();
+        assert_eq!(times.len(), 7);
+        assert!(!times.contains(&0) && !times.contains(&4_000) && !times.contains(&8_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "segments must not overlap")]
+    fn overlapping_segments_rejected() {
+        let flows = FlowSet::generate(2, None, 1);
+        SteeredSource::new(flows, 256, vec![seg(0, 10, 1_000, 1), seg(5, 15, 1_000, 2)]);
+    }
+}

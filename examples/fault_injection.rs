@@ -24,6 +24,17 @@ use albatross::packet::FiveTuple;
 use albatross::sim::SimTime;
 use albatross::workload::{ConstantRateSource, FlowSet};
 
+/// Canonical, machine-diffable line for one arm of the experiment.
+/// Floats travel as raw bits so the gate can compare bytes, not decimals
+/// (`tests/fault_injection_gate.rs` pins these exact strings).
+fn result_line(mode: &str, hol: u64, releases: u64, p999_us: f64) -> String {
+    format!(
+        "RESULT fault_injection mode={mode} hol_timeouts={hol} \
+         drop_flag_releases={releases} p999_us_bits={:016x}",
+        p999_us.to_bits()
+    )
+}
+
 fn run(use_drop_flag: bool) -> (u64, u64, f64) {
     let mut config = SimConfig::new(4, ServiceKind::VpcVpc);
     config.table_scale = 0.01;
@@ -49,13 +60,15 @@ fn run(use_drop_flag: bool) -> (u64, u64, f64) {
 
 fn main() {
     println!("== Fault injection: ACL silently drops ~0.8% of flows ==\n");
-    let (hol, _, p999) = run(false);
+    let (hol, releases0, p999) = run(false);
     println!("without drop flag: {hol} HOL timeouts, P99.9 latency {p999:.0} us");
     let (hol2, releases, p999_2) = run(true);
     println!(
         "with drop flag   : {hol2} HOL timeouts ({releases} early releases), P99.9 latency {p999_2:.0} us\n"
     );
     assert!(hol > 0 && hol2 == 0);
+    println!("{}", result_line("acl-silent", hol, releases0, p999));
+    println!("{}", result_line("drop-flag", hol2, releases, p999_2));
 
     // --- PLB→RSS fallback, driven by hand on the engine API -------------
     println!("== Last resort: dynamic PLB -> RSS fallback ==");
@@ -92,4 +105,9 @@ fn main() {
         engine.total_hol_timeouts()
     );
     println!("(production has never needed this — see §4.1 HOL handling #5)");
+    println!(
+        "RESULT fault_injection mode=plb-rss-fallback packets={} hol_timeouts={}",
+        i,
+        engine.total_hol_timeouts()
+    );
 }

@@ -60,6 +60,31 @@ if [ "$serial" != "$wide" ]; then
 fi
 echo "    fleet output byte-identical at threads=1 and threads=4"
 
+echo "==> fault injection gate (examples/fault_injection)"
+# The example is a gate, not a demo: its canonical RESULT lines (floats
+# as raw bits) are pinned byte-for-byte by tests/fault_injection_gate.rs;
+# here the binary itself must still run green and emit all three arms.
+lines=$(cargo run --release --offline --example fault_injection | grep -c '^RESULT fault_injection')
+if [ "$lines" != "3" ]; then
+    echo "ERROR: fault_injection must emit exactly 3 RESULT lines, got $lines" >&2
+    exit 1
+fi
+
+echo "==> AZ resilience drill gate (examples/az_resilience, threads=1 vs 4)"
+# The coupled AZ simulation (shared switch control plane, per-server BGP
+# proxies, per-pod BFD, five failure drills) must produce byte-identical
+# canonical output at any thread count. The example also asserts the
+# headline drill contracts (crash convergence, loss-free migration,
+# zero-route storm, per-window conservation) before printing.
+az_serial=$(cargo run --release --offline --example az_resilience -- --threads 1 | grep '^RESULT')
+az_wide=$(cargo run --release --offline --example az_resilience -- --threads 4 | grep '^RESULT')
+if [ "$az_serial" != "$az_wide" ]; then
+    echo "ERROR: AZ drill output depends on thread count" >&2
+    diff <(printf '%s\n' "$az_serial") <(printf '%s\n' "$az_wide") >&2 || true
+    exit 1
+fi
+echo "    AZ drill output byte-identical at threads=1 and threads=4"
+
 echo "==> co-resident pod fleet smoke (examples/containerized_az)"
 # Control-plane walk plus the two-NUMA pod fleet merged into one server
 # report (exercises ScenarioFleet + SimReport::merge_ordered end to end).

@@ -1,0 +1,129 @@
+//! Gate for `examples/fault_injection.rs`: the example's canonical
+//! `RESULT` lines, replayed through the same library calls and pinned
+//! byte-for-byte.
+//!
+//! The example went from demo to gate: its three arms (silent ACL loss,
+//! drop-flag remediation, PLB→RSS fallback) are rebuilt here with
+//! identical configs, the RESULT lines are reconstructed with the same
+//! formatting (floats as raw bits), and compared against golden strings.
+//! Any behavioral drift in the reorder engine, the ACL drop path, or the
+//! fallback threshold shows up as a byte diff — not as a silently
+//! different demo printout.
+
+use albatross::container::simrun::{PodSimulation, SimConfig};
+use albatross::core::engine::{LbMode, PlbEngine, PlbEngineConfig};
+use albatross::core::reorder::ReorderConfig;
+use albatross::fpga::pkt::NicPacket;
+use albatross::gateway::services::ServiceKind;
+use albatross::packet::flow::IpProtocol;
+use albatross::packet::FiveTuple;
+use albatross::sim::SimTime;
+use albatross::workload::{ConstantRateSource, FlowSet};
+
+/// Mirrors `run()` in examples/fault_injection.rs exactly.
+fn run(use_drop_flag: bool) -> (u64, u64, f64) {
+    let mut config = SimConfig::new(4, ServiceKind::VpcVpc);
+    config.table_scale = 0.01;
+    config.warmup = SimTime::from_millis(5);
+    config.acl_drop_modulus = Some(128);
+    config.use_drop_flag = use_drop_flag;
+    let duration = SimTime::from_millis(105);
+    let mut traffic = ConstantRateSource::new(
+        FlowSet::generate(20_000, Some(6), 33),
+        1_000_000,
+        256,
+        SimTime::ZERO,
+        duration,
+    )
+    .with_random_flows(34);
+    let report = PodSimulation::new(config).run(&mut traffic, duration);
+    (
+        report.hol_timeouts,
+        report.drop_flag_releases,
+        report.latency.percentile(0.999) as f64 / 1e3,
+    )
+}
+
+/// Mirrors `result_line()` in the example.
+fn result_line(mode: &str, hol: u64, releases: u64, p999_us: f64) -> String {
+    format!(
+        "RESULT fault_injection mode={mode} hol_timeouts={hol} \
+         drop_flag_releases={releases} p999_us_bits={:016x}",
+        p999_us.to_bits()
+    )
+}
+
+#[test]
+fn acl_silent_loss_result_is_pinned() {
+    let (hol, releases, p999) = run(false);
+    assert!(hol > 0, "silent ACL loss must strand FIFO heads");
+    assert_eq!(releases, 0, "no drop flag, no early releases");
+    assert_eq!(
+        result_line("acl-silent", hol, releases, p999),
+        "RESULT fault_injection mode=acl-silent hol_timeouts=854 \
+         drop_flag_releases=0 p999_us_bits=405916872b020c4a"
+    );
+}
+
+#[test]
+fn drop_flag_remediation_result_is_pinned() {
+    let (hol, releases, p999) = run(true);
+    assert_eq!(hol, 0, "the drop flag must eliminate HOL timeouts");
+    assert!(releases > 0, "every ACL drop frees its FIFO head early");
+    assert_eq!(
+        result_line("drop-flag", hol, releases, p999),
+        "RESULT fault_injection mode=drop-flag hol_timeouts=0 \
+         drop_flag_releases=851 p999_us_bits=4021eb851eb851ec"
+    );
+}
+
+#[test]
+fn drop_flag_strictly_improves_tail_latency() {
+    let (_, _, p999_silent) = run(false);
+    let (_, _, p999_flag) = run(true);
+    assert!(
+        p999_flag < p999_silent,
+        "remediated tail ({p999_flag} us) must beat the stranded tail ({p999_silent} us)"
+    );
+}
+
+#[test]
+fn plb_rss_fallback_result_is_pinned() {
+    // Mirrors the example's hand-driven fallback loop.
+    let mut engine = PlbEngine::new(PlbEngineConfig {
+        data_cores: 4,
+        ordqs: 1,
+        reorder: ReorderConfig {
+            depth: 64,
+            timeout_ns: 1_000,
+        },
+        mode: LbMode::Plb,
+        auto_fallback_hol_timeouts: Some(32),
+    });
+    let tuple = FiveTuple {
+        src_ip: "10.0.0.1".parse().unwrap(),
+        dst_ip: "10.0.0.2".parse().unwrap(),
+        src_port: 7,
+        dst_port: 8,
+        protocol: IpProtocol::Udp,
+    };
+    let mut t = SimTime::ZERO;
+    let mut i = 0u64;
+    while engine.mode() == LbMode::Plb {
+        let mut pkt = NicPacket::data(i, tuple, Some(1), 256, t);
+        engine.ingress(&mut pkt, t);
+        t += 10_000;
+        engine.poll(t);
+        i += 1;
+    }
+    assert_eq!(engine.mode(), LbMode::Rss);
+    assert_eq!(
+        format!(
+            "RESULT fault_injection mode=plb-rss-fallback packets={} hol_timeouts={}",
+            i,
+            engine.total_hol_timeouts()
+        ),
+        "RESULT fault_injection mode=plb-rss-fallback packets=32 hol_timeouts=32",
+        "fallback must trip at exactly the configured threshold"
+    );
+}

@@ -59,7 +59,7 @@ fn bench_fleet_scaling() {
     let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
     let time = |threads: usize| {
         let t0 = Instant::now();
-        let results = fleet.run(&FleetConfig { threads });
+        let results = fleet.run(&FleetConfig { threads, shards: 1 });
         let elapsed = t0.elapsed();
         black_box(results.iter().map(|r| r.report.processed).sum::<u64>());
         elapsed

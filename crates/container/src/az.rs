@@ -27,11 +27,11 @@
 //!    route touched). The output is a *steering timeline*.
 //! 2. **Data-plane phase**: the timeline is compiled into per-pod
 //!    [`SteerSegment`] trains — the uplink switch spreads the service's
-//!    aggregate rate equally over routed VIPs — and each pod runs as an
-//!    independent [`PodSimulation`](crate::PodSimulation) shard through the
-//!    [`ScenarioFleet`]. Reports merge in pod order
-//!    via [`SimReport::merge_ordered`], so any thread count reproduces the
-//!    serial bytes.
+//!    aggregate rate equally over routed VIPs — and the pods run as
+//!    lockstep shards of **one** scenario through the
+//!    [`ShardedPodSimulation`] (conservative-lookahead epochs, DESIGN.md
+//!    §4g). Reports merge in pod order via [`SimReport::merge_ordered`],
+//!    so any `shards × threads` geometry reproduces the serial bytes.
 //!
 //! Packets steered at a VIP whose pod is dead or link-silenced — the
 //! window between failure and the withdraw becoming effective upstream —
@@ -54,13 +54,13 @@ use albatross_bgp::proxy::BgpProxy;
 use albatross_bgp::switchcp::SwitchControlPlane;
 use albatross_sim::{Engine, EventScript, SimTime};
 use albatross_telemetry::TimeSeries;
-use albatross_workload::{FlowSet, SteerSegment, SteeredSource, TrafficSource};
+use albatross_workload::{FlowSet, SteerSegment, SteeredSource};
 
-use crate::fleet::{FleetConfig, Scenario, ScenarioFleet};
+use crate::fleet::FleetConfig;
 use crate::migration::{Migration, VALIDATION_PERIOD};
 use crate::orchestrator::Orchestrator;
 use crate::pod::{GwPodSpec, GwRole};
-use crate::simrun::{SimConfig, SimReport};
+use crate::simrun::{ShardedPodSimulation, SimConfig, SimReport};
 
 /// One scripted failure drill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -819,7 +819,8 @@ impl AzSimulation {
     }
 
     /// Runs both phases and returns the merged report. `fleet_cfg` only
-    /// affects wall-clock: any thread count produces identical bytes.
+    /// affects wall-clock: any `shards × threads` geometry produces
+    /// identical bytes.
     pub fn run(&self, fleet_cfg: &FleetConfig) -> AzReport {
         let cfg = &self.cfg;
         let horizon = cfg.horizon();
@@ -938,32 +939,31 @@ impl AzSimulation {
             }
         }
 
-        // ---- Phase 2: independent pod shards through the fleet. ----
-        let mut fleet = ScenarioFleet::new();
+        // ---- Phase 2: pod shard trains on the lockstep shard layer. ----
+        // True in-scenario sharding (sim::shard): every pod with traffic
+        // becomes one pod of a single ShardedPodSimulation, grouped into
+        // `fleet_cfg.shards` lockstep shards over `fleet_cfg.threads`
+        // workers. Pod configs and seeds are bit-identical to the old
+        // fleet-of-independent-scenarios path, so the merged report — and
+        // every RESULT line derived from it — is unchanged at any
+        // shards × threads geometry.
+        let mut sharded = ShardedPodSimulation::new();
         let mut shard_pods = Vec::new();
         for (p, segs) in per_pod.iter().enumerate() {
             if segs.is_empty() {
                 continue;
             }
             shard_pods.push(p);
-            let name = format!("s{}p{}", cp.pods[p].server, cp.pods[p].id);
-            let segs = segs.clone();
-            let (data_cores, service) = (cfg.data_cores, cfg.role.service());
-            let (table_scale, len_bytes) = (cfg.table_scale, cfg.len_bytes);
-            let flows = cfg.flows_per_pod;
             let seed = cfg.seed.wrapping_add(7919 * (p as u64 + 1));
-            fleet.push(Scenario::new(name, cfg.duration, move || {
-                let mut sc = SimConfig::new(data_cores, service);
-                sc.table_scale = table_scale;
-                sc.track_tenant_latency = true;
-                sc.seed = seed;
-                let flowset = FlowSet::generate(flows, None, seed ^ 0x5a5a);
-                let src = SteeredSource::new(flowset, len_bytes, segs.clone());
-                (sc, Box::new(src) as Box<dyn TrafficSource>)
-            }));
+            let mut sc = SimConfig::new(cfg.data_cores, cfg.role.service());
+            sc.table_scale = cfg.table_scale;
+            sc.track_tenant_latency = true;
+            sc.seed = seed;
+            let flowset = FlowSet::generate(cfg.flows_per_pod, None, seed ^ 0x5a5a);
+            let src = SteeredSource::new(flowset, cfg.len_bytes, segs.clone());
+            sharded.push(sc, Box::new(src), cfg.duration);
         }
-        let results = fleet.run(fleet_cfg);
-        let reports: Vec<SimReport> = results.into_iter().map(|r| r.report).collect();
+        let reports = sharded.run(fleet_cfg.shards, fleet_cfg.threads);
         let merged = SimReport::merge_ordered(&reports);
 
         // ---- Attribute per-window outcomes. ----
@@ -1089,11 +1089,15 @@ mod tests {
     }
 
     #[test]
-    fn thread_count_never_changes_a_byte() {
+    fn shard_and_thread_geometry_never_changes_a_byte() {
         let sim = AzSimulation::new(mini_crash_cfg());
         let serial = sim.run(&FleetConfig::serial()).render(sim.config());
-        let parallel = sim.run(&FleetConfig { threads: 2 }).render(sim.config());
-        assert_eq!(serial, parallel);
+        for (shards, threads) in [(1, 2), (2, 2), (4, 2)] {
+            let wide = sim
+                .run(&FleetConfig { threads, shards })
+                .render(sim.config());
+            assert_eq!(serial, wide, "shards={shards} threads={threads}");
+        }
     }
 
     #[test]

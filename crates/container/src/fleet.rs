@@ -12,6 +12,12 @@
 //! `threads = 1` does not spawn at all: scenarios run on the calling
 //! thread in the plain serial loop, reproducing today's behaviour exactly.
 //!
+//! Scenarios need not be single pods: [`Scenario::new_sharded`] wraps a
+//! whole multi-pod coupled run (a [`ShardedPodSimulation`]) as one fleet
+//! entry, so a fleet of sharded scenarios shares one thread budget — the
+//! fleet fans scenarios out and each sharded scenario fans its pods out
+//! over its share of [`FleetConfig::threads`] (DESIGN.md §4g).
+//!
 //! ```
 //! use albatross_container::fleet::{FleetConfig, Scenario, ScenarioFleet};
 //! use albatross_container::SimConfig;
@@ -34,7 +40,7 @@
 //!         },
 //!     ));
 //! }
-//! let reports = fleet.run(&FleetConfig { threads: 2 });
+//! let reports = fleet.run(&FleetConfig { threads: 2, shards: 1 });
 //! assert_eq!(reports.len(), 2);
 //! ```
 
@@ -44,12 +50,25 @@ use std::sync::Mutex;
 use albatross_sim::SimTime;
 use albatross_workload::TrafficSource;
 
-use crate::simrun::{PodSimulation, SimConfig, SimReport};
+use crate::simrun::{PodSimulation, ShardedPodSimulation, SimConfig, SimReport};
 
 /// Builds one shard's `(config, traffic source)` pair. The closure runs on
 /// the shard's worker thread, so each shard constructs (and seeds) its own
 /// RNG — nothing crosses threads except the returned [`SimReport`].
 pub type ScenarioBuilder = Box<dyn Fn() -> (SimConfig, Box<dyn TrafficSource>) + Send + Sync>;
+
+/// Builds the pods of one *sharded* scenario, in pod order. Sources must
+/// be `Send` because the pods execute on lockstep worker threads.
+pub type ShardedScenarioBuilder =
+    Box<dyn Fn() -> Vec<(SimConfig, Box<dyn TrafficSource + Send>)> + Send + Sync>;
+
+enum Build {
+    /// One pod, one classic serial loop.
+    Single(ScenarioBuilder),
+    /// A multi-pod coupled run on the lockstep shard layer; the report is
+    /// the ordered merge of the per-pod reports.
+    Sharded(ShardedScenarioBuilder),
+}
 
 /// One independent simulation in a fleet: a label, a duration, and a
 /// builder that materializes the simulation on whichever thread runs it.
@@ -58,7 +77,7 @@ pub struct Scenario {
     pub name: String,
     /// Virtual duration to run the pod for.
     pub duration: SimTime,
-    builder: ScenarioBuilder,
+    build: Build,
 }
 
 impl Scenario {
@@ -71,13 +90,47 @@ impl Scenario {
         Self {
             name: name.into(),
             duration,
-            builder: Box::new(builder),
+            build: Build::Single(Box::new(builder)),
         }
     }
 
-    fn run(&self) -> SimReport {
-        let (cfg, mut source) = (self.builder)();
-        PodSimulation::new(cfg).run(source.as_mut(), self.duration)
+    /// Creates a multi-pod scenario that runs on the lockstep shard layer
+    /// ([`ShardedPodSimulation`]): the builder returns every pod's
+    /// `(config, source)` in pod order, the run uses
+    /// [`FleetConfig::shards`] shard groups and this scenario's share of
+    /// the fleet's thread budget, and the scenario's report is
+    /// [`SimReport::merge_ordered`] over the per-pod reports — byte-
+    /// identical at any `shards × threads`.
+    pub fn new_sharded(
+        name: impl Into<String>,
+        duration: SimTime,
+        builder: impl Fn() -> Vec<(SimConfig, Box<dyn TrafficSource + Send>)> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            duration,
+            build: Build::Sharded(Box::new(builder)),
+        }
+    }
+
+    /// Runs the scenario. `shards` and `inner_threads` only affect
+    /// sharded scenarios (wall clock, never bytes); single-pod scenarios
+    /// ignore them.
+    fn run(&self, shards: usize, inner_threads: usize) -> SimReport {
+        match &self.build {
+            Build::Single(builder) => {
+                let (cfg, mut source) = builder();
+                PodSimulation::new(cfg).run(source.as_mut(), self.duration)
+            }
+            Build::Sharded(builder) => {
+                let mut sharded = ShardedPodSimulation::new();
+                for (cfg, source) in builder() {
+                    sharded.push(cfg, source, self.duration);
+                }
+                let reports = sharded.run(shards, inner_threads);
+                SimReport::merge_ordered(&reports)
+            }
+        }
     }
 }
 
@@ -105,46 +158,68 @@ pub struct FleetConfig {
     /// Worker threads. `1` runs serially on the calling thread (no spawn);
     /// anything larger fans shards out over that many scoped OS threads.
     pub threads: usize,
+    /// Lockstep shard groups for *sharded* scenarios (coupled multi-pod
+    /// runs — see [`Scenario::new_sharded`] and `container::az`). Clamped
+    /// to each scenario's pod count; single-pod scenarios ignore it. Like
+    /// `threads`, this knob never changes a byte of output.
+    pub shards: usize,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         Self {
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads,
+            shards: threads,
         }
     }
 }
 
 impl FleetConfig {
-    /// A serial config (`threads = 1`).
+    /// A serial config (`threads = 1`, `shards = 1`).
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            shards: 1,
+        }
     }
 
-    /// Reads the thread count from the environment: an explicit
-    /// `--threads N` argv pair wins, then the `ALBATROSS_THREADS` env var,
-    /// then [`FleetConfig::default`] (`available_parallelism`). Used by
-    /// every example and bench harness so CI can pin `--threads 1` for
-    /// determinism diffs.
+    /// Reads the execution geometry from the environment: explicit
+    /// `--threads N` / `--shards N` argv pairs (or `--threads=N` /
+    /// `--shards=N`) win, then the `ALBATROSS_THREADS` / `ALBATROSS_SHARDS`
+    /// env vars, then [`FleetConfig::default`] (`available_parallelism`;
+    /// shards defaults to the thread count). Used by every example and
+    /// bench harness so CI can pin geometries for determinism diffs.
     pub fn from_env() -> Self {
+        let parse = |v: String| v.parse::<usize>().ok();
+        let mut threads: Option<usize> = None;
+        let mut shards: Option<usize> = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--threads" {
-                if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
-                    return Self { threads: n.max(1) };
-                }
+                threads = args.next().and_then(parse).or(threads);
             } else if let Some(v) = a.strip_prefix("--threads=") {
-                if let Ok(n) = v.parse::<usize>() {
-                    return Self { threads: n.max(1) };
-                }
+                threads = parse(v.to_string()).or(threads);
+            } else if a == "--shards" {
+                shards = args.next().and_then(parse).or(shards);
+            } else if let Some(v) = a.strip_prefix("--shards=") {
+                shards = parse(v.to_string()).or(shards);
             }
         }
-        if let Ok(v) = std::env::var("ALBATROSS_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                return Self { threads: n.max(1) };
-            }
-        }
-        Self::default()
+        let env_usize = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        };
+        let threads = threads
+            .or_else(|| env_usize("ALBATROSS_THREADS"))
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1);
+        let shards = shards
+            .or_else(|| env_usize("ALBATROSS_SHARDS"))
+            .unwrap_or(threads)
+            .max(1);
+        Self { threads, shards }
     }
 }
 
@@ -202,14 +277,20 @@ impl FleetRunner {
     /// Runs the scenarios, returning results in scenario-index order.
     pub fn run(&self, scenarios: &[Scenario]) -> Vec<FleetResult> {
         let threads = self.cfg.threads.max(1).min(scenarios.len().max(1));
+        // Shared thread budget: sharded scenarios split the fleet's thread
+        // count evenly (a single sharded scenario gets the whole budget).
+        // Wall-clock only — scenario bytes never depend on thread counts.
+        let inner_threads = (self.cfg.threads.max(1) / scenarios.len().max(1)).max(1);
+        let shards = self.cfg.shards.max(1);
         if threads <= 1 {
             // The exact serial loop every harness ran before the fleet
-            // existed — no spawn, no locks.
+            // existed — no spawn, no locks (sharded scenarios may still
+            // spawn their own lockstep workers when inner_threads > 1).
             return scenarios
                 .iter()
                 .map(|s| FleetResult {
                     name: s.name.clone(),
-                    report: s.run(),
+                    report: s.run(shards, inner_threads),
                 })
                 .collect();
         }
@@ -222,7 +303,7 @@ impl FleetRunner {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(s) = scenarios.get(i) else { break };
-                    let report = s.run();
+                    let report = s.run(shards, inner_threads);
                     *slots[i].lock().expect("fleet slot poisoned") = Some(report);
                 });
             }
@@ -265,7 +346,10 @@ mod tests {
     #[test]
     fn results_come_back_in_scenario_order() {
         let fleet = small_fleet(5);
-        let results = fleet.run(&FleetConfig { threads: 3 });
+        let results = fleet.run(&FleetConfig {
+            threads: 3,
+            shards: 1,
+        });
         let names: Vec<_> = results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, ["shard0", "shard1", "shard2", "shard3", "shard4"]);
     }
@@ -274,7 +358,10 @@ mod tests {
     fn parallel_matches_serial_exactly() {
         let fleet = small_fleet(4);
         let serial = fleet.run(&FleetConfig::serial());
-        let parallel = fleet.run(&FleetConfig { threads: 4 });
+        let parallel = fleet.run(&FleetConfig {
+            threads: 4,
+            shards: 1,
+        });
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.report.processed, b.report.processed);
             assert_eq!(a.report.transmitted, b.report.transmitted);
@@ -288,9 +375,66 @@ mod tests {
     #[test]
     fn more_threads_than_scenarios_is_fine() {
         let fleet = small_fleet(2);
-        let results = fleet.run(&FleetConfig { threads: 16 });
+        let results = fleet.run(&FleetConfig {
+            threads: 16,
+            shards: 1,
+        });
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|r| r.report.processed > 0));
+    }
+
+    #[test]
+    fn sharded_scenarios_compose_with_the_fleet() {
+        // A mixed fleet: one classic single-pod scenario plus one sharded
+        // three-pod scenario. Bytes must not depend on the geometry.
+        let duration = SimTime(1_500_000);
+        let build_fleet = || {
+            let mut fleet = ScenarioFleet::new();
+            fleet.push(Scenario::new("single", duration, move || {
+                let cfg = SimConfig::new(1, ServiceKind::VpcVpc);
+                let flows = FlowSet::generate(64, Some(1000), 11);
+                let src = ConstantRateSource::new(flows, 2_000_000, 256, SimTime::ZERO, duration);
+                (cfg, Box::new(src) as Box<dyn TrafficSource>)
+            }));
+            fleet.push(Scenario::new_sharded("coupled", duration, move || {
+                (0..3u64)
+                    .map(|p| {
+                        let cfg = SimConfig::new(1, ServiceKind::VpcVpc);
+                        let flows = FlowSet::generate(64, Some(2000 + p as u32), 13 + p);
+                        let src =
+                            ConstantRateSource::new(flows, 2_000_000, 256, SimTime::ZERO, duration);
+                        (cfg, Box::new(src) as Box<dyn TrafficSource + Send>)
+                    })
+                    .collect()
+            }));
+            fleet
+        };
+        let serial = build_fleet().run(&FleetConfig::serial());
+        for cfg in [
+            FleetConfig {
+                threads: 2,
+                shards: 3,
+            },
+            FleetConfig {
+                threads: 8,
+                shards: 2,
+            },
+        ] {
+            let wide = build_fleet().run(&cfg);
+            for (a, b) in serial.iter().zip(&wide) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.report.offered, b.report.offered);
+                assert_eq!(a.report.processed, b.report.processed);
+                assert_eq!(a.report.transmitted, b.report.transmitted);
+                assert_eq!(a.report.latency.max(), b.report.latency.max());
+                assert_eq!(
+                    a.report.cache_hit_rate.to_bits(),
+                    b.report.cache_hit_rate.to_bits()
+                );
+            }
+        }
+        // The sharded scenario's report is a real multi-pod merge.
+        assert_eq!(serial[1].report.per_core_processed.len(), 3);
     }
 
     #[test]

@@ -38,4 +38,4 @@ pub use fleet::{FleetConfig, FleetResult, FleetRunner, Scenario, ScenarioFleet};
 pub use orchestrator::Orchestrator;
 pub use pod::{GwPodSpec, GwRole};
 pub use server::AlbatrossServer;
-pub use simrun::{PodSimulation, SimConfig, SimReport};
+pub use simrun::{PodSimulation, ShardedPodSimulation, SimConfig, SimReport};

@@ -44,7 +44,9 @@ use albatross_gateway::services::{PacketAction, ServiceKind, ServicePipeline};
 use albatross_gateway::worker::DataCore;
 use albatross_mem::tables::CloudGatewayTables;
 use albatross_mem::{DramModel, MemorySystem, NumaBalancing, NumaTopology, Placement, SharedCache};
-use albatross_sim::{Engine, LatencyModel, SimRng, SimTime};
+use albatross_sim::{
+    Engine, EpochShard, LatencyModel, LockstepRunner, Lookahead, ShardMsg, SimRng, SimTime,
+};
 use albatross_telemetry::{CoreUtilization, LatencyHistogram, RateMeter, TimeSeries};
 use albatross_workload::{PacketDesc, TrafficSource};
 
@@ -519,7 +521,15 @@ impl PodSimulation {
     /// Runs `source` until `duration` of virtual time has elapsed, then
     /// returns the report for the post-warm-up interval.
     pub fn run(mut self, source: &mut dyn TrafficSource, duration: SimTime) -> SimReport {
-        let burst_size = self.cfg.burst.burst_size.max(1);
+        self.start(source, duration);
+        self.step_until(source, duration, duration);
+        self.finish(duration)
+    }
+
+    /// Schedules the preamble events (first arrival, warm-up reset, first
+    /// utilization sample). Split out of [`run`](Self::run) so the sharded
+    /// driver can interleave several pods epoch by epoch.
+    fn start(&mut self, source: &mut dyn TrafficSource, _duration: SimTime) {
         if let Some(first) = source.next_packet() {
             self.engine.schedule(first.time, Ev::Arrival(first));
         }
@@ -527,8 +537,26 @@ impl PodSimulation {
             self.engine.schedule(self.cfg.warmup, Ev::WarmupReset);
         }
         self.engine.schedule(self.cfg.sample_window, Ev::Sample);
+    }
 
-        while let Some((now, ev)) = self.engine.pop_until(duration) {
+    /// Timestamp of the next pending event, if any — the quote the lockstep
+    /// layer uses to pick epoch starts.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.engine.peek_time()
+    }
+
+    /// Executes every event with `time <= min(deadline, duration)`. The
+    /// whole-run case (`deadline == duration`) is the classic loop;
+    /// the sharded driver calls this once per lockstep epoch with the
+    /// epoch deadline. Slicing is *ordering-exact*: an arrival beyond the
+    /// epoch cap is scheduled instead of inlined (exactly the scalar
+    /// fallback the batching guard already has), which preserves the event
+    /// handling order — and therefore every byte of the report — for any
+    /// slicing of `[0, duration]` into deadlines.
+    fn step_until(&mut self, source: &mut dyn TrafficSource, duration: SimTime, deadline: SimTime) {
+        let burst_size = self.cfg.burst.burst_size.max(1);
+        let cap = deadline.min(duration);
+        while let Some((now, ev)) = self.engine.pop_until(cap) {
             match ev {
                 Ev::Arrival(desc) => {
                     self.on_arrival(desc, now);
@@ -549,6 +577,7 @@ impl PodSimulation {
                             break;
                         }
                         let inline_ok = batched < burst_size
+                            && next.time <= cap
                             && match self.engine.peek_time() {
                                 None => true,
                                 Some(head) => next.time < head,
@@ -618,7 +647,10 @@ impl PodSimulation {
                 Ev::WarmupReset => self.warm_reset(),
             }
         }
-        // Final reorder drain at the horizon.
+    }
+
+    /// Final reorder drain at the horizon and report construction.
+    fn finish(mut self, duration: SimTime) -> SimReport {
         self.poll_and_record(duration);
         self.build_report(duration)
     }
@@ -881,6 +913,141 @@ impl PodSimulation {
     }
 }
 
+impl Lookahead for Ev {
+    /// No pod can affect another pod sooner than a packet can transit the
+    /// NIC RX pipeline (wire + parser + DMA, 3.9 µs) — the natural
+    /// conservative lookahead window for pod-granular sharding.
+    fn lookahead_ns() -> u64 {
+        NicPipelineLatency::production().total_ns(Direction::Rx)
+    }
+}
+
+struct PodShard {
+    sim: PodSimulation,
+    source: Box<dyn TrafficSource + Send>,
+    duration: SimTime,
+}
+
+/// One lockstep shard: a contiguous group of pods (pods-per-shard > 1 when
+/// the run has more pods than shards).
+struct PodGroup {
+    pods: Vec<PodShard>,
+}
+
+impl EpochShard for PodGroup {
+    type Event = Ev;
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        // Events beyond a pod's horizon will never be popped (step_until
+        // caps at `duration`), so they must not open epochs either or the
+        // lockstep loop would spin forever.
+        self.pods
+            .iter_mut()
+            .filter_map(|p| p.sim.next_event_time().filter(|t| *t <= p.duration))
+            .min()
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        for p in &mut self.pods {
+            p.sim.step_until(p.source.as_mut(), p.duration, deadline);
+        }
+    }
+
+    fn deliver(&mut self, msgs: Vec<ShardMsg<Ev>>) {
+        // Pods are coupled through the pre-computed steering timeline, not
+        // through runtime messages (yet) — nothing should arrive here.
+        assert!(
+            msgs.is_empty(),
+            "pod shards do not exchange runtime messages"
+        );
+    }
+}
+
+/// Several pods executed as lockstep shards of **one** scenario.
+///
+/// This is the sharded driver of the coupled simulations: every pod keeps
+/// its own [`PodSimulation`] (timing wheel included), pods are grouped into
+/// `shards` contiguous groups, and the groups advance in conservative-
+/// lookahead epochs on up to `threads` persistent workers (see
+/// `albatross_sim::shard`). The reports come back in push order and are
+/// byte-identical for every `shards × threads` combination — including
+/// `1 × 1`, which is the plain serial loop.
+pub struct ShardedPodSimulation {
+    pods: Vec<PodShard>,
+}
+
+impl ShardedPodSimulation {
+    /// Creates an empty run.
+    pub fn new() -> Self {
+        Self { pods: Vec::new() }
+    }
+
+    /// Adds a pod: built immediately (on the calling thread, so
+    /// construction order is deterministic) and run until `duration`.
+    pub fn push(
+        &mut self,
+        cfg: SimConfig,
+        source: Box<dyn TrafficSource + Send>,
+        duration: SimTime,
+    ) {
+        self.pods.push(PodShard {
+            sim: PodSimulation::new(cfg),
+            source,
+            duration,
+        });
+    }
+
+    /// Number of pods pushed so far.
+    pub fn len(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// True when no pods were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.pods.is_empty()
+    }
+
+    /// Runs every pod to its horizon over `shards` lockstep shards and up
+    /// to `threads` worker threads, returning the per-pod reports in push
+    /// order. Both knobs are clamped to the pod count; neither changes a
+    /// byte of any report.
+    pub fn run(self, shards: usize, threads: usize) -> Vec<SimReport> {
+        let n = self.pods.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let shards = shards.clamp(1, n);
+        let mut pods = self.pods;
+        for p in &mut pods {
+            p.sim.start(p.source.as_mut(), p.duration);
+        }
+        // Contiguous grouping: pods [g·chunk, (g+1)·chunk) form shard g.
+        // Grouping affects wall clock only — reports are grouped back in
+        // push order below and each pod's event sequence is private.
+        let chunk = n.div_ceil(shards);
+        let mut groups: Vec<PodGroup> = Vec::with_capacity(shards);
+        let mut iter = pods.into_iter();
+        for _ in 0..shards {
+            let group: Vec<PodShard> = iter.by_ref().take(chunk).collect();
+            if !group.is_empty() {
+                groups.push(PodGroup { pods: group });
+            }
+        }
+        LockstepRunner::new(Ev::lookahead_ns(), threads).run(&mut groups);
+        groups
+            .into_iter()
+            .flat_map(|g| g.pods)
+            .map(|p| p.sim.finish(p.duration))
+            .collect()
+    }
+}
+
+impl Default for ShardedPodSimulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1120,5 +1287,67 @@ mod tests {
         assert_eq!(a.processed, b.processed);
         assert_eq!(a.latency.max(), b.latency.max());
         assert_eq!(a.in_order, b.in_order);
+    }
+
+    /// Canonical byte-level fingerprint of a report: every counter, every
+    /// histogram bucket, and the float fields as exact bit patterns.
+    fn fingerprint(r: &SimReport) -> String {
+        let mut vnis: Vec<_> = r.tenant_delivered.keys().copied().collect();
+        vnis.sort_unstable();
+        let tenants: Vec<String> = vnis
+            .iter()
+            .map(|v| format!("{v}:{}", r.tenant_delivered[v].total()))
+            .collect();
+        format!(
+            "{:016x}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:016x}|{:?}|{}",
+            r.measured_secs.to_bits(),
+            r.offered,
+            r.processed,
+            r.transmitted,
+            r.in_order,
+            r.out_of_order,
+            r.dropped_rx_queue,
+            r.dropped_ingress_full,
+            r.hol_timeouts,
+            r.latency.max(),
+            r.cache_hit_rate.to_bits(),
+            r.per_core_processed,
+            tenants.join(",")
+        )
+    }
+
+    #[test]
+    fn sharded_pods_match_plain_runs_at_any_geometry() {
+        let pod = |seed: u64| {
+            let mut cfg = small_cfg(LbMode::Plb, 2);
+            cfg.seed = seed;
+            let flows = FlowSet::generate(50, Some(seed as u32), seed ^ 0x5a5a);
+            let src = ConstantRateSource::new(
+                flows,
+                150_000,
+                256,
+                SimTime::ZERO,
+                SimTime::from_millis(8),
+            );
+            (cfg, src)
+        };
+        // Reference: each pod run alone through the classic loop.
+        let duration = SimTime::from_millis(10);
+        let reference: Vec<String> = (0..5u64)
+            .map(|s| {
+                let (cfg, mut src) = pod(s);
+                fingerprint(&PodSimulation::new(cfg).run(&mut src, duration))
+            })
+            .collect();
+        for (shards, threads) in [(1, 1), (3, 1), (5, 2), (5, 5), (8, 4)] {
+            let mut sharded = ShardedPodSimulation::new();
+            for s in 0..5u64 {
+                let (cfg, src) = pod(s);
+                sharded.push(cfg, Box::new(src), duration);
+            }
+            let reports = sharded.run(shards, threads);
+            let got: Vec<String> = reports.iter().map(fingerprint).collect();
+            assert_eq!(got, reference, "shards={shards} threads={threads}");
+        }
     }
 }

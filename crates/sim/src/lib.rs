@@ -10,9 +10,12 @@
 //!
 //! Design follows the networking guides for this codebase: event-driven,
 //! simple and robust, no clever type tricks, and — because the workload is
-//! CPU-bound — plain synchronous code rather than an async runtime. All
-//! experiments run single-threaded on this engine with fixed seeds so every
-//! table and figure regenerates deterministically.
+//! CPU-bound — plain synchronous code rather than an async runtime.
+//! Experiments run on this engine with fixed seeds so every table and
+//! figure regenerates deterministically; coupled scenarios too big for one
+//! thread run on the [`shard`] layer, which executes several engines in
+//! conservative-lookahead lockstep without changing a single byte of
+//! output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod queue;
 pub mod rate;
 pub mod rng;
 pub mod script;
+pub mod shard;
 pub mod time;
 
 pub use dist::LatencyModel;
@@ -31,4 +35,7 @@ pub use queue::BoundedQueue;
 pub use rate::TokenBucket;
 pub use rng::SimRng;
 pub use script::EventScript;
+pub use shard::{
+    EpochShard, LockstepRunner, Lookahead, ShardChannel, ShardCtx, ShardMsg, ShardedEngine,
+};
 pub use time::SimTime;

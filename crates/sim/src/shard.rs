@@ -1,0 +1,724 @@
+//! Sharded deterministic execution: conservative-lookahead parallel
+//! discrete-event simulation inside one scenario.
+//!
+//! The fleet layer (`container::fleet`) parallelizes *independent*
+//! scenarios; this module parallelizes *one coupled scenario* by
+//! partitioning its event space into shards — one per pod or NUMA domain —
+//! each owning its own timing-wheel [`Engine`]. Shards advance in lockstep
+//! **epochs** bounded by a conservative **lookahead** window `L`: the
+//! minimum virtual latency any cross-shard interaction can have. In this
+//! codebase the NIC pipeline's fixed transit and DMA constants (3.9 µs RX /
+//! 4.17 µs TX) provide that bound, threaded in via the [`Lookahead`] trait
+//! on the event type. This is classic null-message-free conservative PDES:
+//! because no shard can affect another sooner than `L`, every shard may
+//! safely execute all events in `[T, T + L)` without hearing from its
+//! peers.
+//!
+//! # The epoch protocol
+//!
+//! Each round:
+//!
+//! 1. **Deliver** — cross-shard messages merged at the previous barrier are
+//!    scheduled into their destination engines.
+//! 2. **Quote** — every shard reports its next event time; the global
+//!    minimum `T` starts the epoch. No events exist before `T`, so the
+//!    epoch window `[T, T + L)` is safe by construction.
+//! 3. **Execute** — every shard runs `run_until(T + L - 1)` (the engine's
+//!    `pop_until` deadline is inclusive). Cross-shard sends go into the
+//!    shard's [`ShardChannel`], never directly into a peer engine.
+//! 4. **Merge** — channels are drained in shard-index order and the batch
+//!    is sorted by `(time, seq, src_shard)` — the determinism contract.
+//!    The sorted batch is partitioned by destination and handed to step 1
+//!    of the next round.
+//!
+//! A message sent at time `t` must arrive no earlier than `t + L`
+//! ([`ShardCtx::send`] asserts this). Since `t ≥ T`, the arrival is at or
+//! after `T + L` — strictly after the epoch deadline — so it is always
+//! merged at a barrier before any epoch that could pop it, including the
+//! boundary case of a message landing *exactly* on `T + L`.
+//!
+//! # Determinism contract
+//!
+//! Thread count never changes a byte. Epoch starts are global minima
+//! (identical regardless of how shards are grouped onto threads), shard
+//! execution within an epoch is single-threaded per shard, and the merge
+//! order `(time, seq, src_shard)` is a total order: `seq` is a per-source
+//! monotone counter, so two messages can only collide on `(time, seq)` if
+//! they come from different sources, and `src_shard` breaks that tie.
+//! [`LockstepRunner`] runs the identical schedule serially (`threads = 1`)
+//! or on persistent worker threads — the tests and `tests/` suites pin
+//! byte-identical output across shards×threads combinations.
+//!
+//! ```
+//! use albatross_sim::{Lookahead, ShardedEngine, SimTime};
+//!
+//! #[derive(Debug)]
+//! struct Ping(u32); // hop counter
+//! impl Lookahead for Ping {
+//!     fn lookahead_ns() -> u64 {
+//!         1_000
+//!     }
+//! }
+//!
+//! let mut eng: ShardedEngine<Ping> = ShardedEngine::new(2);
+//! eng.engine_mut(0).schedule(SimTime::ZERO, Ping(0));
+//! let mut traces: Vec<Vec<(u64, u32)>> = vec![Vec::new(); 2];
+//! eng.run(&mut traces, 1, |trace, now, Ping(hop), ctx| {
+//!     trace.push((now.as_nanos(), hop));
+//!     if hop < 4 {
+//!         // Bounce to the peer shard, exactly on the lookahead boundary.
+//!         ctx.send(1 - ctx.shard(), now + 1_000, Ping(hop + 1));
+//!     }
+//! });
+//! assert_eq!(traces[0], vec![(0, 0), (2_000, 2), (4_000, 4)]);
+//! assert_eq!(traces[1], vec![(1_000, 1), (3_000, 3)]);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::engine::{Engine, EventId};
+use crate::time::SimTime;
+
+/// Conservative lookahead bound for an event type: the minimum virtual
+/// latency of any cross-shard interaction, in nanoseconds.
+///
+/// This must be a *lower bound* — every [`ShardCtx::send`] is asserted to
+/// arrive at least this far in the future — and must be positive (a zero
+/// window would make epochs empty and the lockstep loop unable to
+/// advance). Larger values mean fewer barriers and better scaling; the pod
+/// simulation uses the NIC RX pipeline transit (3.9 µs), since no packet
+/// can cross pods faster than the wire + DMA path.
+pub trait Lookahead {
+    /// The lookahead window in nanoseconds. Must be `> 0`.
+    fn lookahead_ns() -> u64;
+}
+
+/// A cross-shard message: an event to be scheduled on shard `dst` at
+/// `time`, stamped with its source shard and that source's monotone
+/// sequence number so the merge order `(time, seq, src)` is total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMsg<E> {
+    /// Absolute virtual arrival time on the destination shard.
+    pub time: SimTime,
+    /// Per-source monotone sequence number (assigned by [`ShardChannel`]).
+    pub seq: u64,
+    /// Issuing shard.
+    pub src: u32,
+    /// Destination shard.
+    pub dst: u32,
+    /// The event to schedule.
+    pub event: E,
+}
+
+/// Sorts a batch of cross-shard messages into the canonical merge order
+/// `(time, seq, src_shard)`. This is *the* determinism contract: however
+/// many threads drained the channels, the batch ends up in one total
+/// order before delivery.
+pub fn merge_order<E>(msgs: &mut [ShardMsg<E>]) {
+    msgs.sort_by_key(|m| (m.time, m.seq, m.src));
+}
+
+/// Deterministic outbox for one shard's cross-shard sends.
+///
+/// Each shard owns exactly one channel; `send` stamps the shard's own
+/// monotone sequence number, so the channel's contents are already in
+/// send order and the global merge by `(time, seq, src)` is reproducible
+/// regardless of which thread drained which channel first.
+#[derive(Debug)]
+pub struct ShardChannel<E> {
+    src: u32,
+    next_seq: u64,
+    msgs: Vec<ShardMsg<E>>,
+}
+
+impl<E> ShardChannel<E> {
+    /// Creates an empty channel for source shard `src`.
+    pub fn new(src: u32) -> Self {
+        Self {
+            src,
+            next_seq: 0,
+            msgs: Vec::new(),
+        }
+    }
+
+    /// The source shard this channel stamps into its messages.
+    pub fn src(&self) -> u32 {
+        self.src
+    }
+
+    /// Queues `event` for delivery to shard `dst` at absolute time `time`.
+    pub fn send(&mut self, dst: u32, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.msgs.push(ShardMsg {
+            time,
+            seq,
+            src: self.src,
+            dst,
+            event,
+        });
+    }
+
+    /// Drains the queued messages (in send order), leaving the channel
+    /// empty but keeping the sequence counter monotone.
+    pub fn take(&mut self) -> Vec<ShardMsg<E>> {
+        std::mem::take(&mut self.msgs)
+    }
+
+    /// Number of queued (not yet drained) messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// One shard of a lockstep execution, as seen by [`LockstepRunner`].
+///
+/// Implementors wrap whatever state a shard carries (an [`Engine`] plus
+/// domain state); the runner only needs to quote the next event time, run
+/// an epoch, and exchange cross-shard messages. All four methods are
+/// called with exclusive access, one epoch at a time.
+pub trait EpochShard: Send {
+    /// Cross-shard event payload.
+    type Event: Send;
+
+    /// Time of this shard's next pending event, or `None` when drained.
+    /// Called after `deliver`, so it must account for just-delivered
+    /// messages.
+    fn next_time(&mut self) -> Option<SimTime>;
+
+    /// Executes every local event with `time <= deadline` (inclusive, to
+    /// match `Engine::pop_until`). Cross-shard sends made during the epoch
+    /// go into the shard's channel for `take_outbox`.
+    fn run_until(&mut self, deadline: SimTime);
+
+    /// Drains the messages this shard sent during the last epoch.
+    fn take_outbox(&mut self) -> Vec<ShardMsg<Self::Event>> {
+        Vec::new()
+    }
+
+    /// Delivers a batch of messages addressed to this shard, already in
+    /// canonical `(time, seq, src)` order. The default rejects messages —
+    /// shards that never receive need not implement it.
+    fn deliver(&mut self, msgs: Vec<ShardMsg<Self::Event>>) {
+        assert!(
+            msgs.is_empty(),
+            "shard received {} cross-shard messages but does not implement deliver()",
+            msgs.len()
+        );
+    }
+}
+
+/// Runs a set of [`EpochShard`]s to completion in conservative-lookahead
+/// lockstep, serially or on persistent worker threads — byte-identically.
+#[derive(Debug, Clone, Copy)]
+pub struct LockstepRunner {
+    lookahead_ns: u64,
+    threads: usize,
+}
+
+impl LockstepRunner {
+    /// Creates a runner with the given lookahead window (must be positive)
+    /// and thread budget (clamped to `[1, shards]` at run time).
+    pub fn new(lookahead_ns: u64, threads: usize) -> Self {
+        assert!(lookahead_ns > 0, "lookahead window must be positive");
+        Self {
+            lookahead_ns,
+            threads,
+        }
+    }
+
+    /// Drives `shards` until every shard is drained and no cross-shard
+    /// messages remain in flight.
+    pub fn run<S: EpochShard>(&self, shards: &mut [S]) {
+        if shards.is_empty() {
+            return;
+        }
+        let threads = self.threads.max(1).min(shards.len());
+        if threads <= 1 {
+            self.run_serial(shards);
+        } else {
+            self.run_parallel(shards, threads);
+        }
+    }
+
+    /// The reference schedule: deliver → quote global min → execute the
+    /// epoch on every shard in index order → collect outboxes in index
+    /// order → merge. The parallel path below executes the *same* schedule
+    /// with the per-shard work spread over workers.
+    fn run_serial<S: EpochShard>(&self, shards: &mut [S]) {
+        let mut pending: Vec<ShardMsg<S::Event>> = Vec::new();
+        loop {
+            if !pending.is_empty() {
+                merge_order(&mut pending);
+                let mut per_dst: Vec<Vec<ShardMsg<S::Event>>> =
+                    (0..shards.len()).map(|_| Vec::new()).collect();
+                for m in pending.drain(..) {
+                    let d = m.dst as usize;
+                    assert!(d < shards.len(), "cross-shard message to unknown shard {d}");
+                    per_dst[d].push(m);
+                }
+                for (shard, batch) in shards.iter_mut().zip(per_dst) {
+                    if !batch.is_empty() {
+                        shard.deliver(batch);
+                    }
+                }
+            }
+            let Some(start) = shards.iter_mut().filter_map(|s| s.next_time()).min() else {
+                break; // all drained, nothing in flight
+            };
+            let deadline = start.saturating_add_ns(self.lookahead_ns - 1);
+            for shard in shards.iter_mut() {
+                shard.run_until(deadline);
+            }
+            for shard in shards.iter_mut() {
+                pending.extend(shard.take_outbox());
+            }
+        }
+    }
+
+    /// Persistent-worker lockstep: shards are split into contiguous chunks,
+    /// one long-lived worker per chunk, synchronized by barriers. The main
+    /// thread coordinates: it computes the epoch start from per-worker
+    /// minima and performs the canonical merge between epochs, so the
+    /// observable schedule is exactly `run_serial`'s.
+    fn run_parallel<S: EpochShard>(&self, shards: &mut [S], threads: usize) {
+        let n = shards.len();
+        let chunk = n.div_ceil(threads);
+        // Per-worker minimum next-event time (u64::MAX = drained).
+        let quotes: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let deadline = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        // Per-shard mailboxes (coordinator → shard) and outboxes
+        // (shard → coordinator), indexed by global shard index so the
+        // coordinator can collect in canonical shard order.
+        let mailboxes: Vec<Mutex<Vec<ShardMsg<S::Event>>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let outboxes: Vec<Mutex<Vec<ShardMsg<S::Event>>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = Barrier::new(threads + 1);
+
+        std::thread::scope(|scope| {
+            let mut rest = &mut *shards;
+            let mut base = 0usize;
+            for w in 0..threads {
+                let take = chunk.min(rest.len());
+                let (mine, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let my_base = base;
+                base += take;
+                let (barrier, quotes, deadline, stop) = (&barrier, &quotes, &deadline, &stop);
+                let (mailboxes, outboxes) = (&mailboxes, &outboxes);
+                scope.spawn(move || {
+                    loop {
+                        // Deliver what the coordinator merged at the end of
+                        // the previous epoch, then quote the local minimum
+                        // (which therefore accounts for those messages).
+                        let mut min = u64::MAX;
+                        for (i, s) in mine.iter_mut().enumerate() {
+                            let batch = std::mem::take(
+                                &mut *mailboxes[my_base + i].lock().expect("mailbox"),
+                            );
+                            if !batch.is_empty() {
+                                s.deliver(batch);
+                            }
+                            if let Some(t) = s.next_time() {
+                                min = min.min(t.as_nanos());
+                            }
+                        }
+                        quotes[w].store(min, Ordering::SeqCst);
+                        barrier.wait(); // quotes visible to the coordinator
+                        barrier.wait(); // coordinator published deadline/stop
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let d = SimTime::from_nanos(deadline.load(Ordering::SeqCst));
+                        for (i, s) in mine.iter_mut().enumerate() {
+                            s.run_until(d);
+                            let out = s.take_outbox();
+                            if !out.is_empty() {
+                                *outboxes[my_base + i].lock().expect("outbox") = out;
+                            }
+                        }
+                        barrier.wait(); // epoch done, outboxes visible
+                        barrier.wait(); // coordinator merged into mailboxes
+                    }
+                });
+            }
+            // Coordinator loop, in lockstep with the workers.
+            loop {
+                barrier.wait(); // workers quoted
+                let min = quotes
+                    .iter()
+                    .map(|q| q.load(Ordering::SeqCst))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if min == u64::MAX {
+                    stop.store(true, Ordering::SeqCst);
+                    barrier.wait(); // release workers to observe stop
+                    break;
+                }
+                let d = SimTime::from_nanos(min).saturating_add_ns(self.lookahead_ns - 1);
+                deadline.store(d.as_nanos(), Ordering::SeqCst);
+                barrier.wait(); // workers start the epoch
+                barrier.wait(); // workers finished the epoch
+                let mut all: Vec<ShardMsg<S::Event>> = Vec::new();
+                for o in &outboxes {
+                    all.append(&mut o.lock().expect("outbox"));
+                }
+                if !all.is_empty() {
+                    merge_order(&mut all);
+                    for m in all {
+                        let d = m.dst as usize;
+                        assert!(d < n, "cross-shard message to unknown shard {d}");
+                        mailboxes[d].lock().expect("mailbox").push(m);
+                    }
+                }
+                barrier.wait(); // mailboxes ready for the next epoch
+            }
+        });
+    }
+}
+
+/// Context handed to the event handler of a [`ShardedEngine`] shard: local
+/// scheduling plus the only legal way to reach another shard.
+pub struct ShardCtx<'a, E> {
+    engine: &'a mut Engine<E>,
+    channel: &'a mut ShardChannel<E>,
+    lookahead_ns: u64,
+    num_shards: u32,
+}
+
+impl<E> ShardCtx<'_, E> {
+    /// This shard's id.
+    pub fn shard(&self) -> u32 {
+        self.channel.src()
+    }
+
+    /// Total number of shards in the run.
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// Current virtual time on this shard.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Schedules a local event at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        self.engine.schedule(at, event)
+    }
+
+    /// Schedules a local event `delay_ns` after now.
+    pub fn schedule_after(&mut self, delay_ns: u64, event: E) -> EventId {
+        self.engine.schedule_after(delay_ns, event)
+    }
+
+    /// Cancels a local event. Panics (via [`Engine::cancel`]) if the handle
+    /// was issued by another shard.
+    pub fn cancel(&mut self, id: EventId) {
+        self.engine.cancel(id);
+    }
+
+    /// Sends `event` to shard `dst`, arriving at absolute time `at`.
+    ///
+    /// Panics if the arrival violates the conservative contract — it must
+    /// be at least the lookahead window in the future (`at == now + L`,
+    /// exactly on the boundary, is legal).
+    pub fn send(&mut self, dst: u32, at: SimTime, event: E) {
+        assert!(
+            dst < self.num_shards,
+            "send to shard {dst} but the run has {} shards",
+            self.num_shards
+        );
+        let delay = at.saturating_since(self.engine.now());
+        assert!(
+            delay >= self.lookahead_ns,
+            "cross-shard send arriving {delay} ns ahead violates the lookahead \
+             window ({} ns): conservative parallel execution requires every \
+             cross-shard message to be delayed by at least the lookahead",
+            self.lookahead_ns
+        );
+        self.channel.send(dst, at, event);
+    }
+}
+
+struct EngineShard<E> {
+    engine: Engine<E>,
+    channel: ShardChannel<E>,
+}
+
+/// A partitioned engine: `N` timing wheels advancing in lockstep epochs,
+/// dispatching through one shared handler closure.
+///
+/// This is the turnkey layer over [`LockstepRunner`] for callers whose
+/// shards are homogeneous (same event type, same handler over per-shard
+/// state). Heterogeneous drivers — like the pod simulation, where each
+/// shard owns a full `PodSimulation` — implement [`EpochShard`] directly.
+pub struct ShardedEngine<E> {
+    shards: Vec<EngineShard<E>>,
+}
+
+impl<E: Lookahead + Send> ShardedEngine<E> {
+    /// Creates `num_shards` empty engines (ids `0..num_shards`).
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "a sharded engine needs at least one shard");
+        assert!(
+            num_shards <= u32::MAX as usize,
+            "shard ids are u32: {num_shards} shards requested"
+        );
+        assert!(E::lookahead_ns() > 0, "lookahead window must be positive");
+        Self {
+            shards: (0..num_shards)
+                .map(|i| EngineShard {
+                    engine: Engine::with_shard(i as u32),
+                    channel: ShardChannel::new(i as u32),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to one shard's engine, for seeding initial events
+    /// before [`run`](Self::run).
+    pub fn engine_mut(&mut self, shard: usize) -> &mut Engine<E> {
+        &mut self.shards[shard].engine
+    }
+
+    /// Runs every shard to completion over `threads` threads, invoking
+    /// `handler(state, time, event, ctx)` for each popped event with that
+    /// shard's entry of `states`. Output is byte-identical for any
+    /// `threads` value.
+    pub fn run<S, F>(&mut self, states: &mut [S], threads: usize, handler: F)
+    where
+        S: Send,
+        F: Fn(&mut S, SimTime, E, &mut ShardCtx<'_, E>) + Sync,
+    {
+        assert_eq!(
+            states.len(),
+            self.shards.len(),
+            "one state per shard required"
+        );
+        let lookahead_ns = E::lookahead_ns();
+        let num_shards = self.shards.len() as u32;
+        let handler = &handler;
+        let mut driven: Vec<HandlerShard<'_, S, E, F>> = self
+            .shards
+            .iter_mut()
+            .zip(states.iter_mut())
+            .map(|(core, state)| HandlerShard {
+                core,
+                state,
+                handler,
+                lookahead_ns,
+                num_shards,
+            })
+            .collect();
+        LockstepRunner::new(lookahead_ns, threads).run(&mut driven);
+    }
+}
+
+struct HandlerShard<'a, S, E, F> {
+    core: &'a mut EngineShard<E>,
+    state: &'a mut S,
+    handler: &'a F,
+    lookahead_ns: u64,
+    num_shards: u32,
+}
+
+impl<S, E, F> EpochShard for HandlerShard<'_, S, E, F>
+where
+    S: Send,
+    E: Send,
+    F: Fn(&mut S, SimTime, E, &mut ShardCtx<'_, E>) + Sync,
+{
+    type Event = E;
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.core.engine.peek_time()
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        while let Some((t, ev)) = self.core.engine.pop_until(deadline) {
+            let mut ctx = ShardCtx {
+                engine: &mut self.core.engine,
+                channel: &mut self.core.channel,
+                lookahead_ns: self.lookahead_ns,
+                num_shards: self.num_shards,
+            };
+            (self.handler)(self.state, t, ev, &mut ctx);
+        }
+    }
+
+    fn take_outbox(&mut self) -> Vec<ShardMsg<E>> {
+        self.core.channel.take()
+    }
+
+    fn deliver(&mut self, msgs: Vec<ShardMsg<E>>) {
+        // Already in canonical (time, seq, src) order; scheduling in that
+        // order assigns local engine seqs in merge order, so same-time
+        // messages pop FIFO in merge order.
+        for m in msgs {
+            self.core.engine.schedule(m.time, m.event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct TestEv(u64);
+
+    impl Lookahead for TestEv {
+        fn lookahead_ns() -> u64 {
+            1_000
+        }
+    }
+
+    /// Ring of shards forwarding a token, all sends exactly on the
+    /// lookahead boundary; every shard also has local same-time noise.
+    fn ring_trace(num_shards: usize, threads: usize) -> Vec<Vec<(u64, u64)>> {
+        let mut eng: ShardedEngine<TestEv> = ShardedEngine::new(num_shards);
+        for s in 0..num_shards {
+            // Duplicate local timestamps: two events at the same nanosecond.
+            eng.engine_mut(s)
+                .schedule(SimTime::from_nanos(500), TestEv(900 + s as u64));
+            eng.engine_mut(s)
+                .schedule(SimTime::from_nanos(500), TestEv(800 + s as u64));
+        }
+        eng.engine_mut(0).schedule(SimTime::ZERO, TestEv(0));
+        let mut traces: Vec<Vec<(u64, u64)>> = vec![Vec::new(); num_shards];
+        eng.run(&mut traces, threads, |trace, now, TestEv(hop), ctx| {
+            trace.push((now.as_nanos(), hop));
+            if hop < 10 {
+                let dst = (ctx.shard() + 1) % ctx.num_shards();
+                ctx.send(dst, now + TestEv::lookahead_ns(), TestEv(hop + 1));
+            }
+        });
+        traces
+    }
+
+    #[test]
+    fn boundary_sends_arrive_in_the_right_epoch() {
+        let traces = ring_trace(4, 1);
+        // The token visits shard (hop % 4) at hop * 1000 ns.
+        for hop in 0..=10u64 {
+            let shard = (hop % 4) as usize;
+            assert!(
+                traces[shard].contains(&(hop * 1_000, hop)),
+                "hop {hop} missing from shard {shard}: {:?}",
+                traces[shard]
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_a_byte() {
+        let reference = ring_trace(4, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(ring_trace(4, threads), reference, "threads={threads}");
+        }
+        let eight = ring_trace(8, 1);
+        for threads in [3, 4, 8] {
+            assert_eq!(ring_trace(8, threads), eight, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the lookahead")]
+    fn sub_lookahead_send_panics() {
+        let mut eng: ShardedEngine<TestEv> = ShardedEngine::new(2);
+        eng.engine_mut(0).schedule(SimTime::ZERO, TestEv(0));
+        let mut states = [0u8, 0u8];
+        eng.run(&mut states, 1, |_, now, _, ctx| {
+            ctx.send(1, now + 999, TestEv(1));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "but the run has 2 shards")]
+    fn send_to_unknown_shard_panics() {
+        let mut eng: ShardedEngine<TestEv> = ShardedEngine::new(2);
+        eng.engine_mut(0).schedule(SimTime::ZERO, TestEv(0));
+        let mut states = [0u8, 0u8];
+        eng.run(&mut states, 1, |_, now, _, ctx| {
+            ctx.send(5, now + 1_000, TestEv(1));
+        });
+    }
+
+    #[test]
+    fn merge_order_is_total_across_sources() {
+        // Same (time, seq) from two sources: src breaks the tie.
+        let mut a = ShardChannel::new(1);
+        let mut b = ShardChannel::new(0);
+        let t = SimTime::from_nanos(5_000);
+        a.send(2, t, TestEv(10));
+        b.send(2, t, TestEv(20));
+        let mut batch = a.take();
+        batch.extend(b.take());
+        merge_order(&mut batch);
+        assert_eq!(batch[0].src, 0);
+        assert_eq!(batch[0].event, TestEv(20));
+        assert_eq!(batch[1].src, 1);
+        assert_eq!(batch[1].event, TestEv(10));
+    }
+
+    #[test]
+    fn channel_seq_is_monotone_across_takes() {
+        let mut c = ShardChannel::new(0);
+        c.send(1, SimTime::from_nanos(1_000), TestEv(0));
+        let first = c.take();
+        c.send(1, SimTime::from_nanos(2_000), TestEv(1));
+        let second = c.take();
+        assert_eq!(first[0].seq, 0);
+        assert_eq!(second[0].seq, 1);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn empty_and_single_shard_runs_terminate() {
+        let runner = LockstepRunner::new(1_000, 4);
+        let mut none: Vec<HandlerShardStub> = Vec::new();
+        runner.run(&mut none);
+
+        let mut eng: ShardedEngine<TestEv> = ShardedEngine::new(1);
+        eng.engine_mut(0)
+            .schedule(SimTime::from_nanos(10), TestEv(1));
+        let mut states = [Vec::new()];
+        eng.run(&mut states, 4, |trace: &mut Vec<u64>, _, TestEv(v), _| {
+            trace.push(v);
+        });
+        assert_eq!(states[0], vec![1]);
+    }
+
+    /// Minimal EpochShard for the empty-run test.
+    struct HandlerShardStub;
+    impl EpochShard for HandlerShardStub {
+        type Event = TestEv;
+        fn next_time(&mut self) -> Option<SimTime> {
+            None
+        }
+        fn run_until(&mut self, _deadline: SimTime) {}
+    }
+
+    #[test]
+    fn uneven_shard_to_thread_ratios_are_exact() {
+        // 5 shards over 3 threads: chunking leaves one worker light; the
+        // bytes must not notice.
+        let reference = ring_trace(5, 1);
+        assert_eq!(ring_trace(5, 3), reference);
+    }
+}

@@ -55,18 +55,35 @@ impl SimTime {
     pub fn saturating_since(self, earlier: SimTime) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
+
+    /// Adds `ns` nanoseconds, saturating at the far future (~584 years in).
+    ///
+    /// This is *the* forward-arithmetic policy for virtual time, shared by
+    /// every scheduling path — `Add`/`AddAssign` below,
+    /// [`Engine::schedule_after`](crate::Engine::schedule_after), epoch
+    /// deadlines in [`shard`](crate::shard), and
+    /// [`EventScript`](crate::EventScript) replay (whose entries go through
+    /// the same operators). Saturation keeps time monotone under any delay
+    /// a caller can produce, so one inlined helper replaces scattered
+    /// checked/unchecked adds in the hot loop.
+    #[inline]
+    pub const fn saturating_add_ns(self, ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(ns))
+    }
 }
 
 impl Add<u64> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, ns: u64) -> SimTime {
-        SimTime(self.0 + ns)
+        self.saturating_add_ns(ns)
     }
 }
 
 impl AddAssign<u64> for SimTime {
+    #[inline]
     fn add_assign(&mut self, ns: u64) {
-        self.0 += ns;
+        *self = self.saturating_add_ns(ns);
     }
 }
 

@@ -245,9 +245,14 @@ fn suite_script_matches_the_documented_drills() {
 fn twin_runs_are_byte_identical_at_1_and_4_threads() {
     let (_, serial) = suite();
     let sim = AzSimulation::new(suite_cfg());
-    let parallel = sim.run(&FleetConfig { threads: 4 }).render(sim.config());
+    let parallel = sim
+        .run(&FleetConfig {
+            threads: 4,
+            shards: 4,
+        })
+        .render(sim.config());
     assert_eq!(
         serial, &parallel,
-        "thread count must never change a byte of the AZ report"
+        "execution geometry must never change a byte of the AZ report"
     );
 }

@@ -112,7 +112,7 @@ fn fleet_json_is_byte_identical_across_thread_counts() {
     let mut renders = Vec::new();
     for threads in [1usize, 2, 8] {
         let results: Vec<(String, SimReport)> = fleet
-            .run(&FleetConfig { threads })
+            .run(&FleetConfig { threads, shards: 1 })
             .into_iter()
             .map(|r| (r.name, r.report))
             .collect();

@@ -40,6 +40,7 @@ use albatross_fpga::burst::BurstConfig;
 use albatross_fpga::dma::DmaEngine;
 use albatross_fpga::pipeline::{Direction, NicPipelineLatency};
 use albatross_fpga::pkt::{DeliveryMode, NicPacket};
+use albatross_fpga::tier::{SessionTier, TierConfig, TierStats, TieredSessionEngine};
 use albatross_gateway::services::{PacketAction, ServiceKind, ServicePipeline};
 use albatross_gateway::worker::DataCore;
 use albatross_mem::tables::CloudGatewayTables;
@@ -67,6 +68,12 @@ pub struct SimConfig {
     pub reorder_timeout_ns: u64,
     /// NIC-side tenant rate limiter, if enabled.
     pub rate_limiter: Option<RateLimiterConfig>,
+    /// Tiered FPGA/DPU/CPU session co-offload, if enabled. Placement runs
+    /// per packet before the service chain; hardware-resident flows skip
+    /// the chain's session lookup, DPU-served packets pay the detour
+    /// latency off-core, CPU-served packets pay the session-write cost
+    /// on-core.
+    pub session_tiers: Option<TierConfig>,
     /// Per-core RX descriptor-queue depth.
     pub rx_queue_depth: usize,
     /// Shared L3 size in bytes.
@@ -129,6 +136,7 @@ impl SimConfig {
             reorder_depth: 4096,
             reorder_timeout_ns: 100_000,
             rate_limiter: None,
+            session_tiers: None,
             rx_queue_depth: 1024,
             cache_bytes: 192 * 1024 * 1024,
             cache_ways: 16,
@@ -215,6 +223,27 @@ pub struct SimReport {
     /// Occupied pre_meter slots sampled once per `sample_window` (whole
     /// run; empty when no rate limiter is configured).
     pub hh_slot_occupancy: TimeSeries,
+    /// Packets whose session state the FPGA tier served (after warm-up;
+    /// all `tier_*` counters are zero without
+    /// [`SimConfig::session_tiers`]).
+    pub tier_fpga_pkts: u64,
+    /// Packets the DPU tier served (after warm-up).
+    pub tier_dpu_pkts: u64,
+    /// Packets whose session write stayed on the CPU (after warm-up).
+    pub tier_cpu_pkts: u64,
+    /// CPU→hardware promotions (after warm-up).
+    pub tier_promotions: u64,
+    /// DPU→FPGA upgrades (after warm-up).
+    pub tier_upgrades: u64,
+    /// Hardware residents demoted back to the CPU (after warm-up).
+    pub tier_demotions: u64,
+    /// Hardware residents evicted under slot pressure (after warm-up).
+    pub tier_evictions: u64,
+    /// Hardware residents reclaimed by idle expiry (after warm-up).
+    pub tier_expired: u64,
+    /// Promotions deferred for lack of install-budget tokens (after
+    /// warm-up) — the XenoFlow insertion-rate bottleneck made visible.
+    pub tier_installs_deferred: u64,
 }
 
 impl SimReport {
@@ -262,6 +291,15 @@ impl SimReport {
             hh_evictions: 0,
             hh_promotion_refused: 0,
             hh_slot_occupancy: TimeSeries::new(),
+            tier_fpga_pkts: 0,
+            tier_dpu_pkts: 0,
+            tier_cpu_pkts: 0,
+            tier_promotions: 0,
+            tier_upgrades: 0,
+            tier_demotions: 0,
+            tier_evictions: 0,
+            tier_expired: 0,
+            tier_installs_deferred: 0,
         };
         // Seed core_util from the first report (CoreUtilization has no
         // empty state), then absorb the rest.
@@ -323,6 +361,15 @@ impl SimReport {
             out.hh_evictions += r.hh_evictions;
             out.hh_promotion_refused += r.hh_promotion_refused;
             out.hh_slot_occupancy.merge_ordered(&r.hh_slot_occupancy);
+            out.tier_fpga_pkts += r.tier_fpga_pkts;
+            out.tier_dpu_pkts += r.tier_dpu_pkts;
+            out.tier_cpu_pkts += r.tier_cpu_pkts;
+            out.tier_promotions += r.tier_promotions;
+            out.tier_upgrades += r.tier_upgrades;
+            out.tier_demotions += r.tier_demotions;
+            out.tier_evictions += r.tier_evictions;
+            out.tier_expired += r.tier_expired;
+            out.tier_installs_deferred += r.tier_installs_deferred;
         }
         if hit_weight > 0.0 {
             out.cache_hit_rate /= hit_weight;
@@ -347,6 +394,17 @@ impl SimReport {
             0.0
         } else {
             self.out_of_order as f64 / self.transmitted as f64
+        }
+    }
+
+    /// Fraction of session-engine packets served in hardware (FPGA + DPU)
+    /// during the measured interval. Zero when no tiered engine ran.
+    pub fn tier_offload_hit_rate(&self) -> f64 {
+        let total = self.tier_fpga_pkts + self.tier_dpu_pkts + self.tier_cpu_pkts;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tier_fpga_pkts + self.tier_dpu_pkts) as f64 / total as f64
         }
     }
 }
@@ -382,6 +440,9 @@ pub struct PodSimulation {
     cores: Vec<DataCore>,
     in_flight: Vec<Option<(NicPacket, PacketAction, u64)>>,
     service: ServicePipeline,
+    /// Three-tier session placement engine (FPGA/DPU/CPU); `None` keeps the
+    /// classic all-CPU session path byte-for-byte unchanged.
+    tiers: Option<TieredSessionEngine>,
     /// Software-stack delay applied between core completion and the NIC TX
     /// path (does not occupy the core).
     stack_jitter: Option<LatencyModel>,
@@ -435,6 +496,7 @@ struct WarmBase {
     hh_demotions: u64,
     hh_evictions: u64,
     hh_promotion_refused: u64,
+    tiers: TierStats,
 }
 
 impl PodSimulation {
@@ -473,6 +535,7 @@ impl PodSimulation {
                 .collect(),
             in_flight: (0..cfg.data_cores).map(|_| None).collect(),
             service,
+            tiers: cfg.session_tiers.clone().map(TieredSessionEngine::new),
             stack_jitter: cfg.extra_jitter.clone(),
             tables,
             mem,
@@ -630,6 +693,12 @@ impl PodSimulation {
                     self.schedule_poll(now);
                 }
                 Ev::Sample => {
+                    // Idle-session expiry shares the sampling cadence: the
+                    // tick is part of the event order, so expiry timing is
+                    // identical across shard geometries.
+                    if let Some(t) = self.tiers.as_mut() {
+                        t.expire(now);
+                    }
                     let window = self.cfg.sample_window.as_nanos();
                     let mut utils = std::mem::take(&mut self.util_buf);
                     utils.clear();
@@ -706,16 +775,38 @@ impl PodSimulation {
             return;
         };
         let flow_hash = pkt.tuple.compact_hash();
-        let outcome =
-            self.service
-                .process(core, flow_hash, &self.tables, &mut self.mem, &mut self.rng);
+        let (outcome, tier_ns) = match self.tiers.as_mut() {
+            Some(t) => {
+                // Placement decision per packet: hardware-resident flows skip
+                // the session-table step and pay the serving tier's cost
+                // instead (DPU detour rides the non-core-occupying TX delay,
+                // like stack jitter).
+                let tier = t.on_packet(&pkt.tuple, pkt.len_bytes, now);
+                let mut o = self.service.process_offloaded(
+                    core,
+                    flow_hash,
+                    tier != SessionTier::Cpu,
+                    &self.tables,
+                    &mut self.mem,
+                    &mut self.rng,
+                );
+                o.latency_ns += t.cpu_cost_ns(tier);
+                (o, t.added_latency_ns(tier))
+            }
+            None => (
+                self.service
+                    .process(core, flow_hash, &self.tables, &mut self.mem, &mut self.rng),
+                0,
+            ),
+        };
         let stall = self
             .nb
             .stall_before(core, now, self.cfg.nominal_load, &mut self.rng);
-        let extra_ns = self
-            .stack_jitter
-            .as_ref()
-            .map_or(0, |m| m.sample(&mut self.rng));
+        let extra_ns = tier_ns
+            + self
+                .stack_jitter
+                .as_ref()
+                .map_or(0, |m| m.sample(&mut self.rng));
         let done = self.cores[core].begin(now, outcome.latency_ns + stall);
         self.in_flight[core] = Some((pkt, outcome.action, extra_ns));
         self.engine.schedule(done, Ev::CoreDone { core });
@@ -849,6 +940,7 @@ impl PodSimulation {
             hh_demotions: self.limiter.as_ref().map_or(0, |l| l.demotions()),
             hh_evictions: self.limiter.as_ref().map_or(0, |l| l.evictions()),
             hh_promotion_refused: self.limiter.as_ref().map_or(0, |l| l.promotion_refused()),
+            tiers: self.tiers.as_ref().map(|t| t.stats()).unwrap_or_default(),
         };
         self.warm_processed_base = self.cores.iter().map(DataCore::processed).collect();
         self.latency.reset();
@@ -868,6 +960,7 @@ impl PodSimulation {
             .map(|(c, base)| c.processed() - base)
             .collect();
         let w = self.warm_counters.clone();
+        let ts = self.tiers.as_ref().map(|t| t.stats()).unwrap_or_default();
         let drop_flag_total: u64 = self
             .lb
             .queue_stats()
@@ -909,6 +1002,18 @@ impl PodSimulation {
             hh_promotion_refused: self.limiter.as_ref().map_or(0, |l| l.promotion_refused())
                 - w.hh_promotion_refused,
             hh_slot_occupancy: self.hh_slot_occupancy,
+            tier_fpga_pkts: ts.fpga_pkts - w.tiers.fpga_pkts,
+            tier_dpu_pkts: ts.dpu_pkts - w.tiers.dpu_pkts,
+            tier_cpu_pkts: ts.cpu_pkts - w.tiers.cpu_pkts,
+            tier_promotions: ts.promotions - w.tiers.promotions,
+            tier_upgrades: ts.upgrades - w.tiers.upgrades,
+            tier_demotions: (ts.fpga_demotions + ts.dpu_demotions)
+                - (w.tiers.fpga_demotions + w.tiers.dpu_demotions),
+            tier_evictions: (ts.fpga_evictions + ts.dpu_evictions)
+                - (w.tiers.fpga_evictions + w.tiers.dpu_evictions),
+            tier_expired: (ts.fpga_expired + ts.dpu_expired)
+                - (w.tiers.fpga_expired + w.tiers.dpu_expired),
+            tier_installs_deferred: ts.installs_deferred() - w.tiers.installs_deferred(),
         }
     }
 }
@@ -1299,7 +1404,7 @@ mod tests {
             .map(|v| format!("{v}:{}", r.tenant_delivered[v].total()))
             .collect();
         format!(
-            "{:016x}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:016x}|{:?}|{}",
+            "{:016x}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:016x}|{:?}|{}|t{}:{}:{}:{}:{}:{}:{}:{}:{}",
             r.measured_secs.to_bits(),
             r.offered,
             r.processed,
@@ -1312,7 +1417,16 @@ mod tests {
             r.latency.max(),
             r.cache_hit_rate.to_bits(),
             r.per_core_processed,
-            tenants.join(",")
+            tenants.join(","),
+            r.tier_fpga_pkts,
+            r.tier_dpu_pkts,
+            r.tier_cpu_pkts,
+            r.tier_promotions,
+            r.tier_upgrades,
+            r.tier_demotions,
+            r.tier_evictions,
+            r.tier_expired,
+            r.tier_installs_deferred
         )
     }
 
@@ -1342,6 +1456,90 @@ mod tests {
         for (shards, threads) in [(1, 1), (3, 1), (5, 2), (5, 5), (8, 4)] {
             let mut sharded = ShardedPodSimulation::new();
             for s in 0..5u64 {
+                let (cfg, src) = pod(s);
+                sharded.push(cfg, Box::new(src), duration);
+            }
+            let reports = sharded.run(shards, threads);
+            let got: Vec<String> = reports.iter().map(fingerprint).collect();
+            assert_eq!(got, reference, "shards={shards} threads={threads}");
+        }
+    }
+
+    fn tiered_cfg(seed: u64) -> SimConfig {
+        use albatross_fpga::tier::InstallBudget;
+        let mut cfg = small_cfg(LbMode::Plb, 2);
+        cfg.service = ServiceKind::VpcInternet;
+        cfg.seed = seed;
+        // Tiny tables + tight budget so promotions, upgrades, demotions,
+        // evictions, expiry, AND deferrals all occur within the run.
+        cfg.session_tiers = Some(TierConfig {
+            fpga_capacity: 6,
+            dpu_capacity: 12,
+            fpga_install_budget: Some(InstallBudget {
+                installs_per_sec: 2_000.0,
+                burst: 2.0,
+            }),
+            dpu_install_budget: Some(InstallBudget {
+                installs_per_sec: 4_000.0,
+                burst: 4.0,
+            }),
+            elephant_pkts_per_window: 4,
+            window: SimTime::from_millis(1),
+            demote_after_windows: Some(2),
+            evict_on_pressure: true,
+            candidate_slots: 16,
+            idle_timeout: SimTime::from_millis(3),
+            dpu_pkt_ns: 2_500,
+            cpu_session_ns: 80,
+        });
+        cfg
+    }
+
+    #[test]
+    fn tiered_session_engine_reports_placement_counters() {
+        let flows = FlowSet::generate(60, Some(9), 11);
+        let mut src =
+            ConstantRateSource::new(flows, 200_000, 256, SimTime::ZERO, SimTime::from_millis(25));
+        let r = PodSimulation::new(tiered_cfg(9)).run(&mut src, SimTime::from_millis(30));
+        assert!(r.tier_promotions > 0, "elephants must be promoted");
+        assert!(r.tier_fpga_pkts > 0, "FPGA tier must serve packets");
+        assert!(r.tier_cpu_pkts > 0, "mice must stay on CPU");
+        let hit = r.tier_offload_hit_rate();
+        assert!(hit > 0.0 && hit < 1.0, "hit rate {hit} must be partial");
+        assert_eq!(
+            r.tier_fpga_pkts + r.tier_dpu_pkts + r.tier_cpu_pkts,
+            r.processed,
+            "every processed packet is attributed to exactly one tier"
+        );
+    }
+
+    #[test]
+    fn tiered_pods_are_byte_identical_across_shard_geometries() {
+        let pod = |seed: u64| {
+            let flows = FlowSet::generate(60, Some(seed as u32), seed ^ 0x33);
+            let src = ConstantRateSource::new(
+                flows,
+                180_000,
+                256,
+                SimTime::ZERO,
+                SimTime::from_millis(8),
+            );
+            (tiered_cfg(seed), src)
+        };
+        let duration = SimTime::from_millis(10);
+        let reference: Vec<String> = (0..4u64)
+            .map(|s| {
+                let (cfg, mut src) = pod(s);
+                fingerprint(&PodSimulation::new(cfg).run(&mut src, duration))
+            })
+            .collect();
+        assert!(
+            reference.iter().any(|f| !f.contains("|t0:0:0:")),
+            "tier counters must be live in the reference runs"
+        );
+        for (shards, threads) in [(1, 1), (2, 2), (4, 4)] {
+            let mut sharded = ShardedPodSimulation::new();
+            for s in 0..4u64 {
                 let (cfg, src) = pod(s);
                 sharded.push(cfg, Box::new(src), duration);
             }

@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 
+use albatross_sim::lifecycle::{LifecycleConfig, Promotion, SlotLifecycle};
 use albatross_sim::{SimRng, SimTime, TokenBucket};
 
 /// Which stage admitted or dropped a packet.
@@ -141,24 +142,6 @@ enum PreAction {
     Meter(usize),
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Candidate {
-    vni: u32,
-    samples: u32,
-}
-
-/// Lifecycle bookkeeping for an occupied pre_meter slot.
-#[derive(Debug, Clone, Copy)]
-struct PromotedInfo {
-    vni: u32,
-    /// Detection-window sequence number of the most recent pre_meter drop
-    /// (initialised to the promotion window). Drives eviction ordering.
-    last_exceeded_window: u64,
-    /// Consecutive fully-conforming windows observed so far. Reaching
-    /// `demote_after_windows` demotes the tenant.
-    conforming_windows: u32,
-}
-
 /// The assembled two-stage limiter.
 #[derive(Debug)]
 pub struct TwoStageRateLimiter {
@@ -167,21 +150,15 @@ pub struct TwoStageRateLimiter {
     meter: Vec<TokenBucket>,
     pre_check: HashMap<u32, PreAction>,
     pre_meter: Vec<TokenBucket>,
-    pre_meter_free: Vec<usize>,
-    /// Per-slot lifecycle state, parallel to `pre_meter`; `None` = free.
-    promoted: Vec<Option<PromotedInfo>>,
-    /// Heavy-hitter candidate sketch (hardware: a small CAM).
-    candidates: Vec<Candidate>,
-    window_start: SimTime,
-    /// Detection-window sequence number, advanced by `roll_window`.
-    window_seq: u64,
+    /// Slot ownership, candidate sketch, detection windows, demotion
+    /// credit and pressure eviction — the shared heavy-hitter machinery
+    /// (`albatross_sim::lifecycle`), keyed by VNI. `pre_check` mirrors its
+    /// placement: every `Meter(slot)` entry corresponds to an occupied
+    /// lifecycle slot.
+    hh: SlotLifecycle<u32>,
     /// Per-verdict counter bank, indexed by [`Verdict::index`] — a fixed
     /// register file, not a hashed map, as in the hardware.
     counts: [u64; Verdict::COUNT],
-    promotions: u64,
-    demotions: u64,
-    evictions: u64,
-    promotion_refused: u64,
 }
 
 impl TwoStageRateLimiter {
@@ -206,16 +183,15 @@ impl TwoStageRateLimiter {
             pre_meter: (0..cfg.pre_entries)
                 .map(|_| bucket(cfg.tenant_limit_pps))
                 .collect(),
-            pre_meter_free: (0..cfg.pre_entries).rev().collect(),
-            promoted: vec![None; cfg.pre_entries],
-            candidates: vec![Candidate::default(); cfg.pre_entries],
-            window_start: SimTime::ZERO,
-            window_seq: 0,
+            hh: SlotLifecycle::new(LifecycleConfig {
+                slots: cfg.pre_entries,
+                candidate_slots: cfg.pre_entries,
+                promote_threshold: cfg.promote_threshold,
+                window: cfg.window,
+                demote_after_windows: cfg.demote_after_windows,
+                evict_on_pressure: cfg.evict_on_pressure,
+            }),
             counts: [0; Verdict::COUNT],
-            promotions: 0,
-            demotions: 0,
-            evictions: 0,
-            promotion_refused: 0,
             cfg,
         }
     }
@@ -248,37 +224,19 @@ impl TwoStageRateLimiter {
         if self.pre_check.contains_key(&vni) {
             return true;
         }
-        let slot = match self.pre_meter_free.pop() {
-            Some(slot) => slot,
-            None if self.cfg.evict_on_pressure => {
-                // Victim: the promotee that exceeded least recently (ties
-                // broken by slot index, deterministically).
-                let (_, slot, victim_vni) = self
-                    .promoted
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, p)| p.map(|info| (info.last_exceeded_window, i, info.vni)))
-                    .min()
-                    .expect("no free slot implies every slot is promoted");
-                self.pre_check.remove(&victim_vni);
-                self.promoted[slot] = None;
-                self.evictions += 1;
-                slot
+        match self.hh.promote(vni) {
+            Promotion::Installed { slot, evicted } => {
+                // Victim (least-recently-exceeding promotee, ties broken by
+                // slot index): drop its pre_check entry with its slot.
+                if let Some(victim_vni) = evicted {
+                    self.pre_check.remove(&victim_vni);
+                }
+                self.pre_meter[slot].reset(now);
+                self.pre_check.insert(vni, PreAction::Meter(slot));
+                true
             }
-            None => {
-                self.promotion_refused += 1;
-                return false;
-            }
-        };
-        self.pre_meter[slot].reset(now);
-        self.pre_check.insert(vni, PreAction::Meter(slot));
-        self.promoted[slot] = Some(PromotedInfo {
-            vni,
-            last_exceeded_window: self.window_seq,
-            conforming_windows: 0,
-        });
-        self.promotions += 1;
-        true
+            Promotion::Refused => false,
+        }
     }
 
     /// Removes a promoted heavy hitter and reclaims its pre_meter slot —
@@ -289,9 +247,7 @@ impl TwoStageRateLimiter {
         match self.pre_check.get(&vni) {
             Some(&PreAction::Meter(slot)) => {
                 self.pre_check.remove(&vni);
-                self.promoted[slot] = None;
-                self.pre_meter_free.push(slot);
-                self.demotions += 1;
+                self.hh.demote_slot(slot);
                 true
             }
             _ => false,
@@ -304,64 +260,14 @@ impl TwoStageRateLimiter {
     }
 
     fn roll_window(&mut self, now: SimTime) {
-        let elapsed = now.saturating_since(self.window_start);
-        let w = self.cfg.window.as_nanos();
-        if elapsed < w {
-            return;
-        }
-        // Drifting window semantics (`window_start = now`) are pinned by the
-        // golden tests; idle gaps spanning several windows are credited as
-        // multiple conforming windows below.
-        let windows_passed = elapsed / w;
-        self.window_start = now;
-        self.candidates.iter_mut().for_each(|c| c.samples = 0);
-        let ended_seq = self.window_seq;
-        self.window_seq += windows_passed;
-        let Some(demote_after) = self.cfg.demote_after_windows else {
-            return;
-        };
-        for slot in 0..self.promoted.len() {
-            let Some(info) = self.promoted[slot].as_mut() else {
-                continue;
-            };
-            let credit = windows_passed.min(u64::from(u32::MAX)) as u32;
-            if info.last_exceeded_window == ended_seq {
-                // Exceeded in the window that just ended; any further
-                // windows in the gap were idle, hence conforming.
-                info.conforming_windows = credit - 1;
-            } else {
-                info.conforming_windows = info.conforming_windows.saturating_add(credit);
-            }
-            if info.conforming_windows >= demote_after {
-                let vni = info.vni;
-                self.promoted[slot] = None;
-                self.pre_check.remove(&vni);
-                self.pre_meter_free.push(slot);
-                self.demotions += 1;
-            }
-        }
-    }
-
-    fn sample_candidate(&mut self, vni: u32) -> bool {
-        // Find or claim a candidate slot; evict the smallest count if full.
-        // Matching is on VNI alone: after `roll_window` zeroes the counts, a
-        // returning VNI must reuse its slot, not claim a duplicate one.
-        let mut min_idx = 0;
-        let mut min_samples = u32::MAX;
-        for (i, c) in self.candidates.iter_mut().enumerate() {
-            if c.vni == vni {
-                c.samples += 1;
-                return c.samples >= self.cfg.promote_threshold;
-            }
-            if c.samples < min_samples {
-                min_samples = c.samples;
-                min_idx = i;
-            }
-        }
-        let slot = &mut self.candidates[min_idx];
-        slot.vni = vni;
-        slot.samples = 1;
-        false
+        // Drifting window semantics (`window_start = now`) and the idle-gap
+        // credit rule live in the shared lifecycle; demoted VNIs lose their
+        // pre_check entries in slot order, exactly as before the
+        // extraction (pinned by the golden tests).
+        let pre_check = &mut self.pre_check;
+        self.hh.roll_window(now, |vni, _slot| {
+            pre_check.remove(&vni);
+        });
     }
 
     /// Runs one packet of tenant `vni` through the limiter at `now`.
@@ -395,10 +301,7 @@ impl TwoStageRateLimiter {
                 return if self.pre_meter[slot].allow_packet(now) {
                     Verdict::PassPreMeter
                 } else {
-                    if let Some(info) = self.promoted[slot].as_mut() {
-                        info.last_exceeded_window = self.window_seq;
-                        info.conforming_windows = 0;
-                    }
+                    self.hh.record_exceeded(slot);
                     Verdict::DropPreMeter
                 };
             }
@@ -413,7 +316,7 @@ impl TwoStageRateLimiter {
             return Verdict::PassMeter;
         }
         // Exceeding: sample towards promotion.
-        if rng.chance(self.cfg.sample_prob) && self.sample_candidate(vni) {
+        if rng.chance(self.cfg.sample_prob) && self.hh.sample_candidate(vni) {
             self.install_heavy_hitter(vni, now);
         }
         Verdict::DropMeter
@@ -485,34 +388,34 @@ impl TwoStageRateLimiter {
 
     /// Sampling-based promotions performed.
     pub fn promotions(&self) -> u64 {
-        self.promotions
+        self.hh.promotions()
     }
 
     /// Demotions performed (conforming-window expiry plus explicit
     /// [`uninstall_heavy_hitter`](Self::uninstall_heavy_hitter) calls).
     pub fn demotions(&self) -> u64 {
-        self.demotions
+        self.hh.demotions()
     }
 
     /// Promotees evicted under slot pressure to admit a new heavy hitter.
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.hh.evictions()
     }
 
     /// Promotions refused because every slot was taken (only possible with
     /// `evict_on_pressure` disabled) — the observable degraded mode.
     pub fn promotion_refused(&self) -> u64 {
-        self.promotion_refused
+        self.hh.refused()
     }
 
     /// Currently occupied pre_meter slots.
     pub fn promoted_count(&self) -> usize {
-        self.promoted.iter().filter(|p| p.is_some()).count()
+        self.hh.occupied()
     }
 
     /// Currently free pre_meter slots.
     pub fn free_slots(&self) -> usize {
-        self.pre_meter_free.len()
+        self.hh.free_slots()
     }
 
     /// SRAM footprint of this configuration in bytes (Tab.-style ledger):
@@ -838,23 +741,29 @@ mod tests {
         // *second* slot (slot 0, the min), diluting the sketch.
         let mut rl = TwoStageRateLimiter::new(small_cfg());
         for _ in 0..3 {
-            rl.sample_candidate(10);
+            rl.hh.sample_candidate(10);
         }
         for _ in 0..2 {
-            rl.sample_candidate(20);
+            rl.hh.sample_candidate(20);
         }
-        assert_eq!(rl.candidates[0].vni, 10);
-        assert_eq!(rl.candidates[1].vni, 20);
+        assert_eq!(rl.hh.candidate(0), Some((10, 3)));
+        assert_eq!(rl.hh.candidate(1), Some((20, 2)));
         rl.roll_window(SimTime::from_secs(2));
-        assert_eq!(rl.candidates[0].samples, 0, "roll must zero the sketch");
-        rl.sample_candidate(20);
         assert_eq!(
-            rl.candidates[0].vni, 10,
+            rl.hh.candidate(0),
+            Some((10, 0)),
+            "roll must zero the sketch"
+        );
+        rl.hh.sample_candidate(20);
+        assert_eq!(
+            rl.hh.candidate(0),
+            Some((10, 0)),
             "returning VNI 20 must not steal slot 0"
         );
-        assert_eq!(rl.candidates[1].vni, 20);
-        assert_eq!(rl.candidates[1].samples, 1);
-        let slots_with_20 = rl.candidates.iter().filter(|c| c.vni == 20).count();
+        assert_eq!(rl.hh.candidate(1), Some((20, 1)));
+        let slots_with_20 = (0..rl.hh.candidate_slots())
+            .filter(|&i| matches!(rl.hh.candidate(i), Some((20, _))))
+            .count();
         assert_eq!(slots_with_20, 1, "sketch must hold one slot per VNI");
     }
 

@@ -28,6 +28,9 @@
 //!   overload, §4.3).
 //! * [`offload`] — the §7 future-work extension: FPGA-resident session
 //!   counters that spare write-heavy stateful NFs their coherence tax.
+//! * [`tier`] — the dynamic FPGA/DPU/CPU co-offload hierarchy: elephants
+//!   promoted into hardware under token-bucketed install budgets, mice on
+//!   the CPU, placement driven by the shared heavy-hitter lifecycle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod pktdir;
 pub mod prio;
 pub mod resource;
 pub mod sriov;
+pub mod tier;
 pub mod tofino;
 
 pub use burst::{BurstConfig, BurstLanes, PktBurst};

@@ -14,9 +14,8 @@
 //! fast/slow split, accounted per packet so experiments can measure the
 //! offload hit rate.
 
-use std::collections::HashMap;
-
 use albatross_packet::FiveTuple;
+use albatross_sim::det::{det_map_with_capacity, DetHashMap};
 use albatross_sim::SimTime;
 
 /// Counters the FPGA maintains per offloaded session.
@@ -50,7 +49,10 @@ pub struct SessionOffloadEngine {
     /// BRAM bits per session entry (key 104 b + counters 128 b + ts 48 b +
     /// control ≈ 320 b).
     entry_bits: u64,
-    sessions: HashMap<FiveTuple, Entry>,
+    /// Deterministic map ([`DetHashMap`]): iteration order — which feeds
+    /// eviction scans and the `expire_collect` drain — is identical across
+    /// runs, unlike `RandomState`'s per-instance seeding.
+    sessions: DetHashMap<FiveTuple, Entry>,
     idle_timeout: SimTime,
     offloaded_pkts: u64,
     fallback_pkts: u64,
@@ -68,7 +70,7 @@ impl SessionOffloadEngine {
         Self {
             capacity,
             entry_bits: 320,
-            sessions: HashMap::with_capacity(capacity),
+            sessions: det_map_with_capacity(capacity),
             idle_timeout,
             offloaded_pkts: 0,
             fallback_pkts: 0,
@@ -86,9 +88,22 @@ impl SessionOffloadEngine {
 
     /// Installs a session (ctrl-core action, e.g. at connection setup).
     /// Returns `false` when the table is full.
+    ///
+    /// Re-installing a resident session refreshes its idle timer instead
+    /// of rejecting (a control path re-announcing a session on a full
+    /// table must not inflate `rejected_installs`, and the refreshed
+    /// session must not age out on its stale pre-refresh timestamp).
+    ///
+    /// At capacity the engine first ages out idle sessions at `now`
+    /// (expire-then-install within the same tick, deterministically), and
+    /// rejects only when the table is still full afterwards.
     pub fn install(&mut self, flow: FiveTuple, now: SimTime) -> bool {
-        if self.sessions.contains_key(&flow) {
+        if let Some(e) = self.sessions.get_mut(&flow) {
+            e.last_active = now;
             return true;
+        }
+        if self.sessions.len() >= self.capacity {
+            self.expire(now);
         }
         if self.sessions.len() >= self.capacity {
             self.rejected_installs += 1;
@@ -143,6 +158,25 @@ impl SessionOffloadEngine {
         let freed = before - self.sessions.len();
         self.expired += freed as u64;
         freed
+    }
+
+    /// [`expire`](Self::expire), but drains the reclaimed sessions'
+    /// final counters (for billing) in a deterministic order: the same
+    /// inserts produce the same drain order on every run, because the
+    /// session map hashes with the fixed-seed [`DetHashMap`].
+    pub fn expire_collect(&mut self, now: SimTime) -> Vec<(FiveTuple, OffloadedCounters)> {
+        let timeout = self.idle_timeout.as_nanos();
+        let drained: Vec<(FiveTuple, OffloadedCounters)> = self
+            .sessions
+            .iter()
+            .filter(|(_, e)| now.saturating_since(e.last_active) > timeout)
+            .map(|(f, e)| (*f, e.counters))
+            .collect();
+        for (f, _) in &drained {
+            self.sessions.remove(f);
+        }
+        self.expired += drained.len() as u64;
+        drained
     }
 
     /// Live session count.
@@ -260,6 +294,81 @@ mod tests {
         assert_eq!(bill.packets, 2);
         assert_eq!(bill.bytes, 1_540);
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn reinstall_on_full_table_refreshes_instead_of_rejecting() {
+        // Regression: a control path re-announcing a resident session on a
+        // full table must refresh its idle timer, not bump the rejection
+        // stat — and the refresh must actually take (the un-refreshed
+        // session would age out on its stale install timestamp).
+        let mut e = SessionOffloadEngine::new(2, SimTime::from_secs(10));
+        assert!(e.install(flow(1), SimTime::ZERO));
+        assert!(e.install(flow(2), SimTime::ZERO));
+        assert!(
+            e.install(flow(1), SimTime::from_secs(9)),
+            "re-install on full table"
+        );
+        assert_eq!(
+            e.rejected_installs(),
+            0,
+            "re-install must not count as rejection"
+        );
+        assert_eq!(
+            e.expire(SimTime::from_secs(15)),
+            1,
+            "only the stale session expires"
+        );
+        assert!(e.read(&flow(1)).is_some(), "refreshed session must survive");
+        assert!(e.read(&flow(2)).is_none());
+    }
+
+    #[test]
+    fn install_at_capacity_reclaims_expired_sessions_same_tick() {
+        // The expire-then-install contract: freed capacity is credited to
+        // installs at the very same tick, so drill scripts cannot race the
+        // aging sweep.
+        let mut e = SessionOffloadEngine::new(2, SimTime::from_secs(10));
+        assert!(e.install(flow(1), SimTime::ZERO));
+        assert!(e.install(flow(2), SimTime::ZERO));
+        let t = SimTime::from_secs(20);
+        assert!(
+            e.install(flow(3), t),
+            "expired slots must be reusable at tick t"
+        );
+        assert_eq!(e.rejected_installs(), 0);
+        assert_eq!(e.expired(), 2);
+        assert_eq!(e.len(), 1);
+        // Still-fresh sessions are not sacrificed: table full of live
+        // entries → rejection, deterministically.
+        assert!(e.install(flow(4), t));
+        assert!(!e.install(flow(5), t));
+        assert_eq!(e.rejected_installs(), 1);
+    }
+
+    #[test]
+    fn expiry_drain_order_is_identical_across_runs() {
+        // Double-run pin for the deterministic hasher: two engines fed the
+        // same install/traffic sequence must drain expired sessions in the
+        // same order. With std's per-instance RandomState this fails.
+        let run = || {
+            let mut e = SessionOffloadEngine::new(64, SimTime::from_secs(5));
+            for p in 0..48u16 {
+                e.install(flow(p), SimTime::ZERO);
+                e.on_packet(&flow(p), u32::from(p) + 1, SimTime::ZERO);
+            }
+            for p in 0..8u16 {
+                e.remove(&flow(p * 3));
+            }
+            e.expire_collect(SimTime::from_secs(6))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), 40);
+        assert_eq!(
+            a, b,
+            "expiry drain order must be byte-identical across runs"
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Property tests of the three-tier session placement engine's
+//! conservation invariants under arbitrary churn.
+//!
+//! The pinned identities (DESIGN.md §4h):
+//!
+//! * **Exactly one tier** — a flow is resident in at most one hardware
+//!   table at any instant, so the number of distinct offloaded flows
+//!   equals `fpga_live + dpu_live`.
+//! * **Install ledger balances** — per hardware tier,
+//!   `installs = live + demotions + evictions + expired` (the DPU's
+//!   outflow additionally includes upgrades into the FPGA).
+//! * **Every install has a cause** — `fpga_installs + dpu_installs ==
+//!   promotions + upgrades`.
+//! * **Packet attribution is total** — every packet fed is counted by
+//!   exactly one of `fpga_pkts`, `dpu_pkts`, `cpu_pkts`.
+
+use albatross_fpga::tier::{InstallBudget, SessionTier, TierConfig, TieredSessionEngine};
+use albatross_packet::flow::{FiveTuple, IpProtocol};
+use albatross_sim::{SimRng, SimTime};
+use albatross_testkit::prelude::*;
+
+fn flow(idx: u32) -> FiveTuple {
+    FiveTuple {
+        src_ip: std::net::Ipv4Addr::from(0x0a00_0000 | (idx >> 16)),
+        dst_ip: "192.168.0.1".parse().unwrap(),
+        src_port: (idx & 0xffff) as u16,
+        dst_port: 443,
+        protocol: IpProtocol::Udp,
+    }
+}
+
+/// Small tables + tight budgets so promotions, deferrals, upgrades,
+/// demotions, pressure evictions and idle expiry all fire within a short
+/// churn trace.
+fn churn_cfg(dpu_capacity: usize, budgeted: bool, evict: bool) -> TierConfig {
+    TierConfig {
+        fpga_capacity: 3,
+        dpu_capacity,
+        fpga_install_budget: budgeted.then_some(InstallBudget {
+            installs_per_sec: 200_000.0,
+            burst: 2.0,
+        }),
+        dpu_install_budget: budgeted.then_some(InstallBudget {
+            installs_per_sec: 400_000.0,
+            burst: 3.0,
+        }),
+        elephant_pkts_per_window: 3,
+        window: SimTime::from_micros(500),
+        demote_after_windows: Some(2),
+        evict_on_pressure: evict,
+        candidate_slots: 8,
+        idle_timeout: SimTime::from_millis(2),
+        dpu_pkt_ns: 2_000,
+        cpu_session_ns: 80,
+    }
+}
+
+/// Feeds an arbitrary churn trace and checks every conservation identity
+/// after each step.
+fn assert_conservation(trace: &[(u32, u8)], dpu_capacity: usize, budgeted: bool, evict: bool) {
+    let cfg = churn_cfg(dpu_capacity, budgeted, evict);
+    let fpga_cap = cfg.fpga_capacity;
+    let dpu_cap = cfg.dpu_capacity;
+    let mut e = TieredSessionEngine::new(cfg);
+    let mut rng = SimRng::seed_from(0x7153);
+    let mut flows_seen: Vec<u32> = Vec::new();
+    let mut fed = 0u64;
+    let mut t = SimTime::ZERO;
+    for (step, &(flow_idx, burst)) in trace.iter().enumerate() {
+        let f = flow(flow_idx % 12);
+        if !flows_seen.contains(&(flow_idx % 12)) {
+            flows_seen.push(flow_idx % 12);
+        }
+        // Irregular spacing: bursts land densely, then the clock jumps —
+        // sometimes past the idle timeout, forcing expiry churn.
+        for _ in 0..(burst % 6) + 1 {
+            t += 1 + (rng.next_u64() % 20_000);
+            e.on_packet(&f, 100, t);
+            fed += 1;
+        }
+        if step % 7 == 3 {
+            // Interleaved expiry sweeps, occasionally after a long idle gap.
+            if rng.next_u64().is_multiple_of(4) {
+                t += SimTime::from_millis(3).as_nanos();
+            }
+            e.expire(t);
+        }
+
+        let s = e.stats();
+        // Packet attribution is total.
+        assert_eq!(s.fpga_pkts + s.dpu_pkts + s.cpu_pkts, fed, "step {step}");
+        // Capacity is never exceeded.
+        assert!(s.fpga_live <= fpga_cap, "step {step}: FPGA overfull");
+        assert!(s.dpu_live <= dpu_cap, "step {step}: DPU overfull");
+        // Exactly-one-tier: distinct offloaded flows == total live entries.
+        let offloaded = flows_seen
+            .iter()
+            .filter(|i| e.resident_tier(&flow(**i)) != SessionTier::Cpu)
+            .count();
+        assert_eq!(
+            offloaded,
+            s.fpga_live + s.dpu_live,
+            "step {step}: a flow is resident in more than one tier"
+        );
+        // Install ledgers balance.
+        assert_eq!(
+            s.fpga_installs,
+            s.fpga_live as u64 + s.fpga_demotions + s.fpga_evictions + s.fpga_expired,
+            "step {step}: FPGA ledger"
+        );
+        assert_eq!(
+            s.dpu_installs,
+            s.dpu_live as u64 + s.dpu_demotions + s.dpu_evictions + s.dpu_expired + s.upgrades,
+            "step {step}: DPU ledger"
+        );
+        // Every hardware install traces back to a promotion or an upgrade.
+        assert_eq!(
+            s.fpga_installs + s.dpu_installs,
+            s.promotions + s.upgrades,
+            "step {step}: install causes"
+        );
+    }
+}
+
+props! {
+    #![cases(32)]
+
+    /// Conservation holds over arbitrary churn with the full hierarchy:
+    /// FPGA + DPU, install budgets on, pressure eviction on.
+    fn conservation_with_full_hierarchy(
+        trace in vec_of((any::<u32>(), any::<u8>()), 1..120),
+    ) {
+        assert_conservation(&trace, 6, true, true);
+    }
+
+    /// Conservation holds without a DPU tier (overflow evicts in the
+    /// FPGA itself) and with unlimited install budgets.
+    fn conservation_fpga_only_unbudgeted(
+        trace in vec_of((any::<u32>(), any::<u8>()), 1..120),
+    ) {
+        assert_conservation(&trace, 0, false, true);
+    }
+
+    /// Conservation holds with eviction disabled: full tables refuse
+    /// installs instead, and refused attempts never corrupt the ledger.
+    fn conservation_with_eviction_disabled(
+        trace in vec_of((any::<u32>(), any::<u8>()), 1..120),
+    ) {
+        assert_conservation(&trace, 4, true, false);
+    }
+}

@@ -186,9 +186,30 @@ impl ServicePipeline {
         mem: &mut MemorySystem,
         rng: &mut SimRng,
     ) -> ProcessOutcome {
+        self.process_offloaded(core, flow_hash, false, tables, mem, rng)
+    }
+
+    /// [`process`](Self::process) for the tiered co-offload path: when
+    /// `session_in_hw` is set the flow's session state lives in the
+    /// FPGA/DPU tier, so session-table steps are skipped entirely — no
+    /// memory charge, no cache touch. The per-tier CPU saving is emergent:
+    /// chains without a session step (e.g. VPC→VPC) cost the same either
+    /// way, VPC→Internet drops its session lookup.
+    pub fn process_offloaded(
+        &self,
+        core: usize,
+        flow_hash: u64,
+        session_in_hw: bool,
+        tables: &CloudGatewayTables,
+        mem: &mut MemorySystem,
+        rng: &mut SimRng,
+    ) -> ProcessOutcome {
         let mut latency = self.base_ns;
         let mut action = PacketAction::Forward;
         for (i, step) in self.steps.iter().enumerate() {
+            if session_in_hw && step.table == tables.session {
+                continue;
+            }
             // Per-flow, per-step deterministic entry index: the same flow
             // re-reads the same entries (that is what the cache can exploit).
             let idx = mix(flow_hash, step.salt);
@@ -342,6 +363,38 @@ mod tests {
         let second = p.process(0, 42, &t, &mut mem, &mut rng);
         assert!(second.latency_ns < first.latency_ns);
         assert_eq!(first.action, PacketAction::Forward);
+    }
+
+    #[test]
+    fn hardware_resident_session_skips_the_session_lookup() {
+        let t = tables_small();
+        let p = ServicePipeline::new(ServiceKind::VpcInternet, &t);
+        let mut rng = SimRng::seed_from(3);
+        // Fresh memory each side: the offloaded chain issues one fewer
+        // cold lookup, so it is strictly cheaper.
+        let mut mem_cpu = mem_small();
+        let cpu = p.process_offloaded(0, 42, false, &t, &mut mem_cpu, &mut rng);
+        let mut mem_hw = mem_small();
+        let hw = p.process_offloaded(0, 42, true, &t, &mut mem_hw, &mut rng);
+        assert!(
+            hw.latency_ns < cpu.latency_ns,
+            "session step must be skipped"
+        );
+        // And the flag-off path is exactly `process`.
+        let mut mem_a = mem_small();
+        let mut mem_b = mem_small();
+        let mut rng_a = SimRng::seed_from(4);
+        let mut rng_b = SimRng::seed_from(4);
+        let a = p.process(1, 7, &t, &mut mem_a, &mut rng_a);
+        let b = p.process_offloaded(1, 7, false, &t, &mut mem_b, &mut rng_b);
+        assert_eq!(a.latency_ns, b.latency_ns);
+        // A chain without a session step is unaffected by the flag.
+        let vpc = ServicePipeline::new(ServiceKind::VpcVpc, &t);
+        let mut mem_c = mem_small();
+        let mut mem_d = mem_small();
+        let c = vpc.process_offloaded(0, 9, false, &t, &mut mem_c, &mut rng);
+        let d = vpc.process_offloaded(0, 9, true, &t, &mut mem_d, &mut rng);
+        assert_eq!(c.latency_ns, d.latency_ns);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Deterministic hashing for simulation state.
+//!
+//! `std::collections::HashMap`'s default `RandomState` draws a fresh seed
+//! per map instance, so iteration order differs between two maps built the
+//! same way — and between two runs of the same binary. Any map whose
+//! iteration order can reach a report (eviction scans, expiry drains,
+//! capacity reclaim) therefore violates the repo's byte-identity contract.
+//! This module provides a fixed-seed FNV-1a hasher and map/set aliases:
+//! same inserts ⇒ same layout ⇒ same iteration order, every run.
+//!
+//! The hash is *not* DoS-resistant — irrelevant here, since every key is
+//! produced by the simulation itself, never by an adversary.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a streaming hasher with a fixed seed.
+#[derive(Debug, Clone)]
+pub struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        // FNV-1a mixes the low bits poorly for short keys; finish with a
+        // xor-fold avalanche so HashMap's bucket selection (low bits) still
+        // spreads.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+/// [`BuildHasher`] yielding [`DetHasher`]s with the fixed FNV offset seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildDetHasher;
+
+impl BuildHasher for BuildDetHasher {
+    type Hasher = DetHasher;
+
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher(FNV_OFFSET)
+    }
+}
+
+/// A `HashMap` with run-to-run deterministic layout and iteration order.
+pub type DetHashMap<K, V> = HashMap<K, V, BuildDetHasher>;
+
+/// A `HashSet` with run-to-run deterministic layout and iteration order.
+pub type DetHashSet<K> = HashSet<K, BuildDetHasher>;
+
+/// A [`DetHashMap`] pre-sized for `capacity` entries.
+pub fn det_map_with_capacity<K, V>(capacity: usize) -> DetHashMap<K, V> {
+    HashMap::with_capacity_and_hasher(capacity, BuildDetHasher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inserts_same_iteration_order() {
+        let build = |n: u64| {
+            let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+            for i in 0..n {
+                m.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i);
+            }
+            m.remove(&0);
+            m.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            build(500),
+            build(500),
+            "two identical maps must iterate identically"
+        );
+    }
+
+    #[test]
+    fn hash_is_stable_across_hashers() {
+        let h = |bytes: &[u8]| {
+            let mut h = BuildDetHasher.build_hasher();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(h(b"albatross"), h(b"albatross"));
+        assert_ne!(h(b"albatross"), h(b"albatros"));
+    }
+
+    #[test]
+    fn short_integer_keys_spread_over_buckets() {
+        // Low-bit diversity check for the finish() avalanche: sequential
+        // u32 keys must not all land in a handful of buckets.
+        let mut low_bits: HashSet<u64> = HashSet::new();
+        for i in 0u32..256 {
+            let mut h = BuildDetHasher.build_hasher();
+            h.write(&i.to_ne_bytes());
+            low_bits.insert(h.finish() & 0x3f);
+        }
+        assert!(
+            low_bits.len() > 32,
+            "only {} of 64 low-bit patterns",
+            low_bits.len()
+        );
+    }
+}

@@ -20,8 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod det;
 pub mod dist;
 pub mod engine;
+pub mod lifecycle;
 pub mod queue;
 pub mod rate;
 pub mod rng;
@@ -29,8 +31,10 @@ pub mod script;
 pub mod shard;
 pub mod time;
 
+pub use det::{BuildDetHasher, DetHashMap, DetHashSet};
 pub use dist::LatencyModel;
 pub use engine::{Engine, EventId};
+pub use lifecycle::{CandidateSketch, LifecycleConfig, Promotion, SlotLifecycle};
 pub use queue::BoundedQueue;
 pub use rate::TokenBucket;
 pub use rng::SimRng;

@@ -1,0 +1,472 @@
+//! Generic heavy-hitter slot lifecycle — the promotion/demotion/eviction
+//! machinery shared by the two-stage rate limiter (`albatross-core`) and
+//! the tiered session-offload engine (`albatross-fpga`).
+//!
+//! The pattern both implement is the same hardware idiom: a small table of
+//! precious slots (pre_meter entries, BRAM/DPU session slots), a candidate
+//! sketch (a small CAM) that counts suspects until one crosses a promotion
+//! threshold, drifting detection windows that zero the sketch and credit
+//! conforming occupants towards demotion, and — under slot pressure — the
+//! eviction of the *least-recently-exceeding* occupant. The semantics here
+//! are exactly the ones pinned by the rate limiter's golden sequences and
+//! property suites (PR 4): free slots pop lowest-index first, eviction
+//! victims minimise `(last_exceeded_window, slot index)`, a multi-window
+//! idle gap credits `windows − 1` conforming windows to an occupant that
+//! exceeded in the window that just ended, and a returning candidate reuses
+//! its sketch slot after the counts are zeroed.
+//!
+//! The lifecycle tracks *which key owns which slot and when it should lose
+//! it*; what a slot physically is (a token bucket, a BRAM session entry)
+//! stays with the caller, which reacts to placement changes through the
+//! return values and the `on_demote` callback.
+
+use crate::time::SimTime;
+
+/// Configuration of a [`SlotLifecycle`].
+#[derive(Debug, Clone)]
+pub struct LifecycleConfig {
+    /// Number of precious slots.
+    pub slots: usize,
+    /// Candidate-sketch entries (hardware: a small CAM).
+    pub candidate_slots: usize,
+    /// Sketch count within one detection window that makes
+    /// [`SlotLifecycle::sample_candidate`] report "promote".
+    pub promote_threshold: u32,
+    /// Detection-window length.
+    pub window: SimTime,
+    /// Consecutive conforming detection windows after which an occupant is
+    /// demoted. `None` disables demotion.
+    pub demote_after_windows: Option<u32>,
+    /// When every slot is taken, evict the least-recently-exceeding
+    /// occupant instead of refusing the promotion.
+    pub evict_on_pressure: bool,
+}
+
+/// Lifecycle bookkeeping for an occupied slot.
+#[derive(Debug, Clone, Copy)]
+struct SlotInfo<K> {
+    key: K,
+    /// Detection-window sequence number of the most recent "exceeded"
+    /// report (initialised to the promotion window). Drives eviction
+    /// ordering.
+    last_exceeded_window: u64,
+    /// Consecutive fully-conforming windows observed so far.
+    conforming_windows: u32,
+}
+
+/// Outcome of a [`SlotLifecycle::promote`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Promotion<K> {
+    /// The key now owns `slot`; `evicted` names the previous occupant when
+    /// the slot was reclaimed under pressure.
+    Installed {
+        /// The slot the key was installed into.
+        slot: usize,
+        /// Occupant evicted to make room, if any.
+        evicted: Option<K>,
+    },
+    /// Every slot taken and eviction disabled; the promotion was refused.
+    Refused,
+}
+
+/// The candidate sketch: a tiny CAM counting per-key suspicion within one
+/// detection window. Matching is on the key alone — after the counts are
+/// zeroed a returning key must reuse its slot, not claim a duplicate one —
+/// and a new key claims the first slot with the minimal count.
+#[derive(Debug, Clone)]
+pub struct CandidateSketch<K> {
+    slots: Vec<Option<(K, u32)>>,
+}
+
+impl<K: Copy + PartialEq> CandidateSketch<K> {
+    /// Creates a sketch with `slots` entries.
+    ///
+    /// # Panics
+    /// Panics on zero slots.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "candidate sketch needs at least one slot");
+        Self {
+            slots: vec![None; slots],
+        }
+    }
+
+    /// Counts one observation of `key`, returning its updated count. A key
+    /// not yet in the sketch claims the first slot with the minimal count
+    /// (empty slots count as zero), evicting that slot's occupant.
+    pub fn sample(&mut self, key: K) -> u32 {
+        let mut min_idx = 0;
+        let mut min_samples = u32::MAX;
+        for (i, c) in self.slots.iter_mut().enumerate() {
+            match c {
+                Some((k, samples)) if *k == key => {
+                    *samples += 1;
+                    return *samples;
+                }
+                Some((_, samples)) => {
+                    if *samples < min_samples {
+                        min_samples = *samples;
+                        min_idx = i;
+                    }
+                }
+                None => {
+                    if 0 < min_samples {
+                        min_samples = 0;
+                        min_idx = i;
+                    }
+                }
+            }
+        }
+        self.slots[min_idx] = Some((key, 1));
+        1
+    }
+
+    /// Zeroes every count but keeps the keys — the window roll. Keeping
+    /// keys is what lets a returning heavy hitter reuse its slot.
+    pub fn zero_counts(&mut self) {
+        for c in self.slots.iter_mut().flatten() {
+            c.1 = 0;
+        }
+    }
+
+    /// The `(key, count)` held in sketch slot `i`, if any.
+    pub fn get(&self, i: usize) -> Option<(K, u32)> {
+        self.slots[i]
+    }
+
+    /// Number of sketch slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the sketch has no slots (never: `new` forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// The slot lifecycle engine. See the module docs for the semantics.
+#[derive(Debug, Clone)]
+pub struct SlotLifecycle<K> {
+    cfg: LifecycleConfig,
+    slots: Vec<Option<SlotInfo<K>>>,
+    /// Free list as a stack, initialised `(0..slots).rev()` so slot 0 pops
+    /// first — the deterministic fill order the golden tests pin.
+    free: Vec<usize>,
+    sketch: CandidateSketch<K>,
+    window_start: SimTime,
+    /// Detection-window sequence number, advanced by `roll_window`.
+    window_seq: u64,
+    promotions: u64,
+    demotions: u64,
+    evictions: u64,
+    refused: u64,
+}
+
+impl<K: Copy + PartialEq> SlotLifecycle<K> {
+    /// Builds the lifecycle from `cfg`.
+    ///
+    /// # Panics
+    /// Panics on zero slots or zero sketch entries.
+    pub fn new(cfg: LifecycleConfig) -> Self {
+        assert!(cfg.slots > 0, "lifecycle needs at least one slot");
+        Self {
+            slots: vec![None; cfg.slots],
+            free: (0..cfg.slots).rev().collect(),
+            sketch: CandidateSketch::new(cfg.candidate_slots),
+            window_start: SimTime::ZERO,
+            window_seq: 0,
+            promotions: 0,
+            demotions: 0,
+            evictions: 0,
+            refused: 0,
+            cfg,
+        }
+    }
+
+    /// Installs `key` into a slot. Pops the free list first; under
+    /// pressure (and with `evict_on_pressure`) evicts the occupant that
+    /// exceeded least recently, ties broken by slot index. The caller must
+    /// ensure `key` is not already installed (lifecycle state is keyed by
+    /// slot, so a double install would leak a slot).
+    pub fn promote(&mut self, key: K) -> Promotion<K> {
+        let (slot, evicted) = match self.free.pop() {
+            Some(slot) => (slot, None),
+            None if self.cfg.evict_on_pressure => {
+                let (_, slot) = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.as_ref().map(|info| (info.last_exceeded_window, i)))
+                    .min()
+                    .expect("no free slot implies every slot is occupied");
+                let victim = self.slots[slot].take().expect("victim slot occupied").key;
+                self.evictions += 1;
+                (slot, Some(victim))
+            }
+            None => {
+                self.refused += 1;
+                return Promotion::Refused;
+            }
+        };
+        self.slots[slot] = Some(SlotInfo {
+            key,
+            last_exceeded_window: self.window_seq,
+            conforming_windows: 0,
+        });
+        self.promotions += 1;
+        Promotion::Installed { slot, evicted }
+    }
+
+    /// Explicitly demotes the occupant of `slot`, returning its key and
+    /// counting a demotion (the CPU-assisted uninstall path).
+    ///
+    /// # Panics
+    /// Panics when `slot` is free.
+    pub fn demote_slot(&mut self, slot: usize) -> K {
+        let key = self.vacate(slot);
+        self.demotions += 1;
+        key
+    }
+
+    /// Frees `slot` without counting a demotion — for callers whose exits
+    /// are accounted elsewhere (idle expiry, tier upgrades). Returns the
+    /// evicted key.
+    ///
+    /// # Panics
+    /// Panics when `slot` is free.
+    pub fn vacate(&mut self, slot: usize) -> K {
+        let info = self.slots[slot].take().expect("vacate of a free slot");
+        self.free.push(slot);
+        info.key
+    }
+
+    /// Records that the occupant of `slot` exceeded its allowance in the
+    /// current detection window (resets its conforming-window credit).
+    /// No-op on a free slot.
+    pub fn record_exceeded(&mut self, slot: usize) {
+        if let Some(info) = self.slots[slot].as_mut() {
+            info.last_exceeded_window = self.window_seq;
+            info.conforming_windows = 0;
+        }
+    }
+
+    /// Rolls the detection window if `window` has elapsed since the last
+    /// roll: zeroes the sketch counts, advances the window sequence by the
+    /// number of windows that passed (drifting windows: the new window
+    /// starts at `now`), credits occupants with conforming windows, and
+    /// demotes any whose credit reaches `demote_after_windows` — invoking
+    /// `on_demote(key, slot)` for each, in slot order. An occupant that
+    /// exceeded in the window that just ended is credited `windows − 1`
+    /// (the gap's idle windows only).
+    pub fn roll_window(&mut self, now: SimTime, mut on_demote: impl FnMut(K, usize)) {
+        let elapsed = now.saturating_since(self.window_start);
+        let w = self.cfg.window.as_nanos();
+        if elapsed < w {
+            return;
+        }
+        let windows_passed = elapsed / w;
+        self.window_start = now;
+        self.sketch.zero_counts();
+        let ended_seq = self.window_seq;
+        self.window_seq += windows_passed;
+        let Some(demote_after) = self.cfg.demote_after_windows else {
+            return;
+        };
+        let credit = windows_passed.min(u64::from(u32::MAX)) as u32;
+        for slot in 0..self.slots.len() {
+            let Some(info) = self.slots[slot].as_mut() else {
+                continue;
+            };
+            if info.last_exceeded_window == ended_seq {
+                info.conforming_windows = credit - 1;
+            } else {
+                info.conforming_windows = info.conforming_windows.saturating_add(credit);
+            }
+            if info.conforming_windows >= demote_after {
+                let key = info.key;
+                self.slots[slot] = None;
+                self.free.push(slot);
+                self.demotions += 1;
+                on_demote(key, slot);
+            }
+        }
+    }
+
+    /// Counts one suspicion sample of `key` in the sketch; `true` means the
+    /// key crossed `promote_threshold` within the current window.
+    pub fn sample_candidate(&mut self, key: K) -> bool {
+        self.sketch.sample(key) >= self.cfg.promote_threshold
+    }
+
+    /// The key occupying `slot`, if any.
+    pub fn key_of(&self, slot: usize) -> Option<K> {
+        self.slots[slot].as_ref().map(|info| info.key)
+    }
+
+    /// The `(key, count)` held in candidate-sketch slot `i`, if any.
+    pub fn candidate(&self, i: usize) -> Option<(K, u32)> {
+        self.sketch.get(i)
+    }
+
+    /// Number of candidate-sketch slots.
+    pub fn candidate_slots(&self) -> usize {
+        self.sketch.len()
+    }
+
+    /// Currently occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Currently free slots.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current detection-window sequence number.
+    pub fn window_seq(&self) -> u64 {
+        self.window_seq
+    }
+
+    /// Promotions performed.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Demotions performed (window expiry plus explicit
+    /// [`demote_slot`](Self::demote_slot) calls).
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// Occupants evicted under slot pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Promotions refused with every slot taken (eviction disabled).
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(slots: usize) -> LifecycleConfig {
+        LifecycleConfig {
+            slots,
+            candidate_slots: slots,
+            promote_threshold: 4,
+            window: SimTime::from_secs(1),
+            demote_after_windows: Some(2),
+            evict_on_pressure: true,
+        }
+    }
+
+    #[test]
+    fn free_list_pops_slot_zero_first() {
+        let mut lc: SlotLifecycle<u32> = SlotLifecycle::new(cfg(4));
+        for k in 10..14 {
+            match lc.promote(k) {
+                Promotion::Installed { slot, evicted } => {
+                    assert_eq!(slot as u32, k - 10);
+                    assert_eq!(evicted, None);
+                }
+                Promotion::Refused => panic!("free slots must not refuse"),
+            }
+        }
+        assert_eq!(lc.occupied(), 4);
+        assert_eq!(lc.free_slots(), 0);
+    }
+
+    #[test]
+    fn pressure_evicts_least_recently_exceeding_lowest_slot() {
+        let mut lc: SlotLifecycle<u32> = SlotLifecycle::new(cfg(4));
+        for k in 0..4 {
+            lc.promote(k);
+        }
+        lc.roll_window(SimTime::from_millis(1_500), |_, _| {});
+        // Slots 1..4 exceed in the new window; slot 0 stays idle.
+        for slot in 1..4 {
+            lc.record_exceeded(slot);
+        }
+        match lc.promote(99) {
+            Promotion::Installed { slot, evicted } => {
+                assert_eq!(slot, 0);
+                assert_eq!(evicted, Some(0));
+            }
+            Promotion::Refused => panic!("eviction enabled"),
+        }
+        assert_eq!(lc.evictions(), 1);
+    }
+
+    #[test]
+    fn refusal_counts_when_eviction_disabled() {
+        let mut lc: SlotLifecycle<u32> = SlotLifecycle::new(LifecycleConfig {
+            evict_on_pressure: false,
+            ..cfg(2)
+        });
+        lc.promote(1);
+        lc.promote(2);
+        assert_eq!(lc.promote(3), Promotion::Refused);
+        assert_eq!(lc.refused(), 1);
+        assert_eq!(lc.occupied(), 2);
+    }
+
+    #[test]
+    fn conforming_windows_demote_with_idle_gap_credit() {
+        let mut lc: SlotLifecycle<u32> = SlotLifecycle::new(cfg(2));
+        lc.promote(7);
+        lc.record_exceeded(0);
+        // A 3-window idle gap after an exceeding window credits 3 − 1 = 2
+        // conforming windows — exactly the demotion threshold.
+        let mut demoted = Vec::new();
+        lc.roll_window(SimTime::from_secs(3), |k, s| demoted.push((k, s)));
+        assert_eq!(demoted, vec![(7, 0)]);
+        assert_eq!(lc.demotions(), 1);
+        assert_eq!(lc.free_slots(), 2);
+    }
+
+    #[test]
+    fn returning_candidate_reuses_slot_after_roll() {
+        let mut lc: SlotLifecycle<u32> = SlotLifecycle::new(cfg(4));
+        for _ in 0..3 {
+            lc.sample_candidate(10);
+        }
+        for _ in 0..2 {
+            lc.sample_candidate(20);
+        }
+        assert_eq!(lc.candidate(0), Some((10, 3)));
+        assert_eq!(lc.candidate(1), Some((20, 2)));
+        lc.roll_window(SimTime::from_secs(2), |_, _| {});
+        assert_eq!(
+            lc.candidate(0),
+            Some((10, 0)),
+            "roll zeroes counts, keeps keys"
+        );
+        lc.sample_candidate(20);
+        assert_eq!(lc.candidate(0), Some((10, 0)), "20 must not steal slot 0");
+        assert_eq!(lc.candidate(1), Some((20, 1)));
+    }
+
+    #[test]
+    fn vacate_frees_without_counting_demotion() {
+        let mut lc: SlotLifecycle<u32> = SlotLifecycle::new(cfg(2));
+        lc.promote(5);
+        assert_eq!(lc.vacate(0), 5);
+        assert_eq!(lc.demotions(), 0);
+        assert_eq!(lc.free_slots(), 2);
+        // The freed slot is on top of the stack.
+        match lc.promote(6) {
+            Promotion::Installed { slot, .. } => assert_eq!(slot, 0),
+            Promotion::Refused => panic!(),
+        }
+    }
+}

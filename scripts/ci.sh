@@ -118,4 +118,19 @@ echo "==> sharded-engine scaling smoke bench"
 # report (single-core CI machines cannot show it, and the bench says so).
 cargo bench --offline -p albatross-bench --bench shard_scaling -- shard_scaling
 
+echo "==> co-offload tier sweep smoke bench + determinism gate"
+# Zipf sweep of the dynamic FPGA/DPU/CPU hierarchy. The bench itself gates
+# the pinned 89.2% anchor, the budget-knob frontier and the DPU spill arm;
+# here the canonical RESULT lines (floats as raw bits) from two full runs
+# must additionally be byte-identical — tier placement is deterministic by
+# contract.
+tiers_a=$(cargo bench --offline -p albatross-bench --bench offload_tiers -- offload_tiers | grep '^RESULT')
+tiers_b=$(cargo bench --offline -p albatross-bench --bench offload_tiers -- offload_tiers | grep '^RESULT')
+if [ "$tiers_a" != "$tiers_b" ]; then
+    echo "ERROR: offload_tiers RESULT lines differ between two runs" >&2
+    diff <(printf '%s\n' "$tiers_a") <(printf '%s\n' "$tiers_b") >&2 || true
+    exit 1
+fi
+echo "    offload_tiers RESULT lines byte-identical across two runs"
+
 echo "==> CI green"

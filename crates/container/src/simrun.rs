@@ -41,6 +41,7 @@ use albatross_fpga::dma::DmaEngine;
 use albatross_fpga::pipeline::{Direction, NicPipelineLatency};
 use albatross_fpga::pkt::{DeliveryMode, NicPacket};
 use albatross_fpga::tier::{SessionTier, TierConfig, TierStats, TieredSessionEngine};
+use albatross_gateway::flowstate::{FlowStateConfig, FlowStateEngine, FlowVerdict};
 use albatross_gateway::services::{PacketAction, ServiceKind, ServicePipeline};
 use albatross_gateway::worker::DataCore;
 use albatross_mem::tables::CloudGatewayTables;
@@ -74,6 +75,16 @@ pub struct SimConfig {
     /// latency off-core, CPU-served packets pay the session-write cost
     /// on-core.
     pub session_tiers: Option<TierConfig>,
+    /// Hardware flow-state install frontier (the CPS bottleneck), if
+    /// enabled. Every packet is classified against a fixed-capacity flow
+    /// table: residents skip the service chain's session step, first
+    /// packets pay the install cost, and packets denied by the
+    /// install-rate budget (or a full table) take the software slow path.
+    /// Mutually exclusive with [`session_tiers`](Self::session_tiers),
+    /// which models placement *across* tiers rather than the insertion
+    /// rate *into* one; when both are set, `session_tiers` wins and this
+    /// engine is ignored.
+    pub flow_state: Option<FlowStateConfig>,
     /// Per-core RX descriptor-queue depth.
     pub rx_queue_depth: usize,
     /// Shared L3 size in bytes.
@@ -137,6 +148,7 @@ impl SimConfig {
             reorder_timeout_ns: 100_000,
             rate_limiter: None,
             session_tiers: None,
+            flow_state: None,
             rx_queue_depth: 1024,
             cache_bytes: 192 * 1024 * 1024,
             cache_ways: 16,
@@ -244,6 +256,18 @@ pub struct SimReport {
     /// Promotions deferred for lack of install-budget tokens (after
     /// warm-up) — the XenoFlow insertion-rate bottleneck made visible.
     pub tier_installs_deferred: u64,
+    /// Packets served by a hardware-resident flow-state entry (after
+    /// warm-up; all `flow_*` counters are zero without
+    /// [`SimConfig::flow_state`]).
+    pub flow_hits: u64,
+    /// New flows installed into the hardware flow table (after warm-up).
+    pub flow_installs: u64,
+    /// Packets pushed to the software slow path because the install
+    /// budget was dry or the table full (after warm-up) — the CPS
+    /// ceiling made visible.
+    pub flow_deferred: u64,
+    /// Flow-table entries reclaimed by idle expiry (after warm-up).
+    pub flow_expired: u64,
 }
 
 impl SimReport {
@@ -300,6 +324,10 @@ impl SimReport {
             tier_evictions: 0,
             tier_expired: 0,
             tier_installs_deferred: 0,
+            flow_hits: 0,
+            flow_installs: 0,
+            flow_deferred: 0,
+            flow_expired: 0,
         };
         // Seed core_util from the first report (CoreUtilization has no
         // empty state), then absorb the rest.
@@ -370,6 +398,10 @@ impl SimReport {
             out.tier_evictions += r.tier_evictions;
             out.tier_expired += r.tier_expired;
             out.tier_installs_deferred += r.tier_installs_deferred;
+            out.flow_hits += r.flow_hits;
+            out.flow_installs += r.flow_installs;
+            out.flow_deferred += r.flow_deferred;
+            out.flow_expired += r.flow_expired;
         }
         if hit_weight > 0.0 {
             out.cache_hit_rate /= hit_weight;
@@ -405,6 +437,17 @@ impl SimReport {
             0.0
         } else {
             (self.tier_fpga_pkts + self.tier_dpu_pkts) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of flow-state packets that hit a hardware-resident entry
+    /// during the measured interval. Zero when no flow-state engine ran.
+    pub fn flow_hit_rate(&self) -> f64 {
+        let total = self.flow_hits + self.flow_installs + self.flow_deferred;
+        if total == 0 {
+            0.0
+        } else {
+            self.flow_hits as f64 / total as f64
         }
     }
 }
@@ -443,6 +486,10 @@ pub struct PodSimulation {
     /// Three-tier session placement engine (FPGA/DPU/CPU); `None` keeps the
     /// classic all-CPU session path byte-for-byte unchanged.
     tiers: Option<TieredSessionEngine>,
+    /// Hardware flow-state install frontier; `None` (or a configured
+    /// `tiers` engine, which takes precedence) keeps the classic session
+    /// path byte-for-byte unchanged.
+    flow_state: Option<FlowStateEngine>,
     /// Software-stack delay applied between core completion and the NIC TX
     /// path (does not occupy the core).
     stack_jitter: Option<LatencyModel>,
@@ -497,6 +544,10 @@ struct WarmBase {
     hh_evictions: u64,
     hh_promotion_refused: u64,
     tiers: TierStats,
+    flow_hits: u64,
+    flow_installs: u64,
+    flow_deferred: u64,
+    flow_expired: u64,
 }
 
 impl PodSimulation {
@@ -536,6 +587,7 @@ impl PodSimulation {
             in_flight: (0..cfg.data_cores).map(|_| None).collect(),
             service,
             tiers: cfg.session_tiers.clone().map(TieredSessionEngine::new),
+            flow_state: cfg.flow_state.as_ref().map(FlowStateEngine::new),
             stack_jitter: cfg.extra_jitter.clone(),
             tables,
             mem,
@@ -699,6 +751,9 @@ impl PodSimulation {
                     if let Some(t) = self.tiers.as_mut() {
                         t.expire(now);
                     }
+                    if let Some(fs) = self.flow_state.as_mut() {
+                        fs.expire(now);
+                    }
                     let window = self.cfg.sample_window.as_nanos();
                     let mut utils = std::mem::take(&mut self.util_buf);
                     utils.clear();
@@ -793,11 +848,35 @@ impl PodSimulation {
                 o.latency_ns += t.cpu_cost_ns(tier);
                 (o, t.added_latency_ns(tier))
             }
-            None => (
-                self.service
-                    .process(core, flow_hash, &self.tables, &mut self.mem, &mut self.rng),
-                0,
-            ),
+            None => match self.flow_state.as_mut() {
+                Some(fs) => {
+                    // Flow-state frontier: residents skip the session step;
+                    // installs and slow-path packets pay their cost on the
+                    // core (the install doorbell and the software fallback
+                    // both burn CPU — that is exactly the CPS ceiling).
+                    let verdict = fs.on_packet(&pkt.tuple, now);
+                    let mut o = self.service.process_offloaded(
+                        core,
+                        flow_hash,
+                        verdict == FlowVerdict::Resident,
+                        &self.tables,
+                        &mut self.mem,
+                        &mut self.rng,
+                    );
+                    o.latency_ns += fs.verdict_ns(verdict);
+                    (o, 0)
+                }
+                None => (
+                    self.service.process(
+                        core,
+                        flow_hash,
+                        &self.tables,
+                        &mut self.mem,
+                        &mut self.rng,
+                    ),
+                    0,
+                ),
+            },
         };
         let stall = self
             .nb
@@ -941,6 +1020,16 @@ impl PodSimulation {
             hh_evictions: self.limiter.as_ref().map_or(0, |l| l.evictions()),
             hh_promotion_refused: self.limiter.as_ref().map_or(0, |l| l.promotion_refused()),
             tiers: self.tiers.as_ref().map(|t| t.stats()).unwrap_or_default(),
+            flow_hits: self.flow_state.as_ref().map_or(0, FlowStateEngine::hits),
+            flow_installs: self
+                .flow_state
+                .as_ref()
+                .map_or(0, FlowStateEngine::installs),
+            flow_deferred: self
+                .flow_state
+                .as_ref()
+                .map_or(0, FlowStateEngine::deferred),
+            flow_expired: self.flow_state.as_ref().map_or(0, FlowStateEngine::expired),
         };
         self.warm_processed_base = self.cores.iter().map(DataCore::processed).collect();
         self.latency.reset();
@@ -1014,6 +1103,19 @@ impl PodSimulation {
             tier_expired: (ts.fpga_expired + ts.dpu_expired)
                 - (w.tiers.fpga_expired + w.tiers.dpu_expired),
             tier_installs_deferred: ts.installs_deferred() - w.tiers.installs_deferred(),
+            flow_hits: self.flow_state.as_ref().map_or(0, FlowStateEngine::hits) - w.flow_hits,
+            flow_installs: self
+                .flow_state
+                .as_ref()
+                .map_or(0, FlowStateEngine::installs)
+                - w.flow_installs,
+            flow_deferred: self
+                .flow_state
+                .as_ref()
+                .map_or(0, FlowStateEngine::deferred)
+                - w.flow_deferred,
+            flow_expired: self.flow_state.as_ref().map_or(0, FlowStateEngine::expired)
+                - w.flow_expired,
         }
     }
 }

@@ -13,9 +13,18 @@
 //! for non-offloaded flows falls back to the CPU path — the classic
 //! fast/slow split, accounted per packet so experiments can measure the
 //! offload hit rate.
+//!
+//! The resident-flow map is an [`albatross_mem::flowtab::FlowTable`]
+//! (cache-line-bucketed open addressing, deterministic hashing) and aging
+//! runs through an [`albatross_mem::flowtab::ExpiryWheel`]: an expiry
+//! sweep visits only the sessions whose coarse deadline bucket has come
+//! due — amortized `O(expired)` — instead of retain-scanning all 256K BRAM
+//! entries on every tick, which is also how the real hardware ages
+//! entries (a background scrubber walking timestamp buckets, not the full
+//! table).
 
+use albatross_mem::flowtab::{ExpiryWheel, FlowTable, InsertOutcome, WheelDecision};
 use albatross_packet::FiveTuple;
-use albatross_sim::det::{det_map_with_capacity, DetHashMap};
 use albatross_sim::SimTime;
 
 /// Counters the FPGA maintains per offloaded session.
@@ -49,10 +58,13 @@ pub struct SessionOffloadEngine {
     /// BRAM bits per session entry (key 104 b + counters 128 b + ts 48 b +
     /// control ≈ 320 b).
     entry_bits: u64,
-    /// Deterministic map ([`DetHashMap`]): iteration order — which feeds
-    /// eviction scans and the `expire_collect` drain — is identical across
-    /// runs, unlike `RandomState`'s per-instance seeding.
-    sessions: DetHashMap<FiveTuple, Entry>,
+    /// Deterministic flow table: layout — which feeds the `expire_collect`
+    /// drain order — is identical across runs, unlike `RandomState`'s
+    /// per-instance seeding.
+    sessions: FlowTable<FiveTuple, Entry>,
+    /// Coarse deadline buckets over `sessions` slots; sweeps drain only
+    /// due buckets.
+    wheel: ExpiryWheel,
     idle_timeout: SimTime,
     offloaded_pkts: u64,
     fallback_pkts: u64,
@@ -70,7 +82,8 @@ impl SessionOffloadEngine {
         Self {
             capacity,
             entry_bits: 320,
-            sessions: det_map_with_capacity(capacity),
+            sessions: FlowTable::with_capacity(capacity),
+            wheel: ExpiryWheel::for_timeout(idle_timeout),
             idle_timeout,
             offloaded_pkts: 0,
             fallback_pkts: 0,
@@ -105,18 +118,22 @@ impl SessionOffloadEngine {
         if self.sessions.len() >= self.capacity {
             self.expire(now);
         }
-        if self.sessions.len() >= self.capacity {
-            self.rejected_installs += 1;
-            return false;
+        let entry = Entry {
+            counters: OffloadedCounters::default(),
+            last_active: now,
+        };
+        match self.sessions.insert(flow, entry) {
+            InsertOutcome::Created(slot) => {
+                self.wheel
+                    .schedule(slot, now.saturating_add_ns(self.idle_timeout.as_nanos()));
+                true
+            }
+            InsertOutcome::Updated(_) => unreachable!("resident flows refresh above"),
+            InsertOutcome::Full => {
+                self.rejected_installs += 1;
+                false
+            }
         }
-        self.sessions.insert(
-            flow,
-            Entry {
-                counters: OffloadedCounters::default(),
-                last_active: now,
-            },
-        );
-        true
     }
 
     /// Removes a session (connection teardown), returning its final
@@ -150,31 +167,62 @@ impl SessionOffloadEngine {
     }
 
     /// Ages out idle sessions; returns how many were reclaimed.
+    ///
+    /// Incremental: the expiry wheel drains only deadline buckets that
+    /// have come due since the last sweep (amortized `O(expired)`), and a
+    /// session refreshed since its bucket was armed lazily re-arms at its
+    /// true deadline instead of being scanned every sweep.
     pub fn expire(&mut self, now: SimTime) -> usize {
-        let timeout = self.idle_timeout.as_nanos();
-        let before = self.sessions.len();
-        self.sessions
-            .retain(|_, e| now.saturating_since(e.last_active) <= timeout);
-        let freed = before - self.sessions.len();
+        let mut freed = 0usize;
+        let Self {
+            sessions,
+            wheel,
+            idle_timeout,
+            ..
+        } = self;
+        let timeout = idle_timeout.as_nanos();
+        wheel.advance(now, |slot| match sessions.at(slot) {
+            None => WheelDecision::Expire, // removed flow: drop the handle
+            Some((_, e)) => {
+                if now.saturating_since(e.last_active) > timeout {
+                    sessions.remove_slot(slot);
+                    freed += 1;
+                    WheelDecision::Expire
+                } else {
+                    WheelDecision::KeepUntil(e.last_active.saturating_add_ns(timeout))
+                }
+            }
+        });
         self.expired += freed as u64;
         freed
     }
 
     /// [`expire`](Self::expire), but drains the reclaimed sessions'
     /// final counters (for billing) in a deterministic order: the same
-    /// inserts produce the same drain order on every run, because the
-    /// session map hashes with the fixed-seed [`DetHashMap`].
+    /// inserts produce the same drain order on every run, because both the
+    /// flow table's layout and the wheel's bucket order are fixed by the
+    /// install history alone.
     pub fn expire_collect(&mut self, now: SimTime) -> Vec<(FiveTuple, OffloadedCounters)> {
-        let timeout = self.idle_timeout.as_nanos();
-        let drained: Vec<(FiveTuple, OffloadedCounters)> = self
-            .sessions
-            .iter()
-            .filter(|(_, e)| now.saturating_since(e.last_active) > timeout)
-            .map(|(f, e)| (*f, e.counters))
-            .collect();
-        for (f, _) in &drained {
-            self.sessions.remove(f);
-        }
+        let mut drained: Vec<(FiveTuple, OffloadedCounters)> = Vec::new();
+        let Self {
+            sessions,
+            wheel,
+            idle_timeout,
+            ..
+        } = self;
+        let timeout = idle_timeout.as_nanos();
+        wheel.advance(now, |slot| match sessions.at(slot) {
+            None => WheelDecision::Expire,
+            Some((_, e)) => {
+                if now.saturating_since(e.last_active) > timeout {
+                    let (f, e) = sessions.remove_slot(slot).expect("validated live slot");
+                    drained.push((f, e.counters));
+                    WheelDecision::Expire
+                } else {
+                    WheelDecision::KeepUntil(e.last_active.saturating_add_ns(timeout))
+                }
+            }
+        });
         self.expired += drained.len() as u64;
         drained
     }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod acl;
+pub mod flowstate;
 pub mod lpm;
 pub mod nat;
 pub mod services;
@@ -34,6 +35,7 @@ pub mod vmnc;
 pub mod worker;
 
 pub use acl::{AclAction, AclTable};
+pub use flowstate::{FlowStateConfig, FlowStateEngine, FlowVerdict};
 pub use lpm::LpmTable;
 pub use nat::SnatTable;
 pub use services::{ServiceKind, ServicePipeline};

@@ -6,10 +6,20 @@
 //! control-plane runtime API) and which motivated keeping packet processing
 //! on the CPU. Sessions age out on inactivity, replacing Tofino's missing
 //! timers.
+//!
+//! CPS-grade storage (HyperNAT's finding: NAT dies on *session setup* rate,
+//! not forwarding rate): both directions live in
+//! [`albatross_mem::flowtab::FlowTable`] — cache-line-bucketed open
+//! addressing with deterministic hashing — instead of `std` `HashMap`, and
+//! expiry runs through an [`albatross_mem::flowtab::ExpiryWheel`]:
+//! amortized `O(expired)` per sweep instead of the old full-map scan. Port
+//! allocation is sharded per public IP with a per-shard free list, so a
+//! port reclaimed by expiry is reusable by the very next allocation in the
+//! same tick (the PR 9 expire-then-install convention).
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use albatross_mem::flowtab::{ExpiryWheel, FlowTable, InsertOutcome, WheelDecision};
 use albatross_packet::FiveTuple;
 use albatross_sim::SimTime;
 
@@ -22,45 +32,114 @@ pub struct NatBinding {
     pub public_port: u16,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Session {
     binding: NatBinding,
+    /// Index into `ports` of the shard the binding's port came from.
+    ip_idx: u32,
     last_active: SimTime,
 }
 
-/// SNAT table with port-block allocation and inactivity aging.
+/// Packs a public `(ip, port)` endpoint into the reverse-map key.
+fn endpoint_key(ip: Ipv4Addr, port: u16) -> u64 {
+    (u64::from(u32::from(ip)) << 16) | u64::from(port)
+}
+
+/// First usable NAT port (below are reserved).
+const PORT_FLOOR: u16 = 1024;
+
+/// Default session capacity when none is given.
+const DEFAULT_MAX_SESSIONS: usize = 64 * 1024;
+
+/// One public IP's port space: a free list of reclaimed ports (LIFO, so a
+/// port expired this tick is the first one reallocated this tick) plus a
+/// bump cursor over never-yet-used ports.
+#[derive(Debug)]
+struct PortShard {
+    free: Vec<u16>,
+    next: u16,
+    /// Ports handed out at least once (bump cursor exhausted at 65535).
+    exhausted: bool,
+}
+
+impl PortShard {
+    fn new() -> Self {
+        Self {
+            free: Vec::new(),
+            next: PORT_FLOOR,
+            exhausted: false,
+        }
+    }
+
+    /// Takes a port: reclaimed ones first, then fresh ones from the cursor.
+    fn take(&mut self) -> Option<u16> {
+        if let Some(p) = self.free.pop() {
+            return Some(p);
+        }
+        if self.exhausted {
+            return None;
+        }
+        let p = self.next;
+        if p == u16::MAX {
+            self.exhausted = true;
+        } else {
+            self.next = p + 1;
+        }
+        Some(p)
+    }
+
+    fn give_back(&mut self, port: u16) {
+        self.free.push(port);
+    }
+}
+
+/// SNAT table with sharded port allocation and incremental inactivity aging.
 #[derive(Debug)]
 pub struct SnatTable {
     /// Public IPs available to this gateway.
     public_ips: Vec<Ipv4Addr>,
-    /// Next port to try per public IP index.
-    next_port: Vec<u16>,
+    /// Per-public-IP port shard (free list + bump cursor).
+    ports: Vec<PortShard>,
     /// Forward map: private tuple → session.
-    sessions: HashMap<FiveTuple, Session>,
-    /// Reverse map: (public ip, public port) → private tuple.
-    reverse: HashMap<(Ipv4Addr, u16), FiveTuple>,
+    sessions: FlowTable<FiveTuple, Session>,
+    /// Reverse map: packed (public ip, public port) → private tuple.
+    /// Entries are created and destroyed strictly together with their
+    /// forward session, so `reverse.len() == sessions.len()` always.
+    reverse: FlowTable<u64, FiveTuple>,
+    /// Expiry wheel over forward-session slots.
+    wheel: ExpiryWheel,
     /// Inactivity timeout.
     timeout: SimTime,
     created: u64,
     expired: u64,
 }
 
-/// First usable NAT port (below are reserved).
-const PORT_FLOOR: u16 = 1024;
-
 impl SnatTable {
-    /// Creates a table over `public_ips` with the given inactivity timeout.
+    /// Creates a table over `public_ips` with the given inactivity timeout
+    /// and the default session capacity.
     ///
     /// # Panics
     /// Panics when no public IPs are supplied.
     pub fn new(public_ips: Vec<Ipv4Addr>, timeout: SimTime) -> Self {
+        Self::with_capacity(public_ips, timeout, DEFAULT_MAX_SESSIONS)
+    }
+
+    /// Creates a table bounded at `max_sessions` concurrent sessions
+    /// (clamped to the total port space).
+    ///
+    /// # Panics
+    /// Panics when no public IPs are supplied.
+    pub fn with_capacity(public_ips: Vec<Ipv4Addr>, timeout: SimTime, max_sessions: usize) -> Self {
         assert!(!public_ips.is_empty(), "SNAT needs at least one public IP");
         let n = public_ips.len();
+        let port_space = n * usize::from(u16::MAX - PORT_FLOOR) + n;
+        let cap = max_sessions.clamp(1, port_space);
         Self {
             public_ips,
-            next_port: vec![PORT_FLOOR; n],
-            sessions: HashMap::new(),
-            reverse: HashMap::new(),
+            ports: (0..n).map(|_| PortShard::new()).collect(),
+            sessions: FlowTable::with_capacity(cap),
+            reverse: FlowTable::with_capacity(cap),
+            wheel: ExpiryWheel::for_timeout(timeout),
             timeout,
             created: 0,
             expired: 0,
@@ -68,48 +147,50 @@ impl SnatTable {
     }
 
     /// Translates an outbound packet, creating a session on first sight.
-    /// Returns `None` when the port space is exhausted.
+    /// Returns `None` when the port space (or session table) is exhausted.
     pub fn translate_outbound(&mut self, tuple: &FiveTuple, now: SimTime) -> Option<NatBinding> {
         if let Some(s) = self.sessions.get_mut(tuple) {
             s.last_active = now;
             return Some(s.binding);
         }
-        let binding = self.allocate(tuple)?;
-        self.sessions.insert(
-            *tuple,
-            Session {
-                binding,
-                last_active: now,
-            },
-        );
-        self.created += 1;
-        Some(binding)
+        let (binding, ip_idx) = self.allocate(tuple)?;
+        let session = Session {
+            binding,
+            ip_idx,
+            last_active: now,
+        };
+        match self.sessions.insert(*tuple, session) {
+            InsertOutcome::Created(slot) => {
+                self.reverse
+                    .insert(endpoint_key(binding.public_ip, binding.public_port), *tuple);
+                self.wheel
+                    .schedule(slot, now.saturating_add_ns(self.timeout.as_nanos()));
+                self.created += 1;
+                Some(binding)
+            }
+            InsertOutcome::Updated(_) => unreachable!("first-sight key cannot update"),
+            InsertOutcome::Full => {
+                // Table full: return the port so nothing leaks.
+                self.ports[ip_idx as usize].give_back(binding.public_port);
+                None
+            }
+        }
     }
 
-    fn allocate(&mut self, tuple: &FiveTuple) -> Option<NatBinding> {
-        // Spread flows over public IPs by flow hash; linear-probe ports.
+    /// Picks a public IP by flow hash, then takes a port from that shard
+    /// (falling over to the next shard when one is exhausted).
+    fn allocate(&mut self, tuple: &FiveTuple) -> Option<(NatBinding, u32)> {
         let start_ip = (tuple.compact_hash() as usize) % self.public_ips.len();
         for k in 0..self.public_ips.len() {
             let ip_idx = (start_ip + k) % self.public_ips.len();
-            let ip = self.public_ips[ip_idx];
-            let mut tries = 0u32;
-            while tries < u32::from(u16::MAX - PORT_FLOOR) {
-                let port = self.next_port[ip_idx];
-                self.next_port[ip_idx] = if port == u16::MAX {
-                    PORT_FLOOR
-                } else {
-                    port + 1
-                };
-                if let std::collections::hash_map::Entry::Vacant(slot) =
-                    self.reverse.entry((ip, port))
-                {
-                    slot.insert(*tuple);
-                    return Some(NatBinding {
-                        public_ip: ip,
+            if let Some(port) = self.ports[ip_idx].take() {
+                return Some((
+                    NatBinding {
+                        public_ip: self.public_ips[ip_idx],
                         public_port: port,
-                    });
-                }
-                tries += 1;
+                    },
+                    ip_idx as u32,
+                ));
             }
         }
         None
@@ -123,32 +204,53 @@ impl SnatTable {
         public_port: u16,
         now: SimTime,
     ) -> Option<FiveTuple> {
-        let tuple = *self.reverse.get(&(public_ip, public_port))?;
+        let tuple = *self.reverse.get(&endpoint_key(public_ip, public_port))?;
         if let Some(s) = self.sessions.get_mut(&tuple) {
             s.last_active = now;
         }
         Some(tuple)
     }
 
-    /// Ages out sessions idle longer than the timeout. Returns how many
-    /// were reclaimed. (The control plane ran this on Tofino; on Albatross
-    /// a ctrl core runs it.)
+    /// Ages out sessions idle longer than the timeout and reclaims their
+    /// ports *immediately* — a port expired here is allocatable by the next
+    /// `translate_outbound` in the same tick. Returns how many sessions
+    /// were reclaimed.
+    ///
+    /// Cost is amortized `O(expired)`: the wheel only visits entries whose
+    /// coarse deadline bucket has come due, never the whole map. A session
+    /// refreshed since its bucket was armed is lazily re-armed at its true
+    /// deadline.
     pub fn expire(&mut self, now: SimTime) -> usize {
-        let timeout = self.timeout.as_nanos();
-        let dead: Vec<FiveTuple> = self
-            .sessions
-            .iter()
-            .filter(|(_, s)| now.saturating_since(s.last_active) > timeout)
-            .map(|(t, _)| *t)
-            .collect();
-        for t in &dead {
-            if let Some(s) = self.sessions.remove(t) {
-                self.reverse
-                    .remove(&(s.binding.public_ip, s.binding.public_port));
+        let Self {
+            ports,
+            sessions,
+            reverse,
+            wheel,
+            timeout,
+            ..
+        } = self;
+        let timeout_ns = timeout.as_nanos();
+        let mut reclaimed = 0usize;
+        wheel.advance(now, |slot| match sessions.at(slot) {
+            None => WheelDecision::Expire, // slot recycled; drop the handle
+            Some((_, s)) => {
+                if now.saturating_since(s.last_active) > timeout_ns {
+                    let (_, s) = sessions.remove_slot(slot).expect("validated live slot");
+                    // The reverse entry dies with its forward session —
+                    // never after it.
+                    reverse
+                        .remove(&endpoint_key(s.binding.public_ip, s.binding.public_port))
+                        .expect("reverse entry must exist for a live session");
+                    ports[s.ip_idx as usize].give_back(s.binding.public_port);
+                    reclaimed += 1;
+                    WheelDecision::Expire
+                } else {
+                    WheelDecision::KeepUntil(s.last_active.saturating_add_ns(timeout_ns))
+                }
             }
-        }
-        self.expired += dead.len() as u64;
-        dead.len()
+        });
+        self.expired += reclaimed as u64;
+        reclaimed
     }
 
     /// Live session count.
@@ -169,6 +271,20 @@ impl SnatTable {
     /// Sessions expired since start.
     pub fn expired(&self) -> u64 {
         self.expired
+    }
+
+    /// Checks the forward/reverse coupling invariant: every session's
+    /// binding resolves back to its tuple, and no reverse entry exists
+    /// without a forward session. Test/debug aid; `O(n)`.
+    pub fn check_reverse_integrity(&self) -> bool {
+        if self.sessions.len() != self.reverse.len() {
+            return false;
+        }
+        self.sessions.iter().all(|(_, tuple, s)| {
+            self.reverse
+                .get(&endpoint_key(s.binding.public_ip, s.binding.public_port))
+                == Some(tuple)
+        })
     }
 }
 
@@ -255,5 +371,94 @@ mod tests {
         }
         assert_eq!(t.expire(SimTime::from_secs(30)), 0);
         assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn expire_then_allocate_reuses_the_port_in_the_same_tick() {
+        // PR 9's expire-then-install convention, NAT edition: a port
+        // reclaimed by `expire(now)` must be allocatable at the same `now`.
+        let mut t = table();
+        let dead = tuple(4000);
+        let b = t.translate_outbound(&dead, SimTime::ZERO).unwrap();
+        let now = SimTime::from_secs(200);
+        assert_eq!(t.expire(now), 1);
+        // The very next allocation that hashes onto the same shard pops the
+        // freed port from the free list (LIFO) before touching the cursor.
+        let mut reused = None;
+        for p in 5000..5100u16 {
+            let nb = t.translate_outbound(&tuple(p), now).unwrap();
+            if nb.public_ip == b.public_ip {
+                reused = Some(nb.public_port);
+                break;
+            }
+        }
+        assert_eq!(
+            reused,
+            Some(b.public_port),
+            "freed port must be first out of its shard in the same tick"
+        );
+    }
+
+    #[test]
+    fn reverse_entries_never_outlive_forward_sessions() {
+        let mut t = table();
+        let mut now = SimTime::ZERO;
+        for round in 0u64..6 {
+            for p in 0..40u16 {
+                t.translate_outbound(&tuple(p + (round as u16 % 2) * 40), now)
+                    .unwrap();
+            }
+            assert!(
+                t.check_reverse_integrity(),
+                "round {round}: coupling broken"
+            );
+            now = now.saturating_add_ns(SimTime::from_secs(70).as_nanos());
+            t.expire(now);
+            assert!(
+                t.check_reverse_integrity(),
+                "round {round}: reverse entry outlived its session"
+            );
+        }
+        assert_eq!(t.created(), t.expired() + t.len() as u64);
+    }
+
+    #[test]
+    fn session_capacity_bounds_the_table() {
+        let mut t =
+            SnatTable::with_capacity(vec!["47.1.1.1".parse().unwrap()], SimTime::from_secs(60), 8);
+        for p in 0..8 {
+            assert!(t.translate_outbound(&tuple(p), SimTime::ZERO).is_some());
+        }
+        assert_eq!(t.translate_outbound(&tuple(99), SimTime::ZERO), None);
+        assert_eq!(t.len(), 8);
+        assert!(t.check_reverse_integrity(), "rejected insert must not leak");
+        // Expiry frees room again.
+        assert!(t.expire(SimTime::from_secs(200)) > 0);
+        assert!(t
+            .translate_outbound(&tuple(99), SimTime::from_secs(200))
+            .is_some());
+    }
+
+    #[test]
+    fn double_run_is_deterministic() {
+        // Same op sequence, two fresh tables: identical bindings, identical
+        // expiry counts, identical iteration-visible state.
+        let run = || {
+            let mut t = table();
+            let mut log: Vec<(u16, u16)> = Vec::new();
+            let mut now = SimTime::ZERO;
+            for step in 0u64..400 {
+                let p = (step % 97) as u16;
+                now = now.saturating_add_ns(SimTime::from_millis(700).as_nanos());
+                if let Some(b) = t.translate_outbound(&tuple(p), now) {
+                    log.push((p, b.public_port));
+                }
+                if step % 13 == 0 {
+                    t.expire(now);
+                }
+            }
+            (log, t.created(), t.expired())
+        };
+        assert_eq!(run(), run());
     }
 }

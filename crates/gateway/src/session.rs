@@ -17,6 +17,14 @@
 //! * [`ShardedSessionTable`] — per-core shards (the "transform shared-states
 //!   into local-states" optimization); aggregation sums shards on read.
 //!
+//! Storage is [`albatross_mem::flowtab::FlowTable`] — fixed-capacity,
+//! cache-line-bucketed, deterministically hashed — not `std` `HashMap`:
+//! the per-map random SipHash seed made shard layout (and so any
+//! iteration-order-visible output, like [`SessionBackend::snapshot`])
+//! differ run to run, violating the repo's byte-identity contract. A full
+//! table drops further *new* flows (counted, like a real hardware session
+//! table under flood) rather than growing unboundedly.
+//!
 //! Locks are `std::sync::Mutex` (the former `parking_lot` dependency was
 //! dropped for a hermetic build). The §7 lesson survives the swap: the
 //! write-heavy collapse comes from serializing on one lock *and* from the
@@ -24,8 +32,11 @@
 //! mutex exhibits identically; the sharded fix removes the sharing either
 //! way.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use albatross_mem::flowtab::{FlowTable, InsertOutcome};
+use albatross_sim::det::DetHashSet;
 
 /// Per-flow session state (a session counter NF: bytes + packets).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,6 +47,9 @@ pub struct SessionCounters {
     pub bytes: u64,
 }
 
+/// Default flow capacity per backend (per shard for the sharded table).
+const DEFAULT_FLOW_CAPACITY: usize = 16 * 1024;
+
 /// A backend for per-flow counters updated from many cores.
 pub trait SessionBackend: Send + Sync {
     /// Charges one packet of `bytes` to `flow` from `core`.
@@ -44,28 +58,61 @@ pub trait SessionBackend: Send + Sync {
     fn get(&self, flow: u64) -> SessionCounters;
     /// Number of distinct flows tracked.
     fn flows(&self) -> usize;
+    /// Every tracked flow with its aggregated counters, in the backend's
+    /// deterministic iteration order (identical across runs for identical
+    /// histories).
+    fn snapshot(&self) -> Vec<(u64, SessionCounters)>;
+    /// Packets dropped because the table was full (new flow, no room).
+    fn overflow_drops(&self) -> u64;
+}
+
+fn charge(table: &mut FlowTable<u64, SessionCounters>, flow: u64, bytes: u64) -> bool {
+    if let Some(c) = table.get_mut(&flow) {
+        c.packets += 1;
+        c.bytes += bytes;
+        return true;
+    }
+    !matches!(
+        table.insert(flow, SessionCounters { packets: 1, bytes }),
+        InsertOutcome::Full
+    )
 }
 
 /// One global map behind a mutex — per-packet writes serialize on the lock
 /// *and* on the cache line holding it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockedSessionTable {
-    inner: Mutex<HashMap<u64, SessionCounters>>,
+    inner: Mutex<FlowTable<u64, SessionCounters>>,
+    overflow: AtomicU64,
 }
 
 impl LockedSessionTable {
-    /// Creates an empty table.
+    /// Creates an empty table with the default flow capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_FLOW_CAPACITY)
+    }
+
+    /// Creates an empty table accepting up to `capacity` distinct flows.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(FlowTable::with_capacity(capacity)),
+            overflow: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for LockedSessionTable {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl SessionBackend for LockedSessionTable {
     fn record(&self, _core: usize, flow: u64, bytes: u64) {
         let mut map = self.inner.lock().unwrap();
-        let e = map.entry(flow).or_default();
-        e.packets += 1;
-        e.bytes += bytes;
+        if !charge(&mut map, flow, bytes) {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn get(&self, flow: u64) -> SessionCounters {
@@ -80,12 +127,25 @@ impl SessionBackend for LockedSessionTable {
     fn flows(&self) -> usize {
         self.inner.lock().unwrap().len()
     }
+
+    fn snapshot(&self) -> Vec<(u64, SessionCounters)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, k, v)| (*k, *v))
+            .collect()
+    }
+
+    fn overflow_drops(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
 }
 
 /// Cache-line-padded shard so neighbouring shards never false-share.
 #[derive(Debug)]
 struct Shard {
-    map: Mutex<HashMap<u64, SessionCounters>>,
+    map: Mutex<FlowTable<u64, SessionCounters>>,
     _pad: [u8; 64],
 }
 
@@ -94,22 +154,34 @@ struct Shard {
 #[derive(Debug)]
 pub struct ShardedSessionTable {
     shards: Vec<Shard>,
+    overflow: AtomicU64,
 }
 
 impl ShardedSessionTable {
-    /// Creates a table with one shard per core.
+    /// Creates a table with one shard per core and the default per-shard
+    /// flow capacity.
     ///
     /// # Panics
     /// Panics when `cores` is zero.
     pub fn new(cores: usize) -> Self {
+        Self::with_capacity(cores, DEFAULT_FLOW_CAPACITY)
+    }
+
+    /// Creates a table with one shard per core, each shard accepting up to
+    /// `capacity` distinct flows.
+    ///
+    /// # Panics
+    /// Panics when `cores` is zero.
+    pub fn with_capacity(cores: usize, capacity: usize) -> Self {
         assert!(cores > 0, "need at least one shard");
         Self {
             shards: (0..cores)
                 .map(|_| Shard {
-                    map: Mutex::new(HashMap::new()),
+                    map: Mutex::new(FlowTable::with_capacity(capacity)),
                     _pad: [0; 64],
                 })
                 .collect(),
+            overflow: AtomicU64::new(0),
         }
     }
 }
@@ -118,9 +190,9 @@ impl SessionBackend for ShardedSessionTable {
     fn record(&self, core: usize, flow: u64, bytes: u64) {
         let shard = &self.shards[core % self.shards.len()];
         let mut map = shard.map.lock().unwrap();
-        let e = map.entry(flow).or_default();
-        e.packets += 1;
-        e.bytes += bytes;
+        if !charge(&mut map, flow, bytes) {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn get(&self, flow: u64) -> SessionCounters {
@@ -135,11 +207,34 @@ impl SessionBackend for ShardedSessionTable {
     }
 
     fn flows(&self) -> usize {
-        let mut flows = std::collections::HashSet::new();
+        let mut flows: DetHashSet<u64> = DetHashSet::default();
         for shard in &self.shards {
-            flows.extend(shard.map.lock().unwrap().keys().copied());
+            flows.extend(shard.map.lock().unwrap().iter().map(|(_, k, _)| *k));
         }
         flows.len()
+    }
+
+    fn snapshot(&self) -> Vec<(u64, SessionCounters)> {
+        // Aggregate shard-by-shard, then sort by flow id: deterministic
+        // regardless of which cores touched which flows.
+        let mut agg: Vec<(u64, SessionCounters)> = Vec::new();
+        for shard in &self.shards {
+            for (_, k, v) in shard.map.lock().unwrap().iter() {
+                match agg.iter_mut().find(|(f, _)| f == k) {
+                    Some((_, c)) => {
+                        c.packets += v.packets;
+                        c.bytes += v.bytes;
+                    }
+                    None => agg.push((*k, *v)),
+                }
+            }
+        }
+        agg.sort_unstable_by_key(|(f, _)| *f);
+        agg
+    }
+
+    fn overflow_drops(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
     }
 }
 
@@ -175,6 +270,7 @@ mod tests {
         assert_eq!(c.packets, 40_000);
         assert_eq!(c.bytes, 4_000_000);
         assert_eq!(t.flows(), 5);
+        assert_eq!(t.overflow_drops(), 0);
     }
 
     #[test]
@@ -184,6 +280,7 @@ mod tests {
         let c = t.get(1);
         assert_eq!(c.packets, 40_000, "aggregation must see all shards");
         assert_eq!(t.flows(), 5);
+        assert_eq!(t.overflow_drops(), 0);
     }
 
     #[test]
@@ -198,5 +295,44 @@ mod tests {
         let t = ShardedSessionTable::new(2);
         t.record(7, 5, 10); // shard 1
         assert_eq!(t.get(5).packets, 1);
+    }
+
+    #[test]
+    fn full_table_drops_new_flows_but_keeps_counting_old_ones() {
+        let t = LockedSessionTable::with_capacity(4);
+        for f in 0..4 {
+            t.record(0, f, 10);
+        }
+        t.record(0, 99, 10); // no room: dropped + counted
+        assert_eq!(t.flows(), 4);
+        assert_eq!(t.overflow_drops(), 1);
+        assert_eq!(t.get(99), SessionCounters::default());
+        t.record(0, 2, 10); // existing flows unaffected
+        assert_eq!(t.get(2).packets, 2);
+    }
+
+    #[test]
+    fn snapshots_are_identical_across_runs() {
+        // The satellite determinism pin: identical histories must produce
+        // byte-identical iteration-visible state. std HashMap's per-map
+        // random seed failed this; the det-hashed flow table must not.
+        let run = |sharded: bool| {
+            let t: Arc<dyn SessionBackend> = if sharded {
+                Arc::new(ShardedSessionTable::new(4))
+            } else {
+                Arc::new(LockedSessionTable::new())
+            };
+            for step in 0u64..5_000 {
+                let flow = (step * step) % 257;
+                t.record((step % 4) as usize, flow, step % 1500);
+            }
+            t.snapshot()
+        };
+        assert_eq!(run(false), run(false), "locked snapshot diverged");
+        assert_eq!(run(true), run(true), "sharded snapshot diverged");
+        // And the two backends agree on the aggregated state.
+        let a: std::collections::BTreeMap<_, _> = run(false).into_iter().collect();
+        let b: std::collections::BTreeMap<_, _> = run(true).into_iter().collect();
+        assert_eq!(a, b, "backends disagree on aggregate counters");
     }
 }

@@ -21,17 +21,23 @@
 //!   and the auto-balancing stall injector.
 //! * [`MemorySystem`] — the facade the CPU-core model charges every table
 //!   access through.
+//! * [`flowtab::FlowTable`] / [`flowtab::ExpiryWheel`] — the CPS-grade flow
+//!   table the stateful consumers (`gateway::nat`, `gateway::session`,
+//!   `fpga::offload`) keep their real entries in: cache-line-bucketed open
+//!   addressing with batched probes and amortized `O(expired)` expiry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod dram;
+pub mod flowtab;
 pub mod numa;
 pub mod tables;
 
 pub use cache::SharedCache;
 pub use dram::DramModel;
+pub use flowtab::{ExpiryWheel, FlowTable, InsertOutcome, SlotRef, WheelDecision};
 pub use numa::{NumaBalancing, NumaTopology, Placement};
 pub use tables::{TableId, WorkingSet};
 

@@ -19,7 +19,10 @@
 //!   ([`churn::RotatingOverloadSource`]);
 //! * steering timelines — per-pod constant-rate segments derived from the
 //!   AZ control plane's routing decisions, with per-drill VNI labels and
-//!   failed-VF edge loss ([`steer::SteeredSource`]).
+//!   failed-VF edge loss ([`steer::SteeredSource`]);
+//! * the short-flow/CPS frontier — single-packet DNS-style UDP and TCP
+//!   connect/close churn, one fresh flow per connection at a constant
+//!   connections-per-second rate ([`shortflow::ShortFlowSource`]).
 //!
 //! Sources yield [`PacketDesc`]s in non-decreasing virtual time; they carry
 //! flow identity and size, not bytes — the `albatross-packet` builder can
@@ -33,12 +36,14 @@ pub mod burst;
 pub mod churn;
 pub mod flowgen;
 pub mod pktsize;
+pub mod shortflow;
 pub mod steer;
 pub mod tenant;
 pub mod traffic;
 
 pub use churn::RotatingOverloadSource;
 pub use flowgen::FlowSet;
+pub use shortflow::{ShortFlowKind, ShortFlowSource};
 pub use steer::{SteerSegment, SteeredSource};
 pub use tenant::TenantSet;
 pub use traffic::{ConstantRateSource, MergedSource, PoissonSource, RampSource, TrafficSource};

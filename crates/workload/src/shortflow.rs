@@ -1,0 +1,246 @@
+//! Short-flow / CPS workloads: the connection-setup frontier.
+//!
+//! Every long-flow exhibit holds flow count fixed and scales packet rate;
+//! production gateways also die the *other* way — millions of new flows
+//! per second, each carrying almost no traffic, where the per-flow
+//! *insertion* path (session allocation, table install) is the bottleneck
+//! (XenoFlow's BlueField-3 DNS finding; HyperNAT for NAT session setup).
+//!
+//! [`ShortFlowSource`] generates that traffic deterministically: new flows
+//! start at a constant connections-per-second rate, every flow is unique
+//! (never recycled), and each flow carries a small fixed packet train:
+//!
+//! * [`ShortFlowKind::DnsUdp`] — single-packet UDP request/response: one
+//!   packet per flow, the pure table-churn worst case.
+//! * [`ShortFlowKind::TcpChurn`] — connect/close churn: a handful of
+//!   packets (SYN, payload, FIN) spread over the flow lifetime, so the
+//!   table holds each entry just long enough to matter.
+//!
+//! Packet trains from concurrently-open flows interleave; a small pending
+//! heap re-merges them into the non-decreasing time order every
+//! [`TrafficSource`] promises. Flow tuples derive from the flow index
+//! alone, so two runs (or two burst geometries) see byte-identical
+//! streams.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+
+use albatross_packet::flow::{FiveTuple, IpProtocol};
+use albatross_sim::SimTime;
+
+use crate::traffic::TrafficSource;
+use crate::PacketDesc;
+
+/// Which short-flow shape to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShortFlowKind {
+    /// One 80 B UDP packet per flow (DNS-style request/response collapsed
+    /// onto the request path): maximum installs per packet.
+    DnsUdp,
+    /// TCP connect/close churn: `pkts_per_flow` packets per flow (first
+    /// models the SYN, last the FIN) spread evenly over `flow_lifetime`.
+    TcpChurn {
+        /// Packets per connection, ≥ 2 (SYN + FIN).
+        pkts_per_flow: u32,
+        /// Time from SYN to FIN.
+        flow_lifetime: SimTime,
+    },
+}
+
+/// Deterministic constant-CPS short-flow generator.
+#[derive(Debug)]
+pub struct ShortFlowSource {
+    kind: ShortFlowKind,
+    vni: Option<u32>,
+    len_bytes: u32,
+    /// Nanoseconds between flow starts (1e9 / cps).
+    flow_interval_ns: u64,
+    next_flow_start: SimTime,
+    next_flow_idx: u64,
+    end: SimTime,
+    /// Later packets of already-started flows, merged by time. The tie
+    /// break (flow index, packet index) keeps the order total, so the
+    /// stream is reproducible bit for bit.
+    pending: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+}
+
+impl ShortFlowSource {
+    /// Creates a source starting `cps` new flows per second from `start`
+    /// to `end`.
+    ///
+    /// # Panics
+    /// Panics when `cps` is zero, or when a `TcpChurn` kind asks for fewer
+    /// than 2 packets per flow.
+    pub fn new(kind: ShortFlowKind, cps: u64, start: SimTime, end: SimTime) -> Self {
+        assert!(cps > 0, "connections/sec must be positive");
+        if let ShortFlowKind::TcpChurn { pkts_per_flow, .. } = kind {
+            assert!(pkts_per_flow >= 2, "TCP churn needs at least SYN + FIN");
+        }
+        Self {
+            kind,
+            vni: None,
+            len_bytes: match kind {
+                ShortFlowKind::DnsUdp => 80,
+                ShortFlowKind::TcpChurn { .. } => 128,
+            },
+            flow_interval_ns: 1_000_000_000 / cps,
+            next_flow_start: start,
+            next_flow_idx: 0,
+            end,
+            pending: BinaryHeap::new(),
+        }
+    }
+
+    /// Tags every packet with a tenant VNI.
+    pub fn with_vni(mut self, vni: u32) -> Self {
+        self.vni = Some(vni);
+        self
+    }
+
+    /// Overrides the per-packet frame length.
+    pub fn with_len_bytes(mut self, len_bytes: u32) -> Self {
+        self.len_bytes = len_bytes;
+        self
+    }
+
+    /// The five-tuple of flow `idx`: unique per index (never recycled), so
+    /// every flow is a guaranteed first-sight table miss.
+    pub fn flow_tuple(&self, idx: u64) -> FiveTuple {
+        // 2^32 distinct client (ip, port) pairs before wrap-around: ~71
+        // minutes of 1M CPS — far beyond any bench horizon.
+        let client = (idx.wrapping_mul(0x9E37_79B9)) as u32;
+        let proto = match self.kind {
+            ShortFlowKind::DnsUdp => IpProtocol::Udp,
+            ShortFlowKind::TcpChurn { .. } => IpProtocol::Tcp,
+        };
+        FiveTuple {
+            src_ip: Ipv4Addr::from(0x0a00_0000 | (client >> 16)),
+            dst_ip: Ipv4Addr::new(172, 16, 0, 53),
+            src_port: (client & 0xffff) as u16,
+            dst_port: if proto == IpProtocol::Udp { 53 } else { 80 },
+            protocol: proto,
+        }
+    }
+
+    fn packet(&self, flow_idx: u64, time: SimTime) -> PacketDesc {
+        PacketDesc {
+            time,
+            tuple: self.flow_tuple(flow_idx),
+            vni: self.vni,
+            len_bytes: self.len_bytes,
+            protocol: false,
+        }
+    }
+
+    /// Starts the next flow: emits its first packet and queues the rest of
+    /// its train.
+    fn start_flow(&mut self) -> PacketDesc {
+        let idx = self.next_flow_idx;
+        let t0 = self.next_flow_start;
+        self.next_flow_idx += 1;
+        self.next_flow_start = t0.saturating_add_ns(self.flow_interval_ns);
+        if let ShortFlowKind::TcpChurn {
+            pkts_per_flow,
+            flow_lifetime,
+        } = self.kind
+        {
+            let gap = flow_lifetime.as_nanos() / u64::from(pkts_per_flow - 1).max(1);
+            for p in 1..pkts_per_flow {
+                let at = t0.saturating_add_ns(gap * u64::from(p));
+                self.pending.push(Reverse((at, idx, p)));
+            }
+        }
+        self.packet(idx, t0)
+    }
+}
+
+impl TrafficSource for ShortFlowSource {
+    fn next_packet(&mut self) -> Option<PacketDesc> {
+        // Earliest of: the next new flow's first packet, or a queued later
+        // packet of an open flow. Ties go to the queued packet — it belongs
+        // to an earlier flow.
+        let next_start_due = self.next_flow_start < self.end;
+        match self.pending.peek() {
+            Some(&Reverse((t, flow, _pkt))) if !next_start_due || t <= self.next_flow_start => {
+                self.pending.pop();
+                Some(self.packet(flow, t))
+            }
+            _ if next_start_due => Some(self.start_flow()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut s: ShortFlowSource) -> Vec<PacketDesc> {
+        let mut v = Vec::new();
+        while let Some(p) = s.next_packet() {
+            v.push(p);
+        }
+        v
+    }
+
+    #[test]
+    fn dns_udp_is_one_unique_flow_per_packet() {
+        let s = ShortFlowSource::new(
+            ShortFlowKind::DnsUdp,
+            100_000,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
+        let pkts = drain(s);
+        assert_eq!(pkts.len(), 100, "100K cps for 1 ms");
+        let mut tuples: Vec<FiveTuple> = pkts.iter().map(|p| p.tuple).collect();
+        tuples.dedup();
+        assert_eq!(tuples.len(), 100, "every packet is a fresh flow");
+        assert!(pkts.iter().all(|p| p.tuple.protocol == IpProtocol::Udp));
+    }
+
+    #[test]
+    fn tcp_churn_spreads_trains_over_the_lifetime() {
+        let s = ShortFlowSource::new(
+            ShortFlowKind::TcpChurn {
+                pkts_per_flow: 3,
+                flow_lifetime: SimTime::from_micros(30),
+            },
+            50_000,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
+        let pkts = drain(s);
+        assert_eq!(pkts.len(), 150, "50 flows x 3 packets");
+        // Each flow's train: t0, t0+15us, t0+30us.
+        let first = pkts[0].tuple;
+        let times: Vec<u64> = pkts
+            .iter()
+            .filter(|p| p.tuple == first)
+            .map(|p| p.time.as_nanos())
+            .collect();
+        assert_eq!(times, vec![0, 15_000, 30_000]);
+    }
+
+    #[test]
+    fn stream_is_time_ordered_and_deterministic() {
+        let build = || {
+            drain(ShortFlowSource::new(
+                ShortFlowKind::TcpChurn {
+                    pkts_per_flow: 4,
+                    flow_lifetime: SimTime::from_micros(100),
+                },
+                200_000,
+                SimTime::ZERO,
+                SimTime::from_millis(2),
+            ))
+        };
+        let a = build();
+        assert!(
+            a.windows(2).all(|w| w[0].time <= w[1].time),
+            "time order violated"
+        );
+        assert_eq!(a, build(), "double run must be identical");
+    }
+}

@@ -133,4 +133,22 @@ if [ "$tiers_a" != "$tiers_b" ]; then
 fi
 echo "    offload_tiers RESULT lines byte-identical across two runs"
 
+echo "==> CPS frontier smoke bench + determinism gate"
+# Short-flow/CPS frontier over the bucketed flow table. The bench itself
+# hard-gates the untimed exactness arm (FlowStateEngine verdict-for-verdict
+# against a HashMap model, plus installs == expired conservation after the
+# final drain), the >= 2x batched-insert speedup over the default-hasher
+# HashMap baseline, the install-budget CPS ceilings, and the churn-flood
+# limiter (zero resident misses under a 1M CPS flood). Here the canonical
+# RESULT lines from two full runs must additionally be byte-identical —
+# flow-table layout and expiry order are deterministic by contract.
+cps_a=$(cargo bench --offline -p albatross-bench --bench cps_frontier -- cps_frontier | grep '^RESULT')
+cps_b=$(cargo bench --offline -p albatross-bench --bench cps_frontier -- cps_frontier | grep '^RESULT')
+if [ "$cps_a" != "$cps_b" ]; then
+    echo "ERROR: cps_frontier RESULT lines differ between two runs" >&2
+    diff <(printf '%s\n' "$cps_a") <(printf '%s\n' "$cps_b") >&2 || true
+    exit 1
+fi
+echo "    cps_frontier RESULT lines byte-identical across two runs"
+
 echo "==> CI green"

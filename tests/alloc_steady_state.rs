@@ -16,9 +16,10 @@
 //! allocating tests.
 
 use albatross::container::simrun::{PodSimulation, SimConfig};
+use albatross::gateway::flowstate::FlowStateConfig;
 use albatross::gateway::services::ServiceKind;
 use albatross::sim::SimTime;
-use albatross::workload::{ConstantRateSource, FlowSet};
+use albatross::workload::{ConstantRateSource, FlowSet, ShortFlowKind, ShortFlowSource};
 use albatross_testkit::CountingAllocator;
 
 #[global_allocator]
@@ -43,6 +44,37 @@ fn run(millis: u64) -> (u64, u64) {
     let before = CountingAllocator::allocations();
     let report = PodSimulation::new(cfg).run(&mut src, duration);
     let after = CountingAllocator::allocations();
+    (report.offered, after - before)
+}
+
+/// Runs the CPS scenario — single-packet DNS flows through the hardware
+/// flow-state frontier — for `millis` of simulated time and returns
+/// `(packets offered, allocation calls during the run)`. Every packet is a
+/// fresh flow, so this drives the flow table's insert path (and the expiry
+/// wheel behind it) as hard as the workload allows.
+fn run_cps(millis: u64) -> (u64, u64) {
+    let mut cfg = SimConfig::new(4, ServiceKind::VpcInternet);
+    cfg.table_scale = 0.001;
+    cfg.cache_bytes = 8 * 1024 * 1024;
+    cfg.seed = 97;
+    let mut flow_state = FlowStateConfig::production();
+    // Small capacity + short timeout + fast sampling so install, expiry,
+    // and reclaim all cycle many times within even the shortest run — the
+    // wheel's per-bucket buffers must reach working size before the
+    // measured interval, or the comparison reads warm-up as steady state.
+    flow_state.capacity = 4 * 1024;
+    flow_state.idle_timeout = SimTime::from_millis(1);
+    cfg.flow_state = Some(flow_state);
+    cfg.sample_window = SimTime::from_millis(1);
+    let duration = SimTime::from_millis(millis);
+    let mut src = ShortFlowSource::new(ShortFlowKind::DnsUdp, 1_000_000, SimTime::ZERO, duration);
+    let before = CountingAllocator::allocations();
+    let report = PodSimulation::new(cfg).run(&mut src, duration);
+    let after = CountingAllocator::allocations();
+    assert!(
+        report.flow_installs > 0,
+        "precondition: the CPS run must exercise the install path"
+    );
     (report.offered, after - before)
 }
 
@@ -98,5 +130,29 @@ fn longer_runs_cost_only_telemetry_allocations() {
         extra_allocs < 200,
         "steady-state datapath is allocating: {extra_allocs} extra \
          allocations for {extra_pkts} extra packets"
+    );
+}
+
+#[test]
+fn cps_churn_costs_only_telemetry_allocations() {
+    // The flow table, expiry wheel, and NAT shards are fixed-capacity by
+    // construction, so even pure table churn — every packet a fresh flow,
+    // installs and expiries cycling constantly — must not touch the
+    // allocator once the wheel's per-bucket scratch reaches working size.
+    run_cps(2);
+
+    let (pkts_short, allocs_short) = run_cps(6);
+    let (pkts_long, allocs_long) = run_cps(30);
+
+    let extra_pkts = pkts_long - pkts_short;
+    let extra_allocs = allocs_long.saturating_sub(allocs_short);
+    assert!(
+        extra_pkts > 20_000,
+        "precondition: need a meaningful packet delta, got {extra_pkts}"
+    );
+    assert!(
+        extra_allocs < 200,
+        "CPS churn path is allocating: {extra_allocs} extra allocations \
+         for {extra_pkts} extra packets"
     );
 }
